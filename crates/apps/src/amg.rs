@@ -1,0 +1,343 @@
+//! Algebraic multigrid setup: the Galerkin triple product `A_c = Pᵀ A P`.
+//!
+//! AMG preconditioners (§I, [1]) spend their setup phase in SpGEMM: each
+//! level's coarse operator is formed by two sparse products. This module
+//! builds an aggregation-based hierarchy for a 2-D Poisson problem and
+//! forms every coarse operator with the paper's SpGEMM on the virtual
+//! GPU.
+
+use crate::spgemm;
+use nsparse_core::pipeline::Result;
+use sparse::{Csr, Scalar};
+use vgpu::{Gpu, SpgemmReport};
+
+/// 5-point 2-D Poisson matrix on an `n × n` grid (Dirichlet boundary):
+/// 4 on the diagonal, -1 to the four grid neighbours.
+pub fn poisson2d<T: Scalar>(n: usize) -> Csr<T> {
+    let rows = n * n;
+    let mut triplets = Vec::with_capacity(5 * rows);
+    for y in 0..n {
+        for x in 0..n {
+            let i = y * n + x;
+            triplets.push((i, i as u32, T::from_f64(4.0)));
+            if x > 0 {
+                triplets.push((i, (i - 1) as u32, T::from_f64(-1.0)));
+            }
+            if x + 1 < n {
+                triplets.push((i, (i + 1) as u32, T::from_f64(-1.0)));
+            }
+            if y > 0 {
+                triplets.push((i, (i - n) as u32, T::from_f64(-1.0)));
+            }
+            if y + 1 < n {
+                triplets.push((i, (i + n) as u32, T::from_f64(-1.0)));
+            }
+        }
+    }
+    Csr::from_triplets(rows, rows, &triplets).expect("stencil indices are in range")
+}
+
+/// Piecewise-constant aggregation prolongation: fine point `i` maps to
+/// aggregate `i / factor` (a simple 1-D blocking of the unknowns, which
+/// for the row-major 2-D grid aggregates short row segments).
+pub fn aggregation_prolongation<T: Scalar>(fine: usize, factor: usize) -> Csr<T> {
+    assert!(factor >= 2, "coarsening needs factor >= 2");
+    let coarse = fine.div_ceil(factor);
+    let rpt = (0..=fine).collect();
+    let col = (0..fine).map(|i| (i / factor) as u32).collect();
+    let val = vec![T::ONE; fine];
+    Csr::from_parts_unchecked(fine, coarse, rpt, col, val)
+}
+
+/// One AMG level: the operator and the prolongation that produced it.
+#[derive(Debug, Clone)]
+pub struct Level<T> {
+    /// The level's operator (`A` on the finest level, `Pᵀ A P` below).
+    pub a: Csr<T>,
+    /// Prolongation from this level's coarse space (absent on the
+    /// coarsest level).
+    pub p: Option<Csr<T>>,
+}
+
+/// An AMG hierarchy plus the SpGEMM reports of its construction.
+#[derive(Debug)]
+pub struct Hierarchy<T> {
+    /// Levels, finest first.
+    pub levels: Vec<Level<T>>,
+    /// One report per SpGEMM executed during setup.
+    pub reports: Vec<SpgemmReport>,
+}
+
+impl<T: Scalar> Hierarchy<T> {
+    /// Total stored non-zeros across all levels, relative to the finest
+    /// level (the AMG "operator complexity" figure of merit).
+    pub fn operator_complexity(&self) -> f64 {
+        let fine = self.levels[0].a.nnz().max(1);
+        self.levels.iter().map(|l| l.a.nnz()).sum::<usize>() as f64 / fine as f64
+    }
+}
+
+/// Build an aggregation AMG hierarchy for `a`, coarsening by `factor`
+/// per level until the operator has at most `min_rows` rows. Every
+/// Galerkin product runs as two SpGEMMs (`Pᵀ (A P)`) on the virtual GPU.
+///
+/// With `smoothed` set, the tentative prolongation is Jacobi-smoothed —
+/// `P = (I − ω D⁻¹ A) P_tent` — which is *yet another* SpGEMM per level
+/// and the standard way to make aggregation AMG converge well.
+pub fn build_hierarchy_opts<T: Scalar>(
+    gpu: &mut Gpu,
+    a: Csr<T>,
+    factor: usize,
+    min_rows: usize,
+    smoothed: bool,
+) -> Result<Hierarchy<T>> {
+    let mut reports = Vec::new();
+    let mut levels = Vec::new();
+    let mut current = a;
+    while current.rows() > min_rows {
+        let p_tent = aggregation_prolongation::<T>(current.rows(), factor);
+        let p = if smoothed {
+            // S = I - ω D^{-1} A, ω = 2/3, then P = S · P_tent (SpGEMM).
+            let diag = sparse::ops::diagonal(&current);
+            let scale: Vec<T> = diag
+                .iter()
+                .map(|&d| {
+                    if d == T::ZERO {
+                        T::ZERO
+                    } else {
+                        -T::from_f64(2.0 / 3.0) / d
+                    }
+                })
+                .collect();
+            let s_mat = sparse::ops::scale_rows(&current, &scale)?
+                .add(&Csr::identity(current.rows()))
+                .map_err(nsparse_core::Error::from)?;
+            spgemm(gpu, &s_mat, &p_tent, &mut reports)?
+        } else {
+            p_tent
+        };
+        let ap = spgemm(gpu, &current, &p, &mut reports)?;
+        let pt = p.transpose();
+        let coarse = spgemm(gpu, &pt, &ap, &mut reports)?;
+        levels.push(Level { a: current, p: Some(p) });
+        current = coarse;
+    }
+    levels.push(Level { a: current, p: None });
+    Ok(Hierarchy { levels, reports })
+}
+
+/// [`build_hierarchy_opts`] with plain (unsmoothed) aggregation.
+pub fn build_hierarchy<T: Scalar>(
+    gpu: &mut Gpu,
+    a: Csr<T>,
+    factor: usize,
+    min_rows: usize,
+) -> Result<Hierarchy<T>> {
+    build_hierarchy_opts(gpu, a, factor, min_rows, false)
+}
+
+/// Weighted-Jacobi smoother: `x ← x + ω D⁻¹ (b - A x)`, run on the
+/// device SpMV.
+fn jacobi_sweeps<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &[T],
+    x: &mut [T],
+    omega: f64,
+    sweeps: usize,
+) -> Result<()> {
+    let diag = sparse::ops::diagonal(a);
+    let w = T::from_f64(omega);
+    for _ in 0..sweeps {
+        let (ax, _) = nsparse_core::spmv(gpu, a, x)?;
+        for i in 0..x.len() {
+            let d = if diag[i] == T::ZERO { T::ONE } else { diag[i] };
+            x[i] += w * (b[i] - ax[i]) / d;
+        }
+    }
+    Ok(())
+}
+
+/// Result of an AMG-preconditioned solve.
+#[derive(Debug)]
+pub struct SolveResult<T> {
+    /// The solution vector.
+    pub x: Vec<T>,
+    /// V-cycles executed.
+    pub cycles: usize,
+    /// Relative residual after the final cycle.
+    pub relative_residual: f64,
+}
+
+impl<T: Scalar> Hierarchy<T> {
+    /// One V-cycle of the hierarchy starting at `level`.
+    fn v_cycle(&self, gpu: &mut Gpu, level: usize, b: &[T], x: &mut [T]) -> Result<()> {
+        let a = &self.levels[level].a;
+        if level + 1 == self.levels.len() {
+            // Coarsest level: solve (approximately) by heavy smoothing.
+            jacobi_sweeps(gpu, a, b, x, 0.8, 50)?;
+            return Ok(());
+        }
+        let p = self.levels[level].p.as_ref().expect("non-coarsest level has P");
+        jacobi_sweeps(gpu, a, b, x, 0.67, 2)?;
+        // Restrict the residual: r_c = Pᵀ (b - A x).
+        let (ax, _) = nsparse_core::spmv(gpu, a, x)?;
+        let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &ai)| bi - ai).collect();
+        let (rc, _) = nsparse_core::spmv(gpu, &p.transpose(), &r)?;
+        let mut ec = vec![T::ZERO; self.levels[level + 1].a.rows()];
+        self.v_cycle(gpu, level + 1, &rc, &mut ec)?;
+        // Prolong and correct.
+        let (e, _) = nsparse_core::spmv(gpu, p, &ec)?;
+        for i in 0..x.len() {
+            x[i] += e[i];
+        }
+        jacobi_sweeps(gpu, a, b, x, 0.67, 2)?;
+        Ok(())
+    }
+
+    /// Solve `A x = b` with V-cycles until the relative residual drops
+    /// below `tol` (or `max_cycles`). Every SpMV runs on the device; the
+    /// hierarchy itself was built with device SpGEMMs.
+    pub fn solve(
+        &self,
+        gpu: &mut Gpu,
+        b: &[T],
+        tol: f64,
+        max_cycles: usize,
+    ) -> Result<SolveResult<T>> {
+        let a = &self.levels[0].a;
+        assert_eq!(b.len(), a.rows(), "rhs length");
+        let norm = |v: &[T]| v.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt();
+        let b0 = norm(b).max(1e-300);
+        let mut x = vec![T::ZERO; b.len()];
+        let mut cycles = 0;
+        let mut rel = 1.0;
+        while cycles < max_cycles && rel > tol {
+            cycles += 1;
+            self.v_cycle(gpu, 0, b, &mut x)?;
+            let (ax, _) = nsparse_core::spmv(gpu, a, &x)?;
+            let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &ai)| bi - ai).collect();
+            rel = norm(&r) / b0;
+        }
+        Ok(SolveResult { x, cycles, relative_residual: rel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::spgemm_ref::spgemm_gustavson;
+    use vgpu::DeviceConfig;
+
+    #[test]
+    fn poisson_structure() {
+        let a = poisson2d::<f64>(4);
+        assert_eq!(a.rows(), 16);
+        // Interior point has 5 entries, corner has 3.
+        assert_eq!(a.row_nnz(5), 5);
+        assert_eq!(a.row_nnz(0), 3);
+        // Rows sum to a nonnegative value (diagonally dominant).
+        let ones = vec![1.0; 16];
+        assert!(a.spmv(&ones).unwrap().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn prolongation_partitions_unknowns() {
+        let p = aggregation_prolongation::<f64>(10, 4);
+        assert_eq!(p.cols(), 3);
+        assert_eq!(p.nnz(), 10); // every fine point in exactly one aggregate
+        for r in 0..10 {
+            assert_eq!(p.row(r).0, &[(r / 4) as u32]);
+        }
+    }
+
+    #[test]
+    fn galerkin_product_matches_reference() {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let a = poisson2d::<f64>(12);
+        let h = build_hierarchy(&mut gpu, a.clone(), 4, 20).unwrap();
+        assert!(h.levels.len() >= 2);
+        // Check level 1 against a CPU triple product.
+        let p = h.levels[0].p.as_ref().unwrap();
+        let expect =
+            spgemm_gustavson(&p.transpose(), &spgemm_gustavson(&a, p).unwrap()).unwrap();
+        assert_eq!(h.levels[1].a, expect);
+        // Two SpGEMMs per constructed level.
+        assert_eq!(h.reports.len(), 2 * (h.levels.len() - 1));
+    }
+
+    #[test]
+    fn hierarchy_coarsens_to_threshold() {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let a = poisson2d::<f32>(16); // 256 rows
+        let h = build_hierarchy(&mut gpu, a, 4, 10).unwrap();
+        assert!(h.levels.last().unwrap().a.rows() <= 10);
+        // Sizes strictly decrease.
+        for w in h.levels.windows(2) {
+            assert!(w[1].a.rows() < w[0].a.rows());
+        }
+        assert!(h.operator_complexity() >= 1.0);
+        assert!(h.operator_complexity() < 3.0, "aggregation must stay sparse");
+    }
+
+    #[test]
+    fn v_cycle_solver_converges_on_poisson() {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let a = poisson2d::<f64>(20); // 400 unknowns
+        let h = build_hierarchy_opts(&mut gpu, a.clone(), 4, 30, true).unwrap();
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let res = h.solve(&mut gpu, &b, 1e-8, 60).unwrap();
+        assert!(
+            res.relative_residual < 1e-8,
+            "residual {} after {} cycles",
+            res.relative_residual,
+            res.cycles
+        );
+        // Verify against the operator directly.
+        let ax = a.spmv(&res.x).unwrap();
+        let err: f64 = ax.iter().zip(&b).map(|(l, r)| (l - r).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "max |Ax - b| = {err}");
+    }
+
+    #[test]
+    fn v_cycle_beats_plain_jacobi() {
+        // Same work budget: the multilevel cycle must reduce the
+        // residual far more than smoothing alone — the reason AMG (and
+        // hence SpGEMM for its setup) exists.
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let a = poisson2d::<f64>(24);
+        let h = build_hierarchy_opts(&mut gpu, a.clone(), 4, 30, true).unwrap();
+        let b = vec![1.0f64; a.rows()];
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let res = h.solve(&mut gpu, &b, 0.0, 4).unwrap();
+        let mut x_j = vec![0.0f64; a.rows()];
+        jacobi_sweeps(&mut gpu, &a, &b, &mut x_j, 0.67, 40).unwrap();
+        let ax = a.spmv(&x_j).unwrap();
+        let r_j: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        assert!(
+            res.relative_residual < 0.5 * norm(&r_j) / norm(&b),
+            "amg {} vs jacobi {}",
+            res.relative_residual,
+            norm(&r_j) / norm(&b)
+        );
+    }
+
+    #[test]
+    fn coarse_operator_preserves_constant_nullspace_action() {
+        // For Poisson with Dirichlet boundaries, Pᵀ A P applied to the
+        // constant vector equals Pᵀ (A 1): check consistency.
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let a = poisson2d::<f64>(8);
+        let h = build_hierarchy(&mut gpu, a.clone(), 4, 30).unwrap();
+        let p = h.levels[0].p.as_ref().unwrap();
+        let coarse = &h.levels[1].a;
+        let ones_c = vec![1.0; coarse.rows()];
+        let lhs = coarse.spmv(&ones_c).unwrap();
+        // P * 1_c = 1_f, so A_c 1_c = Pᵀ A 1_f.
+        let a_one = a.spmv(&vec![1.0; a.rows()]).unwrap();
+        let rhs = p.transpose().spmv(&a_one).unwrap();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+}

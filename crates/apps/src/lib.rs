@@ -1,0 +1,40 @@
+//! Applications built on the SpGEMM kernel — the workloads the paper's
+//! introduction motivates (§I): algebraic multigrid setup, graph
+//! clustering, and graph analytics.
+//!
+//! Every application drives [`nsparse_core::multiply`] on a virtual GPU
+//! and aggregates the per-multiplication [`vgpu::SpgemmReport`]s, so the
+//! examples can show end-to-end SpGEMM time and memory inside a real
+//! algorithm rather than an isolated kernel.
+
+pub mod amg;
+pub mod bfs;
+pub mod mcl;
+pub mod pagerank;
+pub mod triangles;
+
+use sparse::{Csr, Scalar};
+use vgpu::{Gpu, SpgemmReport};
+
+/// Convenience wrapper: run the paper's SpGEMM on `gpu` with default
+/// options, collecting the report into `reports`.
+pub(crate) fn spgemm<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    reports: &mut Vec<SpgemmReport>,
+) -> nsparse_core::pipeline::Result<Csr<T>> {
+    let (c, r) = nsparse_core::multiply(gpu, a, b, &nsparse_core::Options::default())?;
+    reports.push(r);
+    Ok(c)
+}
+
+/// Total simulated SpGEMM time across a run's reports.
+pub fn total_spgemm_time(reports: &[SpgemmReport]) -> vgpu::SimTime {
+    reports.iter().map(|r| r.total_time).sum()
+}
+
+/// Largest peak device memory over a run's reports.
+pub fn max_peak_bytes(reports: &[SpgemmReport]) -> u64 {
+    reports.iter().map(|r| r.peak_mem_bytes).max().unwrap_or(0)
+}

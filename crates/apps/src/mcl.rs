@@ -1,0 +1,241 @@
+//! Markov clustering (MCL) — graph clustering via a discrete uncoupling
+//! process (§I, [2], van Dongen).
+//!
+//! MCL alternates **expansion** (squaring the column-stochastic matrix —
+//! an SpGEMM) with **inflation** (entry-wise power + column
+//! renormalization) and pruning. Expansion dominates the run time, which
+//! is why the paper cites graph clustering as a key SpGEMM consumer.
+
+use crate::spgemm;
+use nsparse_core::pipeline::Result;
+use sparse::{Csr, Scalar};
+use vgpu::{Gpu, SpgemmReport};
+
+/// Parameters of the MCL iteration.
+#[derive(Debug, Clone)]
+pub struct MclParams {
+    /// Inflation exponent (van Dongen's `r`; typically 2).
+    pub inflation: f64,
+    /// Entries below this threshold are pruned after inflation.
+    pub prune_threshold: f64,
+    /// Maximum number of expansion/inflation rounds.
+    pub max_iter: usize,
+    /// Convergence: stop when `‖M_{k+1} - M_k‖_F` falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for MclParams {
+    fn default() -> Self {
+        MclParams { inflation: 2.0, prune_threshold: 1e-4, max_iter: 16, tolerance: 1e-6 }
+    }
+}
+
+/// Result of an MCL run.
+#[derive(Debug)]
+pub struct MclResult<T> {
+    /// The converged (or final) stochastic matrix.
+    pub matrix: Csr<T>,
+    /// Cluster id per node (attractor-based interpretation).
+    pub clusters: Vec<usize>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// One report per expansion SpGEMM.
+    pub reports: Vec<SpgemmReport>,
+}
+
+/// Make a matrix column-stochastic: scale each column to sum 1 (adds a
+/// self-loop to empty columns first, van Dongen's standard trick).
+pub fn column_stochastic<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let with_loops = a.add(&Csr::identity(a.rows())).expect("square matrix");
+    let mut col_sums = vec![T::ZERO; with_loops.cols()];
+    for r in 0..with_loops.rows() {
+        let (cs, vs) = with_loops.row(r);
+        for (&c, &v) in cs.iter().zip(vs) {
+            col_sums[c as usize] += v.abs();
+        }
+    }
+    let mut rpt = Vec::with_capacity(with_loops.rows() + 1);
+    rpt.push(0usize);
+    let mut col = Vec::with_capacity(with_loops.nnz());
+    let mut val = Vec::with_capacity(with_loops.nnz());
+    for r in 0..with_loops.rows() {
+        let (cs, vs) = with_loops.row(r);
+        for (&c, &v) in cs.iter().zip(vs) {
+            col.push(c);
+            val.push(v.abs() / col_sums[c as usize]);
+        }
+        rpt.push(col.len());
+    }
+    Csr::from_parts_unchecked(with_loops.rows(), with_loops.cols(), rpt, col, val)
+}
+
+/// Inflation: raise entries to `r`, renormalize columns, prune tiny
+/// entries (entries whose post-normalization value is below threshold).
+fn inflate<T: Scalar>(m: &Csr<T>, r: f64, threshold: f64) -> Csr<T> {
+    let mut col_sums = vec![0.0f64; m.cols()];
+    for row in 0..m.rows() {
+        let (cs, vs) = m.row(row);
+        for (&c, &v) in cs.iter().zip(vs) {
+            col_sums[c as usize] += v.to_f64().abs().powf(r);
+        }
+    }
+    let mut triplets = Vec::with_capacity(m.nnz());
+    for row in 0..m.rows() {
+        let (cs, vs) = m.row(row);
+        for (&c, &v) in cs.iter().zip(vs) {
+            let s = col_sums[c as usize];
+            if s > 0.0 {
+                let nv = v.to_f64().abs().powf(r) / s;
+                if nv >= threshold {
+                    triplets.push((row, c, T::from_f64(nv)));
+                }
+            }
+        }
+    }
+    Csr::from_triplets(m.rows(), m.cols(), &triplets).expect("indices preserved")
+}
+
+/// Extract clusters: node `j` joins the cluster of the attractor row
+/// with the largest weight in column `j`.
+fn extract_clusters<T: Scalar>(m: &Csr<T>) -> Vec<usize> {
+    let n = m.cols();
+    let mut best_row = vec![usize::MAX; n];
+    let mut best_val = vec![f64::MIN; n];
+    for r in 0..m.rows() {
+        let (cs, vs) = m.row(r);
+        for (&c, &v) in cs.iter().zip(vs) {
+            if v.to_f64() > best_val[c as usize] {
+                best_val[c as usize] = v.to_f64();
+                best_row[c as usize] = r;
+            }
+        }
+    }
+    // Relabel attractor rows to dense cluster ids.
+    let mut label = std::collections::HashMap::new();
+    best_row
+        .iter()
+        .map(|&r| {
+            let next = label.len();
+            *label.entry(r).or_insert(next)
+        })
+        .collect()
+}
+
+/// Run MCL on an adjacency matrix (made column-stochastic internally).
+/// Every expansion is an SpGEMM on the virtual GPU.
+pub fn mcl<T: Scalar>(gpu: &mut Gpu, adjacency: &Csr<T>, params: &MclParams) -> Result<MclResult<T>> {
+    let mut m = column_stochastic(adjacency);
+    let mut reports = Vec::new();
+    let mut iterations = 0;
+    for _ in 0..params.max_iter {
+        iterations += 1;
+        let expanded = spgemm(gpu, &m, &m, &mut reports)?;
+        let next = inflate(&expanded, params.inflation, params.prune_threshold);
+        let delta = next.diff_norm(&m);
+        m = next;
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    let clusters = extract_clusters(&m);
+    Ok(MclResult { matrix: m, clusters, iterations, reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::DeviceConfig;
+
+    /// Two disjoint cliques joined by nothing: MCL must find 2 clusters.
+    fn two_cliques(k: usize) -> Csr<f64> {
+        let n = 2 * k;
+        let mut t = Vec::new();
+        for block in 0..2 {
+            for i in 0..k {
+                for j in 0..k {
+                    if i != j {
+                        t.push((block * k + i, (block * k + j) as u32, 1.0));
+                    }
+                }
+            }
+        }
+        Csr::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn column_stochastic_sums_to_one() {
+        let m = column_stochastic(&two_cliques(4));
+        let mut sums = vec![0.0; m.cols()];
+        for r in 0..m.rows() {
+            let (cs, vs) = m.row(r);
+            for (&c, &v) in cs.iter().zip(vs) {
+                sums[c as usize] += v;
+            }
+        }
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mcl_separates_disjoint_cliques() {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let adj = two_cliques(5);
+        let res = mcl(&mut gpu, &adj, &MclParams::default()).unwrap();
+        // All nodes of a clique share a label; the cliques differ.
+        let c = &res.clusters;
+        for i in 1..5 {
+            assert_eq!(c[0], c[i]);
+            assert_eq!(c[5], c[5 + i]);
+        }
+        assert_ne!(c[0], c[5]);
+        assert!(!res.reports.is_empty());
+    }
+
+    #[test]
+    fn mcl_connected_cliques_still_split() {
+        // Two cliques with a single weak bridge: MCL's hallmark case.
+        let mut adj_t: Vec<(usize, u32, f64)> = Vec::new();
+        let k = 6;
+        for block in 0..2usize {
+            for i in 0..k {
+                for j in 0..k {
+                    if i != j {
+                        adj_t.push((block * k + i, (block * k + j) as u32, 1.0));
+                    }
+                }
+            }
+        }
+        adj_t.push((k - 1, k as u32, 0.1));
+        adj_t.push((k, (k - 1) as u32, 0.1));
+        let adj = Csr::from_triplets(2 * k, 2 * k, &adj_t).unwrap();
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let res = mcl(&mut gpu, &adj, &MclParams::default()).unwrap();
+        assert_ne!(res.clusters[0], res.clusters[2 * k - 1]);
+    }
+
+    #[test]
+    fn inflation_sharpens_columns() {
+        let m = column_stochastic(&two_cliques(4));
+        let inflated = inflate(&m, 2.0, 0.0);
+        // Inflation preserves stochasticity.
+        let mut sums = vec![0.0; inflated.cols()];
+        for r in 0..inflated.rows() {
+            let (cs, vs) = inflated.row(r);
+            for (&c, &v) in cs.iter().zip(vs) {
+                sums[c as usize] += v;
+            }
+        }
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_nnz() {
+        let m = column_stochastic(&two_cliques(6));
+        let kept = inflate(&m, 2.0, 0.0).nnz();
+        let pruned = inflate(&m, 2.0, 0.2).nnz();
+        assert!(pruned < kept);
+    }
+}

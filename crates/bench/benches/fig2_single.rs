@@ -1,0 +1,40 @@
+//! Figure 2: single-precision SpGEMM performance over the 12 standard
+//! matrices, all four algorithms.
+//!
+//! The measured quantity is the *simulated* device time (see DESIGN.md):
+//! each benchmark id reports the virtual P100's execution time through
+//! Criterion's `iter_custom`, so `cargo bench` output corresponds
+//! directly to the paper's GFLOPS bars (`GFLOPS = 2·ip / time`). The
+//! simulation itself is deterministic, hence the near-zero variance.
+
+use baselines::Algorithm;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_single");
+    g.sample_size(10);
+    for d in matgen::standard_datasets() {
+        for alg in Algorithm::ALL {
+            let r = bench::run_one::<f32>(alg, &d);
+            let Some(report) = r.report else {
+                eprintln!("{} on {}: OOM (skipped)", alg.name(), d.name);
+                continue;
+            };
+            eprintln!(
+                "{} on {}: {:.3} GFLOPS, peak {} MB",
+                alg.name(),
+                d.name,
+                report.gflops(),
+                report.peak_mem_bytes >> 20
+            );
+            let t = report.total_time.secs();
+            g.bench_function(format!("{}/{}", d.name.replace('/', "_"), alg.name()), |b| {
+                b.iter_custom(|iters| std::time::Duration::from_secs_f64(t * iters as f64))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 4: maximum device-memory usage relative to cuSPARSE.
+//!
+//! Criterion measures time, not bytes, so this bench (a) records each
+//! algorithm's simulated time as usual and (b) prints the Figure 4
+//! memory-ratio table on stderr (the `repro` binary writes the same data
+//! to `results/fig4_*.csv`).
+
+use baselines::Algorithm;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run<T: bench::CachedMatrix>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    for row in bench::experiments::fig4::<T>() {
+        let cusparse = row
+            .entries
+            .iter()
+            .find(|e| e.0 == Algorithm::Cusparse)
+            .and_then(|e| e.1)
+            .unwrap_or(0);
+        for (alg, peak, ratio) in &row.entries {
+            eprintln!(
+                "fig4 {} {} on {}: peak {} MB, ratio {:?} (cuSPARSE {} MB)",
+                T::PRECISION,
+                alg.name(),
+                row.dataset,
+                peak.unwrap_or(0) >> 20,
+                ratio,
+                cusparse >> 20
+            );
+        }
+        let d = matgen::by_name(&row.dataset).unwrap();
+        let r = bench::run_one::<T>(Algorithm::Proposal, &d).report.unwrap();
+        let t = r.total_time.secs();
+        g.bench_function(format!("{}/{}/PROPOSAL", T::PRECISION, row.dataset.replace('/', "_")), |b| {
+            b.iter_custom(|iters| std::time::Duration::from_secs_f64(t * iters as f64))
+        });
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_memory");
+    g.sample_size(10);
+    run::<f32>(&mut g);
+    run::<f64>(&mut g);
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

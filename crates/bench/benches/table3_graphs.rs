@@ -1,0 +1,50 @@
+//! Table III: SpGEMM performance on the three large graph matrices
+//! (cage15, wb-edu, cit-Patents analogues), both precisions.
+//!
+//! The virtual device's memory is scaled with the dataset (DESIGN.md §8)
+//! so CUSP and BHSPARSE hit the paper's out-of-memory "-" entries; OOM
+//! cases are reported on stderr and skipped as bench ids.
+
+use baselines::Algorithm;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run<T: bench::CachedMatrix>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    for d in matgen::large_datasets() {
+        for alg in Algorithm::ALL {
+            let r = bench::run_one::<T>(alg, &d);
+            match r.report {
+                Some(report) => {
+                    eprintln!(
+                        "{} {} on {}: {:.3} GFLOPS",
+                        T::PRECISION,
+                        alg.name(),
+                        d.name,
+                        report.gflops()
+                    );
+                    let t = report.total_time.secs();
+                    g.bench_function(
+                        format!("{}/{}/{}", T::PRECISION, d.name, alg.name()),
+                        |b| b.iter_custom(|iters| std::time::Duration::from_secs_f64(t * iters as f64)),
+                    );
+                }
+                None => eprintln!(
+                    "{} {} on {}: - (out of device memory, as in the paper)",
+                    T::PRECISION,
+                    alg.name(),
+                    d.name
+                ),
+            }
+        }
+    }
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_graphs");
+    g.sample_size(10);
+    run::<f32>(&mut g);
+    run::<f64>(&mut g);
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! `spgemm` — command-line SpGEMM on the virtual Pascal GPU.
+//!
+//! ```text
+//! spgemm --dataset QCD                          # synthetic analogue
+//! spgemm --matrix path/to/matrix.mtx            # real Matrix Market file
+//! spgemm --dataset webbase --algorithm bhsparse --precision f64
+//! spgemm --dataset Circuit --device v100 --trace trace.json
+//! spgemm --dataset Protein --include-transfers --output c.mtx
+//! ```
+//!
+//! Squares the chosen matrix with one of the four implementations,
+//! prints the report (time, GFLOPS, phase breakdown, peak memory), and
+//! optionally writes the result and a chrome://tracing timeline.
+
+use baselines::Algorithm;
+use sparse::{Csr, Scalar};
+use vgpu::{DeviceConfig, Gpu, Phase};
+
+struct Args {
+    dataset: Option<String>,
+    matrix: Option<String>,
+    algorithm: Algorithm,
+    precision: String,
+    device: String,
+    trace: Option<String>,
+    output: Option<String>,
+    include_transfers: bool,
+    tiny: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spgemm (--dataset NAME | --matrix FILE.mtx) \
+         [--algorithm proposal|cusparse|cusp|bhsparse] [--precision f32|f64] \
+         [--device p100|v100|vega64] [--trace OUT.json] [--output OUT.mtx] \
+         [--include-transfers] [--tiny]\n\
+         datasets: {}",
+        matgen::standard_datasets()
+            .iter()
+            .chain(matgen::large_datasets().iter())
+            .map(|d| d.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dataset: None,
+        matrix: None,
+        algorithm: Algorithm::Proposal,
+        precision: "f32".into(),
+        device: "p100".into(),
+        trace: None,
+        output: None,
+        include_transfers: false,
+        tiny: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--dataset" => args.dataset = Some(value(&mut it)),
+            "--matrix" => args.matrix = Some(value(&mut it)),
+            "--algorithm" => {
+                args.algorithm = match value(&mut it).to_ascii_lowercase().as_str() {
+                    "proposal" | "nsparse" => Algorithm::Proposal,
+                    "cusparse" => Algorithm::Cusparse,
+                    "cusp" | "esc" => Algorithm::Cusp,
+                    "bhsparse" => Algorithm::Bhsparse,
+                    other => {
+                        eprintln!("unknown algorithm '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--precision" => args.precision = value(&mut it).to_ascii_lowercase(),
+            "--device" => args.device = value(&mut it).to_ascii_lowercase(),
+            "--trace" => args.trace = Some(value(&mut it)),
+            "--output" => args.output = Some(value(&mut it)),
+            "--include-transfers" => args.include_transfers = true,
+            "--tiny" => args.tiny = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.dataset.is_none() == args.matrix.is_none() {
+        eprintln!("exactly one of --dataset / --matrix is required");
+        usage();
+    }
+    if !matches!(args.precision.as_str(), "f32" | "f64") {
+        eprintln!("precision must be f32 or f64");
+        usage();
+    }
+    args
+}
+
+fn device_config(name: &str) -> DeviceConfig {
+    match name {
+        "p100" => DeviceConfig::p100(),
+        "v100" => DeviceConfig::v100(),
+        "vega64" => DeviceConfig::vega64(),
+        other => {
+            eprintln!("unknown device '{other}' (p100, v100, vega64)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load<T: Scalar>(args: &Args) -> Csr<T> {
+    if let Some(name) = &args.dataset {
+        let d = matgen::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown dataset '{name}'");
+            usage()
+        });
+        let scale = if args.tiny { matgen::Scale::Tiny } else { matgen::Scale::Repro };
+        eprintln!("generating '{}' ({:?} scale)...", d.name, scale);
+        d.generate::<T>(scale)
+    } else {
+        let path = args.matrix.as_ref().unwrap();
+        eprintln!("reading {path}...");
+        match sparse::io::read_matrix_market_file::<T>(path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run<T: Scalar>(args: &Args) {
+    let a = load::<T>(args);
+    if a.rows() != a.cols() {
+        eprintln!("matrix must be square to compute A^2 ({}x{})", a.rows(), a.cols());
+        std::process::exit(1);
+    }
+    eprintln!("{} rows, {} nnz ({:.2} nnz/row)", a.rows(), a.nnz(), a.nnz() as f64 / a.rows().max(1) as f64);
+
+    let mut gpu = Gpu::new(device_config(&args.device));
+    if args.include_transfers {
+        gpu.memcpy(2 * a.device_bytes(), true);
+    }
+    let (c, report) = match args.algorithm.run::<T>(&mut gpu, &a, &a) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{} failed: {e}", args.algorithm.name());
+            std::process::exit(1);
+        }
+    };
+    let mut total = report.total_time;
+    if args.include_transfers {
+        let before = gpu.elapsed();
+        gpu.memcpy(c.device_bytes(), false);
+        let h2d = gpu.cost_model().memcpy_time(2 * a.device_bytes());
+        total += (gpu.elapsed() - before) + h2d;
+    }
+
+    println!("device      : {}", gpu.config().name);
+    println!("algorithm   : {} ({})", args.algorithm.name(), report.precision);
+    println!("output nnz  : {}", c.nnz());
+    println!("intermediate: {}", report.intermediate_products);
+    println!("kernel time : {}", report.total_time);
+    if args.include_transfers {
+        println!("with PCIe   : {total}");
+    }
+    println!("performance : {:.3} GFLOPS (2*ip/kernel-time)", report.gflops());
+    println!("peak memory : {:.1} MB", report.peak_mem_bytes as f64 / (1 << 20) as f64);
+    for (phase, t) in &report.phase_times {
+        if *phase != Phase::Other && t.secs() > 0.0 {
+            println!("  {:10} {} ({:.1}%)", phase.label(), t, 100.0 * t.secs() / report.total_time.secs());
+        }
+    }
+    if let Some(path) = &args.trace {
+        std::fs::write(path, gpu.profiler().chrome_trace()).expect("write trace");
+        println!("trace       : {path} (open at chrome://tracing)");
+    }
+    if let Some(path) = &args.output {
+        sparse::io::write_matrix_market_file(&c, path).expect("write output");
+        println!("result      : {path}");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.precision == "f64" {
+        run::<f64>(&args);
+    } else {
+        run::<f32>(&args);
+    }
+}

@@ -1,0 +1,294 @@
+//! One runner per table / figure of the paper (see DESIGN.md §4).
+
+use crate::{device_for, eval_matrix_set, matrix_f64, run_one, CachedMatrix, EvalResult};
+use baselines::Algorithm;
+use matgen::{large_datasets, standard_datasets, Dataset};
+use nsparse_core::{build_groups, GroupPhase, GroupTable, Options};
+use sparse::stats::MatrixStats;
+use vgpu::{DeviceConfig, Phase, SimTime};
+
+/// Table I: the derived double-precision grouping tables (count-side and
+/// numeric-side), exactly as printed in the paper.
+pub fn table1() -> (GroupTable, GroupTable) {
+    let cfg = DeviceConfig::p100();
+    (
+        build_groups(&cfg, 8, GroupPhase::Count, 4, true),
+        build_groups(&cfg, 8, GroupPhase::Numeric, 4, true),
+    )
+}
+
+/// One row of Table II: the paper's published statistics next to the
+/// synthetic analogue's measured statistics.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub name: String,
+    /// Published statistics (Table II).
+    pub paper: matgen::PaperStats,
+    /// Measured statistics of the synthetic analogue at repro scale.
+    pub measured: MatrixStats,
+    /// Row-scale factor (paper rows / repro rows).
+    pub scale: f64,
+}
+
+/// Table II: statistics of all 15 datasets (12 standard + 3 graphs).
+pub fn table2() -> Vec<Table2Row> {
+    standard_datasets()
+        .into_iter()
+        .chain(large_datasets())
+        .map(|d| {
+            let a = matrix_f64(&d);
+            let measured = MatrixStats::for_square(&a).expect("square dataset");
+            Table2Row { name: d.name.to_string(), paper: d.paper, measured, scale: d.row_scale() }
+        })
+        .collect()
+}
+
+/// Figure 2 (single precision) / Figure 3 (double precision): GFLOPS of
+/// all four algorithms over the 12 standard matrices.
+pub fn fig23<T: CachedMatrix>() -> Vec<EvalResult> {
+    eval_matrix_set::<T>(&standard_datasets())
+}
+
+/// Table III: GFLOPS over the three large graph matrices (OOM → None).
+pub fn table3<T: CachedMatrix>() -> Vec<EvalResult> {
+    eval_matrix_set::<T>(&large_datasets())
+}
+
+/// One bar of Figure 4: peak-memory ratio of each algorithm to cuSPARSE.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Precision label.
+    pub precision: &'static str,
+    /// `(algorithm, peak bytes, ratio to cuSPARSE)`; ratio `None` on OOM.
+    pub entries: Vec<(Algorithm, Option<u64>, Option<f64>)>,
+}
+
+/// Figure 4: maximum memory usage relative to cuSPARSE.
+pub fn fig4<T: CachedMatrix>() -> Vec<MemoryRow> {
+    let results = fig23::<T>();
+    standard_datasets()
+        .iter()
+        .map(|d| {
+            let of = |alg: Algorithm| {
+                results
+                    .iter()
+                    .find(|r| r.dataset == d.name && r.algorithm == alg)
+                    .and_then(|r| r.report.as_ref())
+                    .map(|r| r.peak_mem_bytes)
+            };
+            let base = of(Algorithm::Cusparse);
+            let entries = Algorithm::ALL
+                .iter()
+                .map(|&alg| {
+                    let peak = of(alg);
+                    let ratio = match (peak, base) {
+                        (Some(p), Some(b)) if b > 0 => Some(p as f64 / b as f64),
+                        _ => None,
+                    };
+                    (alg, peak, ratio)
+                })
+                .collect();
+            MemoryRow { dataset: d.name.to_string(), precision: T::PRECISION, entries }
+        })
+        .collect()
+}
+
+/// One dataset of Figures 5/6: phase times of cuSPARSE and the proposal,
+/// normalized by cuSPARSE's total (the figures' y-axis).
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Precision label.
+    pub precision: &'static str,
+    /// cuSPARSE `(phase, fraction of cuSPARSE total)`.
+    pub cusparse: Vec<(Phase, f64)>,
+    /// Proposal `(phase, fraction of cuSPARSE total)`.
+    pub proposal: Vec<(Phase, f64)>,
+    /// Proposal total / cuSPARSE total.
+    pub proposal_total: f64,
+}
+
+/// Figures 5 (single) and 6 (double): execution-time breakdown.
+pub fn fig56<T: CachedMatrix>() -> Vec<BreakdownRow> {
+    standard_datasets()
+        .iter()
+        .map(|d| {
+            let cu = run_one::<T>(Algorithm::Cusparse, d).report.expect("standard set fits");
+            let prop = run_one::<T>(Algorithm::Proposal, d).report.expect("standard set fits");
+            let base = cu.total_time.secs().max(1e-30);
+            let frac = |r: &vgpu::SpgemmReport| {
+                Phase::ALL
+                    .iter()
+                    .filter(|&&p| p != Phase::Other)
+                    .map(|&p| (p, r.phase_time(p).secs() / base))
+                    .collect::<Vec<_>>()
+            };
+            BreakdownRow {
+                dataset: d.name.to_string(),
+                precision: T::PRECISION,
+                cusparse: frac(&cu),
+                proposal: frac(&prop),
+                proposal_total: prop.total_time.secs() / base,
+            }
+        })
+        .collect()
+}
+
+/// Result of an option ablation on one dataset.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Configuration label ("streams on", "pwarp width 4", ...).
+    pub label: String,
+    /// Total simulated time.
+    pub time: SimTime,
+    /// GFLOPS.
+    pub gflops: f64,
+}
+
+fn run_with_options<T: CachedMatrix>(d: &Dataset, opts: &Options) -> (SimTime, f64) {
+    let a = T::matrix(d);
+    let mut gpu = device_for(d);
+    let (_, r) = nsparse_core::multiply(&mut gpu, &a, &a, opts).expect("standard set fits");
+    (r.total_time, r.gflops())
+}
+
+/// §IV-C stream ablation: Circuit with and without CUDA streams (the
+/// paper reports ×1.3).
+pub fn ablation_streams<T: CachedMatrix>() -> Vec<AblationRow> {
+    let d = matgen::by_name("Circuit").expect("registry");
+    [("streams on", true), ("streams off", false)]
+        .into_iter()
+        .map(|(label, on)| {
+            let (time, gflops) =
+                run_with_options::<T>(&d, &Options { use_streams: on, ..Options::default() });
+            AblationRow { dataset: d.name.into(), label: label.into(), time, gflops }
+        })
+        .collect()
+}
+
+/// §IV-C PWARP ablation: Epidemiology with and without the PWARP/ROW
+/// kernel (the paper reports ×3.1).
+pub fn ablation_pwarp<T: CachedMatrix>() -> Vec<AblationRow> {
+    let d = matgen::by_name("Epidemiology").expect("registry");
+    [("pwarp on", true), ("pwarp off", false)]
+        .into_iter()
+        .map(|(label, on)| {
+            let (time, gflops) =
+                run_with_options::<T>(&d, &Options { use_pwarp: on, ..Options::default() });
+            AblationRow { dataset: d.name.into(), label: label.into(), time, gflops }
+        })
+        .collect()
+}
+
+/// §III-B preliminary evaluation: PWARP width sweep (1/2/4/8/16 threads
+/// per row; the paper fixed 4).
+pub fn ablation_pwarp_width<T: CachedMatrix>() -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for name in ["Economics", "Epidemiology", "webbase"] {
+        let d = matgen::by_name(name).expect("registry");
+        for width in [1usize, 2, 4, 8, 16] {
+            let (time, gflops) =
+                run_with_options::<T>(&d, &Options { pwarp_width: width, ..Options::default() });
+            rows.push(AblationRow {
+                dataset: d.name.into(),
+                label: format!("pwarp width {width}"),
+                time,
+                gflops,
+            });
+        }
+    }
+    rows
+}
+
+/// Extra ablation: multiplicative hash scrambling vs identity hashing.
+pub fn ablation_hash<T: CachedMatrix>() -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for name in ["Protein", "QCD", "Epidemiology", "webbase"] {
+        let d = matgen::by_name(name).expect("registry");
+        for (label, on) in [("HASH_SCAL", true), ("identity hash", false)] {
+            let (time, gflops) =
+                run_with_options::<T>(&d, &Options { use_mul_hash: on, ..Options::default() });
+            rows.push(AblationRow { dataset: d.name.into(), label: label.into(), time, gflops });
+        }
+    }
+    rows
+}
+
+/// §VI future-work extension: run the proposal on other virtual
+/// many-core devices (Volta V100, AMD Vega 64). The grouping tables are
+/// re-derived per device — Vega's 32 KB workgroup LDS halves the largest
+/// hash table, and its 64-lane wavefronts change the PWARP packing.
+pub fn extension_devices<T: CachedMatrix>() -> Vec<AblationRow> {
+    let devices: Vec<(&str, DeviceConfig)> = vec![
+        ("P100", DeviceConfig::p100()),
+        ("V100", DeviceConfig::v100()),
+        ("Vega64", DeviceConfig::vega64()),
+    ];
+    let mut rows = Vec::new();
+    for name in ["Protein", "QCD", "Economics", "webbase"] {
+        let d = matgen::by_name(name).expect("registry");
+        let a = T::matrix(&d);
+        for (label, cfg) in &devices {
+            let mut gpu = vgpu::Gpu::new(cfg.clone());
+            let (_, r) = nsparse_core::multiply(&mut gpu, &a, &a, &Options::default())
+                .expect("standard set fits every device");
+            rows.push(AblationRow {
+                dataset: d.name.into(),
+                label: (*label).into(),
+                time: r.total_time,
+                gflops: r.gflops(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_adapts_to_other_devices() {
+        // Vega's 32 KB workgroup LDS: largest double-precision numeric
+        // table is 2048 entries, one group fewer before the block cap.
+        let vega = build_groups(&DeviceConfig::vega64(), 8, GroupPhase::Numeric, 4, true);
+        assert_eq!(vega.groups[1].table_size, 2048);
+        // V100's 96 KB: 8192-entry tables become possible.
+        let v100 = build_groups(&DeviceConfig::v100(), 8, GroupPhase::Numeric, 4, true);
+        assert_eq!(v100.groups[1].table_size, 8192);
+    }
+
+    #[test]
+    fn table1_shapes() {
+        let (count, numeric) = table1();
+        assert_eq!(count.len(), 7);
+        assert_eq!(numeric.len(), 7);
+        assert_eq!(numeric.groups[1].table_size, 4096);
+    }
+
+    #[test]
+    fn ablation_streams_helps_circuit() {
+        let rows = ablation_streams::<f32>();
+        assert_eq!(rows.len(), 2);
+        let on = &rows[0];
+        let off = &rows[1];
+        assert!(on.time <= off.time, "streams must not slow Circuit down");
+    }
+
+    #[test]
+    fn ablation_pwarp_helps_epidemiology() {
+        let rows = ablation_pwarp::<f32>();
+        let (on, off) = (&rows[0], &rows[1]);
+        assert!(
+            off.time.secs() / on.time.secs() > 1.5,
+            "PWARP speedup {} too small",
+            off.time.secs() / on.time.secs()
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal fixed-width text-table rendering for the `repro` binary.
+
+/// Render rows as an aligned text table. The first row is the header and
+/// gets an underline. Columns are right-aligned except the first.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap();
+    let mut width = vec![0usize; cols];
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, r) in rows.iter().enumerate() {
+        for (i, w) in width.iter().enumerate() {
+            let cell = r.get(i).map(String::as_str).unwrap_or("");
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Format an optional GFLOPS value ("-" for OOM, like the paper).
+pub fn gflops_cell(v: Option<f64>) -> String {
+    match v {
+        Some(g) => format!("{g:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Format megabytes.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render(&[
+            vec!["name".into(), "x".into()],
+            vec!["longer-name".into(), "12345".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("12345"));
+        // Both data lines equal length (alignment).
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn oom_renders_dash() {
+        assert_eq!(gflops_cell(None), "-");
+        assert_eq!(gflops_cell(Some(1.23456)), "1.235");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(render(&[]), "");
+    }
+}

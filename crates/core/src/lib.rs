@@ -1,0 +1,43 @@
+//! `nsparse_core` — the paper's contribution: high-performance,
+//! memory-saving SpGEMM via grouped shared-memory hash tables.
+//!
+//! This crate implements, on the [`vgpu`] virtual Pascal GPU, the
+//! algorithm of Nagasaka, Nukada & Matsuoka (ICPP 2017):
+//!
+//! * [`groups`]: row grouping and Table I parameter derivation —
+//!   hash-table sizes (powers of two), thread-block sizes, PWARP/TB
+//!   assignment, the 32-blocks/SM stopping rule;
+//! * [`hash`]: the linear-probing `atomicCAS` hash table of Algorithm 5
+//!   with observed probe counts;
+//! * [`pipeline`]: the two-phase flow of Figure 1 (count → malloc →
+//!   calc) with per-group CUDA-stream launches and the global-memory
+//!   fallback for rows that exceed shared memory.
+//!
+//! # Quick start
+//!
+//! ```
+//! use nsparse_core::{multiply, Options};
+//! use sparse::Csr;
+//! use vgpu::{DeviceConfig, Gpu};
+//!
+//! let a = Csr::<f64>::identity(64);
+//! let mut gpu = Gpu::new(DeviceConfig::p100());
+//! let (c, report) = multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
+//! assert_eq!(c, a);
+//! println!("{} GFLOPS, peak {} B", report.gflops(), report.peak_mem_bytes);
+//! ```
+
+pub mod groups;
+pub mod hash;
+mod kernels;
+pub mod masked;
+pub mod pipeline;
+pub mod plan;
+pub mod spmv;
+
+pub use groups::{build_groups, Assignment, GroupPhase, GroupSpec, GroupTable};
+pub use hash::{HashTable, HASH_SCAL};
+pub use pipeline::{estimate_memory, multiply, Error, MemoryEstimate, Options};
+pub use masked::multiply_masked;
+pub use plan::SpgemmPlan;
+pub use spmv::{spmv, BlockedMatrix};

@@ -1,0 +1,769 @@
+//! The full SpGEMM pipeline of Figure 1.
+//!
+//! ```text
+//! (1) count intermediate products per row          — Setup phase
+//! (2) group rows by intermediate products          — Setup phase
+//! (3) count nnz of each output row (hash tables)   — Count phase
+//! (4) scan row counts into the output row pointer  — Count phase
+//! (5) cudaMalloc of the output matrix              — Malloc phase
+//! (6) group rows by output nnz                     — Calc phase
+//! (7) compute values, gather, sort                 — Calc phase
+//! ```
+//!
+//! Each group's kernel launches on its own CUDA stream when
+//! [`Options::use_streams`] is set, so small groups overlap with big
+//! ones (§IV-C measured ×1.3 on Circuit from exactly this).
+
+use crate::groups::{build_groups, Assignment, GroupPhase, GroupTable};
+use crate::hash::HashTable;
+use crate::kernels::{
+    count_products_block_cost, pwarp_block_cost, pwarp_row, tb_block_cost, tb_global_block_cost,
+    tb_numeric_row, tb_symbolic_row, PwarpRowStats,
+};
+use sparse::spgemm_ref::row_intermediate_products;
+use sparse::{Csr, Scalar};
+use vgpu::device::DEFAULT_STREAM;
+use vgpu::{primitives, AllocId, Gpu, GpuError, KernelDesc, Phase, SimTime, SpgemmReport, StreamId};
+
+/// Tunables of the proposal. Defaults reproduce the paper's
+/// configuration; the switches drive the §III/§IV-C ablations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Launch each group's kernels on a separate CUDA stream (§IV-C).
+    pub use_streams: bool,
+    /// Use the PWARP/ROW kernel for tiny rows (§IV-C).
+    pub use_pwarp: bool,
+    /// Threads per row in the PWARP kernel (the paper swept 1/2/4/8/16
+    /// and fixed 4).
+    pub pwarp_width: usize,
+    /// Apply the multiplicative `HASH_SCAL` scrambling (ablation; the
+    /// paper always scrambles).
+    pub use_mul_hash: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { use_streams: true, use_pwarp: true, pwarp_width: 4, use_mul_hash: true }
+    }
+}
+
+/// Errors of the SpGEMM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Virtual-device failure (out of device memory, bad launch).
+    Gpu(GpuError),
+    /// Host-side matrix error (dimension mismatch).
+    Sparse(sparse::SparseError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Gpu(e) => write!(f, "{e}"),
+            Error::Sparse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<GpuError> for Error {
+    fn from(e: GpuError) -> Self {
+        Error::Gpu(e)
+    }
+}
+
+impl From<sparse::SparseError> for Error {
+    fn from(e: sparse::SparseError) -> Self {
+        Error::Sparse(e)
+    }
+}
+
+/// Crate result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Global-memory hash-table size for an overflow (group 0) row with the
+/// given metric: next power of two above `2 × metric` (≤50% load factor,
+/// "set based on the number of intermediate products", §III-B-2).
+fn global_table_size(metric: usize) -> usize {
+    (2 * metric.max(1)).next_power_of_two()
+}
+
+/// Frees a set of device allocations on drop-equivalent cleanup.
+struct OwnedAllocs {
+    ids: Vec<AllocId>,
+}
+
+impl OwnedAllocs {
+    fn new() -> Self {
+        OwnedAllocs { ids: Vec::new() }
+    }
+    fn push(&mut self, id: AllocId) -> AllocId {
+        self.ids.push(id);
+        id
+    }
+    fn free_all(&mut self, gpu: &mut Gpu) {
+        for id in self.ids.drain(..) {
+            gpu.free(id);
+        }
+    }
+}
+
+/// Multiply `C = A * B` with the paper's grouped hash-table algorithm on
+/// the virtual GPU. Returns the output matrix and the execution report
+/// (phase times per Figure 5/6, peak memory per Figure 4).
+///
+/// On out-of-device-memory every allocation made by this call is
+/// released before the error is returned, so the device stays usable.
+pub fn multiply<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    opts: &Options,
+) -> Result<(Csr<T>, SpgemmReport)> {
+    let mut allocs = OwnedAllocs::new();
+    match multiply_inner(gpu, a, b, opts, &mut allocs) {
+        Ok(out) => {
+            allocs.free_all(gpu);
+            Ok(out)
+        }
+        Err(e) => {
+            allocs.free_all(gpu);
+            gpu.set_phase(Phase::Other);
+            Err(e)
+        }
+    }
+}
+
+fn multiply_inner<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    opts: &Options,
+    allocs: &mut OwnedAllocs,
+) -> Result<(Csr<T>, SpgemmReport)> {
+    let m = a.rows();
+    let phase_before = gpu.profiler().phase_times();
+
+    // Host ground work (charged below as the setup kernel).
+    let nprod = row_intermediate_products(a, b)?;
+    let total_products: u64 = nprod.iter().map(|&x| x as u64).sum();
+
+    // Device inputs; allocation time is outside the measured phases (the
+    // paper's breakdown starts at its setup phase).
+    allocs.push(gpu.malloc(a.device_bytes(), "A")?);
+    allocs.push(gpu.malloc(b.device_bytes(), "B")?);
+
+    // ---------------- Setup: (1) count products, (2) group ----------------
+    gpu.set_phase(Phase::Setup);
+    allocs.push(gpu.malloc(4 * (m as u64 + 1), "d_nprod")?);
+    {
+        // Kernel (1): 256 rows per block, Alg. 2 traffic per row.
+        let mut blocks = Vec::with_capacity(m.div_ceil(256));
+        for chunk in (0..m).collect::<Vec<_>>().chunks(256) {
+            let a_elems: u64 = chunk.iter().map(|&r| a.row_nnz(r) as u64).sum();
+            blocks.push(count_products_block_cost(gpu, a_elems, chunk.len() as u64));
+        }
+        gpu.launch(KernelDesc::new("count_products", DEFAULT_STREAM, 256, 0), blocks)?;
+    }
+    // Group arrays (the algorithm's only sizable extra memory, §III-A).
+    allocs.push(gpu.malloc(4 * m as u64, "group_rows")?);
+    grouping_kernel(gpu, m)?;
+
+    // ---------------- Count: (3) symbolic hash per group ----------------
+    gpu.set_phase(Phase::Count);
+    let nnz_row = run_count(gpu, a, b, opts, &nprod)?;
+    // (4) scan row counts into the output row pointer.
+    primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64 + 1, 4)?;
+    let rpt_c = prefix_sum(&nnz_row);
+    let nnz_c = *rpt_c.last().unwrap();
+
+    // ---------------- Malloc: (5) allocate the output ----------------
+    gpu.set_phase(Phase::Malloc);
+    allocs.push(gpu.malloc(
+        4 * (m as u64 + 1) + (4 + T::BYTES as u64) * nnz_c as u64,
+        "C",
+    )?);
+
+    // ---------------- Calc: (6) regroup, (7) numeric ----------------
+    gpu.set_phase(Phase::Calc);
+    let (col_c, val_c) = run_numeric(gpu, a, b, opts, &nnz_row, &rpt_c)?;
+    gpu.set_phase(Phase::Other);
+    // Assemble the report from the profiler delta of this call.
+    let phase_after = gpu.profiler().phase_times();
+    let phase_times: Vec<(Phase, SimTime)> = phase_after
+        .iter()
+        .zip(&phase_before)
+        .map(|(&(p, t1), &(_, t0))| (p, t1 - t0))
+        .collect();
+    let total_time = phase_times
+        .iter()
+        .filter(|(p, _)| *p != Phase::Other)
+        .map(|&(_, t)| t)
+        .sum();
+    let report = SpgemmReport {
+        algorithm: "proposal".to_string(),
+        precision: T::PRECISION,
+        total_time,
+        phase_times,
+        peak_mem_bytes: gpu.peak_mem_bytes(),
+        intermediate_products: total_products,
+        output_nnz: nnz_c as u64,
+    };
+    let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c);
+    Ok((c, report))
+}
+
+
+/// Exclusive prefix sum of per-row counts into a CSR row pointer.
+pub(crate) fn prefix_sum(nnz_row: &[u32]) -> Vec<usize> {
+    std::iter::once(0usize)
+        .chain(nnz_row.iter().scan(0usize, |acc, &n| {
+            *acc += n as usize;
+            Some(*acc)
+        }))
+        .collect()
+}
+
+/// The symbolic (count) phase: group by intermediate products, run the
+/// per-group hash kernels, handle global-table overflow rows. Returns
+/// the exact nnz of every output row. The caller sets the device phase.
+pub(crate) fn run_count<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    opts: &Options,
+    nprod: &[usize],
+) -> Result<Vec<u32>> {
+    let stream_for = |gi: usize| {
+        if opts.use_streams {
+            StreamId(gi + 1)
+        } else {
+            DEFAULT_STREAM
+        }
+    };
+    let count_groups =
+        build_groups(gpu.config(), T::BYTES, GroupPhase::Count, opts.pwarp_width, opts.use_pwarp);
+    let rows_by_count_group = bucket_rows(&count_groups, nprod);
+    let m = a.rows();
+    let mut nnz_row = vec![0u32; m];
+    let mut table = HashTable::<T>::new(1024, opts.use_mul_hash);
+    let mut count_overflow: Vec<u32> = Vec::new();
+    for (gi, spec) in count_groups.groups.iter().enumerate() {
+        let rows = &rows_by_count_group[gi];
+        if rows.is_empty() {
+            continue;
+        }
+        let stream = stream_for(gi);
+        match spec.assignment {
+            Assignment::TbRow | Assignment::TbRowGlobal => {
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let s = tb_symbolic_row(a, b, r as usize, spec.table_size, &mut table);
+                    if s.overflowed {
+                        count_overflow.push(r);
+                    } else {
+                        nnz_row[r as usize] = s.nnz;
+                    }
+                    blocks.push(tb_block_cost(gpu, spec, &s, None));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("symbolic_tb_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+            Assignment::Pwarp { width } => {
+                let rows_per_block = count_groups.pwarp_rows_per_block();
+                let mut blocks = Vec::with_capacity(rows.len().div_ceil(rows_per_block));
+                for chunk in rows.chunks(rows_per_block) {
+                    let stats: Vec<PwarpRowStats> = chunk
+                        .iter()
+                        .map(|&r| {
+                            let s = pwarp_row(
+                                a,
+                                b,
+                                r as usize,
+                                width,
+                                spec.table_size,
+                                &mut table,
+                                false,
+                                None,
+                            );
+                            nnz_row[r as usize] = s.nnz;
+                            s
+                        })
+                        .collect();
+                    blocks.push(pwarp_block_cost(gpu, spec, width, &stats, None));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("symbolic_pwarp_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+        }
+    }
+    // Second pass for rows whose table overflowed shared memory:
+    // per-row global tables sized from their intermediate products.
+    if !count_overflow.is_empty() {
+        let table_bytes: u64 = count_overflow
+            .iter()
+            .map(|&r| 4 * global_table_size(nprod[r as usize]) as u64)
+            .sum();
+        let gt = gpu.malloc(table_bytes, "count_global_tables")?;
+        primitives::memset(gpu, DEFAULT_STREAM, table_bytes)?;
+        let mut blocks = Vec::with_capacity(count_overflow.len());
+        for &r in &count_overflow {
+            let cap = global_table_size(nprod[r as usize]);
+            let s = tb_symbolic_row(a, b, r as usize, cap, &mut table);
+            debug_assert!(!s.overflowed);
+            nnz_row[r as usize] = s.nnz;
+            blocks.push(tb_global_block_cost(gpu, &s, cap, None));
+        }
+        gpu.launch(
+            KernelDesc::new("symbolic_global", DEFAULT_STREAM, gpu.config().max_threads_per_block, 0),
+            blocks,
+        )?;
+        gpu.free(gt); // synchronizes; table only lives through the pass
+    }
+    Ok(nnz_row)
+}
+
+/// The numeric (calc) phase: group by output nnz, run the per-group
+/// value kernels (shared, global and PWARP variants), producing the
+/// output column/value arrays. The caller sets the device phase.
+pub(crate) fn run_numeric<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    opts: &Options,
+    nnz_row: &[u32],
+    rpt_c: &[usize],
+) -> Result<(Vec<u32>, Vec<T>)> {
+    let m = a.rows();
+    let nnz_c = *rpt_c.last().unwrap();
+    let mut table = HashTable::<T>::new(1024, opts.use_mul_hash);
+    let stream_for = |gi: usize| {
+        if opts.use_streams {
+            StreamId(gi + 1)
+        } else {
+            DEFAULT_STREAM
+        }
+    };
+    let numeric_groups =
+        build_groups(gpu.config(), T::BYTES, GroupPhase::Numeric, opts.pwarp_width, opts.use_pwarp);
+    let nnz_metric: Vec<usize> = nnz_row.iter().map(|&n| n as usize).collect();
+    let rows_by_numeric_group = bucket_rows(&numeric_groups, &nnz_metric);
+    grouping_kernel(gpu, m)?;
+
+    let mut col_c = vec![0u32; nnz_c];
+    let mut val_c = vec![T::ZERO; nnz_c];
+    for (gi, spec) in numeric_groups.groups.iter().enumerate() {
+        let rows = &rows_by_numeric_group[gi];
+        if rows.is_empty() {
+            continue;
+        }
+        let stream = stream_for(gi);
+        match spec.assignment {
+            Assignment::TbRow => {
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                    let s = tb_numeric_row(
+                        a,
+                        b,
+                        r as usize,
+                        spec.table_size,
+                        &mut table,
+                        &mut col_c[span.clone()],
+                        &mut val_c[span],
+                    );
+                    blocks.push(tb_block_cost(gpu, spec, &s, Some(T::BYTES)));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("numeric_tb_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+            Assignment::TbRowGlobal => {
+                let table_bytes: u64 = rows
+                    .iter()
+                    .map(|&r| {
+                        (4 + T::BYTES as u64)
+                            * global_table_size(nnz_row[r as usize] as usize) as u64
+                    })
+                    .sum();
+                let gt = gpu.malloc(table_bytes, "numeric_global_tables")?;
+                primitives::memset(gpu, stream, table_bytes)?;
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let cap = global_table_size(nnz_row[r as usize] as usize);
+                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                    let s = tb_numeric_row(
+                        a,
+                        b,
+                        r as usize,
+                        cap,
+                        &mut table,
+                        &mut col_c[span.clone()],
+                        &mut val_c[span],
+                    );
+                    blocks.push(tb_global_block_cost(gpu, &s, cap, Some(T::BYTES)));
+                }
+                gpu.launch(
+                    KernelDesc::new(format!("numeric_global_g{gi}"), stream, spec.block_threads, 0),
+                    blocks,
+                )?;
+                gpu.free(gt);
+            }
+            Assignment::Pwarp { width } => {
+                let rows_per_block = numeric_groups.pwarp_rows_per_block();
+                let mut blocks = Vec::with_capacity(rows.len().div_ceil(rows_per_block));
+                for chunk in rows.chunks(rows_per_block) {
+                    let stats: Vec<PwarpRowStats> = chunk
+                        .iter()
+                        .map(|&r| {
+                            let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                            let (cslice, vslice) = (
+                                &mut col_c[span.clone()] as *mut [u32],
+                                &mut val_c[span] as *mut [T],
+                            );
+                            // SAFETY: spans of distinct rows never overlap.
+                            let (cslice, vslice) = unsafe { (&mut *cslice, &mut *vslice) };
+                            pwarp_row(
+                                a,
+                                b,
+                                r as usize,
+                                width,
+                                spec.table_size,
+                                &mut table,
+                                true,
+                                Some((cslice, vslice)),
+                            )
+                        })
+                        .collect();
+                    blocks.push(pwarp_block_cost(gpu, spec, width, &stats, Some(T::BYTES)));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("numeric_pwarp_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+        }
+    }
+    Ok((col_c, val_c))
+}
+
+/// Bucket rows into groups by their metric (host mirror of the grouping
+/// kernel; the device cost is charged by [`grouping_kernel`]).
+fn bucket_rows(groups: &GroupTable, metric: &[usize]) -> Vec<Vec<u32>> {
+    let mut buckets = vec![Vec::new(); groups.len()];
+    for (r, &v) in metric.iter().enumerate() {
+        buckets[groups.group_of(v)].push(r as u32);
+    }
+    buckets
+}
+
+/// Device cost of one grouping pass: read the per-row metric, histogram,
+/// scan, scatter row indices (≈ two reads + one write of 4 B per row).
+fn grouping_kernel(gpu: &mut Gpu, m: usize) -> Result<()> {
+    let n = gpu.config().num_sms * 4;
+    let per_block_bytes = 12.0 * m as f64 / n as f64;
+    let blocks = vec![
+        {
+            let mut c = gpu.block_cost();
+            c.global_coalesced(per_block_bytes);
+            c.compute(m as f64 / 32.0 / n as f64 * 3.0);
+            c.finish()
+        };
+        n
+    ];
+    gpu.launch(KernelDesc::new("grouping", DEFAULT_STREAM, 256, 0), blocks)?;
+    primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64, 4)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::spgemm_ref::spgemm_gustavson;
+    use vgpu::DeviceConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::p100())
+    }
+
+    fn random_pair(n: usize, seed: u64) -> (Csr<f64>, Csr<f64>) {
+        // Small pseudo-random matrices via the triplet constructor.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        let mut t1 = Vec::new();
+        let mut t2 = Vec::new();
+        for r in 0..n {
+            for _ in 0..(next() % 9) {
+                t1.push((r, (next() % n) as u32, 1.0 + (next() % 5) as f64));
+            }
+            for _ in 0..(next() % 9) {
+                t2.push((r, (next() % n) as u32, 1.0 + (next() % 5) as f64));
+            }
+        }
+        (
+            Csr::from_triplets(n, n, &t1).unwrap(),
+            Csr::from_triplets(n, n, &t2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn multiply_matches_reference_small() {
+        let (a, b) = random_pair(300, 7);
+        let c_ref = spgemm_gustavson(&a, &b).unwrap();
+        let mut g = gpu();
+        let (c, report) = multiply(&mut g, &a, &b, &Options::default()).unwrap();
+        assert_eq!(c.rpt(), c_ref.rpt());
+        assert_eq!(c.col(), c_ref.col());
+        assert!(c.approx_eq(&c_ref, 1e-12, 1e-12));
+        assert!(report.total_time > SimTime::ZERO);
+        assert_eq!(report.output_nnz, c_ref.nnz() as u64);
+        // All device memory released.
+        assert_eq!(g.live_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn multiply_identity_roundtrip() {
+        let (a, _) = random_pair(200, 3);
+        let i = Csr::<f64>::identity(200);
+        let mut g = gpu();
+        let (c, _) = multiply(&mut g, &a, &i, &Options::default()).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn multiply_empty_matrix() {
+        let z = Csr::<f64>::zeros(64, 64);
+        let mut g = gpu();
+        let (c, report) = multiply(&mut g, &z, &z, &Options::default()).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(report.intermediate_products, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let a = Csr::<f64>::zeros(4, 5);
+        let b = Csr::<f64>::zeros(4, 5);
+        let mut g = gpu();
+        assert!(matches!(multiply(&mut g, &a, &b, &Options::default()), Err(Error::Sparse(_))));
+    }
+
+    #[test]
+    fn options_do_not_change_results() {
+        let (a, b) = random_pair(250, 11);
+        let c_ref = spgemm_gustavson(&a, &b).unwrap();
+        for opts in [
+            Options { use_streams: false, ..Options::default() },
+            Options { use_pwarp: false, ..Options::default() },
+            Options { use_mul_hash: false, ..Options::default() },
+            Options { pwarp_width: 8, ..Options::default() },
+            Options { pwarp_width: 1, ..Options::default() },
+        ] {
+            let mut g = gpu();
+            let (c, _) = multiply(&mut g, &a, &b, &opts).unwrap();
+            assert_eq!(c.rpt(), c_ref.rpt(), "{opts:?}");
+            assert!(c.approx_eq(&c_ref, 1e-12, 1e-12), "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn streams_reduce_time_with_small_groups() {
+        let (a, b) = random_pair(600, 23);
+        let run = |streams: bool| {
+            let mut g = gpu();
+            let (_, r) =
+                multiply(&mut g, &a, &b, &Options { use_streams: streams, ..Options::default() })
+                    .unwrap();
+            r.total_time
+        };
+        assert!(run(true) <= run(false));
+    }
+
+    #[test]
+    fn report_phases_cover_total() {
+        let (a, b) = random_pair(300, 5);
+        let mut g = gpu();
+        let (_, r) = multiply(&mut g, &a, &b, &Options::default()).unwrap();
+        let sum: SimTime = r
+            .phase_times
+            .iter()
+            .filter(|(p, _)| *p != Phase::Other)
+            .map(|&(_, t)| t)
+            .sum();
+        assert!((sum.secs() - r.total_time.secs()).abs() < 1e-15);
+        assert!(r.phase_time(Phase::Count) > SimTime::ZERO);
+        assert!(r.phase_time(Phase::Calc) > SimTime::ZERO);
+        assert!(r.phase_time(Phase::Malloc) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn oom_propagates_and_cleans_up() {
+        let (a, b) = random_pair(300, 9);
+        let mut g = Gpu::new(DeviceConfig::p100_with_memory(1024));
+        let res = multiply(&mut g, &a, &b, &Options::default());
+        assert!(matches!(res, Err(Error::Gpu(GpuError::OutOfMemory(_)))));
+        assert_eq!(g.live_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn dense_rows_exercise_global_group() {
+        // One row of A selects a dense B-row band so its table exceeds
+        // the shared-memory maximum (4096 numeric): needs > 4096 nnz.
+        let n = 6000;
+        let mut t1 = vec![(0usize, 0u32, 1.0f64)];
+        for k in 0..3 {
+            t1.push((0, k as u32, 1.0));
+        }
+        let mut t2 = Vec::new();
+        for r in 0..3usize {
+            for c in 0..n {
+                if (c + r) % 2 == 0 {
+                    t2.push((r, c as u32, 1.0));
+                }
+            }
+        }
+        // Other rows tiny.
+        for r in 3..n {
+            t1.push((r, (r % n) as u32, 1.0));
+            t2.push((r, (r % n) as u32, 1.0));
+        }
+        let a = Csr::from_triplets(n, n, &t1).unwrap();
+        let b = Csr::from_triplets(n, n, &t2).unwrap();
+        let c_ref = spgemm_gustavson(&a, &b).unwrap();
+        assert!(c_ref.row_nnz(0) > 4096, "test needs a group-0 row");
+        let mut g = gpu();
+        let (c, _) = multiply(&mut g, &a, &b, &Options::default()).unwrap();
+        assert_eq!(c.rpt(), c_ref.rpt());
+        assert!(c.approx_eq(&c_ref, 1e-12, 1e-12));
+    }
+}
+
+/// Device-memory forecast for a multiplication — what a user consults
+/// before committing a matrix to a device (the paper's headline concern:
+/// "the applicable matrix data is limited by the capacity of GPU's
+/// device memory", §I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Bytes of the two input matrices.
+    pub inputs: u64,
+    /// Working memory: product counts, group row arrays, row pointer.
+    pub working: u64,
+    /// Upper bound on the output (one entry per intermediate product).
+    pub output_upper: u64,
+    /// Upper bound on the count-phase global overflow tables.
+    pub global_tables_upper: u64,
+}
+
+impl MemoryEstimate {
+    /// Total upper bound: allocation of this many bytes always succeeds.
+    pub fn upper_bound(&self) -> u64 {
+        self.inputs + self.working + self.output_upper + self.global_tables_upper
+    }
+}
+
+/// Estimate peak device memory for `multiply(a, b)` without running the
+/// numeric phase (host-side, O(nnz(A))).
+pub fn estimate_memory<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<MemoryEstimate> {
+    let nprod = row_intermediate_products(a, b)?;
+    let m = a.rows() as u64;
+    let entry = 4 + T::BYTES as u64;
+    // Count-phase overflow tables exist for rows beyond the largest
+    // shared table (threshold depends only on device class; use P100's).
+    let groups = build_groups(
+        &vgpu::DeviceConfig::p100(),
+        T::BYTES,
+        GroupPhase::Count,
+        4,
+        true,
+    );
+    let shared_max = groups.groups[0].lower - 1;
+    let tables: u64 = nprod
+        .iter()
+        .filter(|&&p| p > shared_max)
+        .map(|&p| 4 * global_table_size(p) as u64)
+        .sum();
+    Ok(MemoryEstimate {
+        inputs: a.device_bytes() + b.device_bytes(),
+        working: 4 * (m + 1) + 4 * m + 4 * (m + 1),
+        output_upper: 4 * (m + 1)
+            + entry * nprod.iter().map(|&p| p as u64).sum::<u64>(),
+        global_tables_upper: tables,
+    })
+}
+
+#[cfg(test)]
+mod estimate_tests {
+    use super::*;
+    use vgpu::DeviceConfig;
+
+    fn mat(n: usize, deg: usize) -> Csr<f64> {
+        let mut t = Vec::new();
+        for r in 0..n {
+            for d in 0..deg {
+                t.push((r, ((r * 7 + d * 13) % n) as u32, 1.0));
+            }
+        }
+        Csr::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn upper_bound_dominates_actual_peak() {
+        let a = mat(600, 8);
+        let est = estimate_memory(&a, &a).unwrap();
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let (_, report) = multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
+        assert!(
+            est.upper_bound() >= report.peak_mem_bytes,
+            "estimate {} < actual {}",
+            est.upper_bound(),
+            report.peak_mem_bytes
+        );
+        // And it is not absurdly loose: within the products/nnz ratio.
+        assert!(est.upper_bound() < 40 * report.peak_mem_bytes);
+    }
+
+    #[test]
+    fn estimate_components_consistent() {
+        let a = mat(200, 5);
+        let est = estimate_memory(&a, &a).unwrap();
+        assert_eq!(est.inputs, 2 * a.device_bytes());
+        assert!(est.output_upper > 0);
+        assert!(est.upper_bound() >= est.inputs + est.working);
+        // Small regular matrix: no global tables expected.
+        assert_eq!(est.global_tables_upper, 0);
+    }
+
+    #[test]
+    fn estimate_rejects_bad_dims() {
+        let a = Csr::<f32>::zeros(3, 4);
+        assert!(estimate_memory(&a, &a).is_err());
+    }
+}

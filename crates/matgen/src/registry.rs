@@ -1,0 +1,457 @@
+//! The dataset registry: one entry per Table II row.
+//!
+//! Each [`Dataset`] carries the paper's published statistics
+//! ([`PaperStats`], copied verbatim from Table II) and a generator
+//! configuration that reproduces the dataset's structural character at a
+//! documented reduced scale. [`Scale::Repro`] is the scale every
+//! benchmark uses (chosen so the whole evaluation runs on one CPU core —
+//! see EXPERIMENTS.md); [`Scale::Tiny`] shrinks rows a further ~16× for
+//! fast unit/integration tests.
+//!
+//! The large graph datasets (cage15, wb-edu, cit-Patents) also carry a
+//! device-memory scale factor: Table III's out-of-memory behaviour
+//! depends on the ratio of temporary-buffer footprint to device
+//! capacity, so the virtual device for those experiments shrinks its
+//! 16 GB by the same factor as the dataset rows.
+
+use crate::generators as g;
+use sparse::{Csr, Scalar};
+
+/// Statistics of the original matrix as published in Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperStats {
+    /// Rows of the original matrix.
+    pub rows: usize,
+    /// Non-zeros of the original matrix.
+    pub nnz: usize,
+    /// Average nnz/row.
+    pub nnz_per_row: f64,
+    /// Maximum nnz/row.
+    pub max_nnz_row: usize,
+    /// Intermediate products of `A²`.
+    pub intermediate_products: u64,
+    /// nnz of `A²`.
+    pub nnz_of_square: u64,
+}
+
+/// Generation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Benchmark scale (reduced from the paper; see EXPERIMENTS.md).
+    Repro,
+    /// ~16× fewer rows than `Repro` — fast tests.
+    Tiny,
+}
+
+/// Structural family and its generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+enum Family {
+    /// Banded FEM-like: (bandwidth at repro scale).
+    Banded { bandwidth: usize },
+    /// Exact-degree periodic 2-D grid (Epidemiology).
+    Grid2d,
+    /// Exact-degree QCD lattice (39 nnz/row).
+    Qcd,
+    /// Scattered uniform-random columns (Economics).
+    RandomUniform,
+    /// Hubby circuit netlist.
+    Circuit,
+    /// Heavy-tailed web graph: column Zipf exponent + hub-link fraction.
+    PowerLaw { col_theta: f64, hub_mix: f64, community: usize },
+    /// R-MAT citation graph: (edge-sample multiple of rows).
+    Rmat { edges_per_row: f64 },
+    /// Site-modular web crawl: (community size, index pages per site).
+    ModularWeb { community: usize, hubs: usize },
+}
+
+/// One benchmark dataset: paper statistics + synthetic analogue recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name as used in the paper's tables and figures.
+    pub name: &'static str,
+    /// Table II row for the original matrix.
+    pub paper: PaperStats,
+    /// Rows at `Scale::Repro`.
+    pub repro_rows: usize,
+    /// Average nnz/row target (same as the paper's).
+    pub avg_nnz: f64,
+    /// Maximum nnz/row target at repro scale.
+    pub max_nnz: usize,
+    /// Whether the paper classifies it as high-throughput (top 8).
+    pub high_throughput: bool,
+    /// True for the three large graph matrices of Table III.
+    pub large_graph: bool,
+    family: Family,
+    seed: u64,
+}
+
+impl Dataset {
+    /// Row-scale factor: paper rows / repro rows. Also used to scale the
+    /// virtual device's memory for the Table III experiments.
+    pub fn row_scale(&self) -> f64 {
+        self.paper.rows as f64 / self.repro_rows as f64
+    }
+
+    /// Device-memory capacity for this dataset's experiments: the P100's
+    /// 16 GB divided by the row-scale factor for large graphs (preserving
+    /// the memory-pressure regime), full 16 GB otherwise.
+    pub fn device_mem_bytes(&self) -> u64 {
+        let full = 16u64 << 30;
+        if self.large_graph {
+            (full as f64 / self.row_scale()) as u64
+        } else {
+            full
+        }
+    }
+
+    /// Number of rows at the given scale.
+    pub fn rows_at(&self, scale: Scale) -> usize {
+        match scale {
+            Scale::Repro => self.repro_rows,
+            Scale::Tiny => (self.repro_rows / 16).max(256),
+        }
+    }
+
+    /// Generate the synthetic analogue at the given scale.
+    pub fn generate<T: Scalar>(&self, scale: Scale) -> Csr<T> {
+        let rows = self.rows_at(scale);
+        // Max degree cannot exceed the (shrunken) row count.
+        let max_nnz = self.max_nnz.min(rows / 2).max(4);
+        match self.family {
+            Family::Banded { bandwidth } => {
+                // The band is local structure: it does not shrink with the
+                // row count, but must accommodate the widest row.
+                let bw = bandwidth.max(max_nnz + 16).min(rows);
+                g::banded(rows, self.avg_nnz, max_nnz, bw, self.seed)
+            }
+            Family::Grid2d => {
+                let side = (rows as f64).sqrt().round() as usize;
+                let rows = side * side;
+                g::periodic_stencil(rows, &g::grid2d_offsets(side), self.seed)
+            }
+            Family::Qcd => {
+                // Keep a 4-D lattice shape: x=y=z, t=2x, 3 dof per site,
+                // i.e. 6x^4 rows; pick the largest x that fits.
+                let mut x = 3usize;
+                while 6 * (x + 1).pow(4) <= rows {
+                    x += 1;
+                }
+                let dims = [x, x, x, 2 * x];
+                let rows = dims.iter().product::<usize>() * 3;
+                g::periodic_stencil(rows, &g::qcd_offsets(dims), self.seed)
+            }
+            Family::RandomUniform => g::random_uniform(rows, self.avg_nnz, max_nnz, self.seed),
+            Family::Circuit => g::circuit_like(rows, self.avg_nnz, max_nnz, self.seed),
+            Family::PowerLaw { col_theta, hub_mix, community } => {
+                g::power_law(rows, self.avg_nnz, max_nnz, col_theta, hub_mix, community, self.seed)
+            }
+            Family::Rmat { edges_per_row } => {
+                let edges = (rows as f64 * edges_per_row) as usize;
+                g::rmat(rows, edges, max_nnz, (0.57, 0.19, 0.19, 0.05), self.seed)
+            }
+            Family::ModularWeb { community, hubs } => {
+                g::modular_web(rows, self.avg_nnz, max_nnz, community, hubs, self.seed)
+            }
+        }
+    }
+}
+
+macro_rules! paper_stats {
+    ($rows:expr, $nnz:expr, $avg:expr, $max:expr, $ip:expr, $nnzsq:expr) => {
+        PaperStats {
+            rows: $rows,
+            nnz: $nnz,
+            nnz_per_row: $avg,
+            max_nnz_row: $max,
+            intermediate_products: $ip,
+            nnz_of_square: $nnzsq,
+        }
+    };
+}
+
+/// The 12 standard matrices of Table II (top: high-throughput, bottom:
+/// low-throughput), in the paper's order.
+pub fn standard_datasets() -> Vec<Dataset> {
+    vec![
+        Dataset {
+            name: "Protein",
+            paper: paper_stats!(36_417, 4_344_765, 119.3, 204, 555_322_659, 19_594_581),
+            repro_rows: 3_000,
+            avg_nnz: 119.3,
+            max_nnz: 204,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Banded { bandwidth: 300 },
+            seed: 0xA001,
+        },
+        Dataset {
+            name: "FEM/Spheres",
+            paper: paper_stats!(83_334, 6_010_480, 72.1, 81, 463_845_030, 26_539_736),
+            repro_rows: 8_000,
+            avg_nnz: 72.1,
+            max_nnz: 81,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Banded { bandwidth: 150 },
+            seed: 0xA002,
+        },
+        Dataset {
+            name: "FEM/Cantilever",
+            paper: paper_stats!(62_451, 4_007_383, 64.2, 78, 269_486_473, 17_440_029),
+            repro_rows: 8_000,
+            avg_nnz: 64.2,
+            max_nnz: 78,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Banded { bandwidth: 135 },
+            seed: 0xA003,
+        },
+        Dataset {
+            name: "FEM/Ship",
+            paper: paper_stats!(140_874, 7_813_404, 55.5, 102, 450_639_288, 24_086_412),
+            repro_rows: 12_000,
+            avg_nnz: 55.5,
+            max_nnz: 102,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Banded { bandwidth: 120 },
+            seed: 0xA004,
+        },
+        Dataset {
+            name: "Wind Tunnel",
+            paper: paper_stats!(217_918, 11_634_424, 53.4, 180, 626_054_402, 32_772_236),
+            repro_rows: 14_000,
+            avg_nnz: 53.4,
+            max_nnz: 180,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Banded { bandwidth: 196 },
+            seed: 0xA005,
+        },
+        Dataset {
+            name: "FEM/Harbor",
+            paper: paper_stats!(46_835, 2_374_001, 50.7, 145, 156_480_259, 7_900_917),
+            repro_rows: 6_000,
+            avg_nnz: 50.7,
+            max_nnz: 145,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Banded { bandwidth: 161 },
+            seed: 0xA006,
+        },
+        Dataset {
+            name: "QCD",
+            paper: paper_stats!(49_152, 1_916_928, 39.0, 39, 74_760_192, 10_911_744),
+            repro_rows: 8_192,
+            avg_nnz: 39.0,
+            max_nnz: 39,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Qcd,
+            seed: 0xA007,
+        },
+        Dataset {
+            name: "FEM/Accelerator",
+            paper: paper_stats!(121_192, 2_624_331, 21.7, 81, 79_883_385, 18_705_069),
+            repro_rows: 16_000,
+            avg_nnz: 21.7,
+            max_nnz: 81,
+            high_throughput: true,
+            large_graph: false,
+            family: Family::Banded { bandwidth: 110 },
+            seed: 0xA008,
+        },
+        Dataset {
+            name: "Economics",
+            paper: paper_stats!(206_500, 1_273_389, 6.2, 44, 7_556_897, 6_704_899),
+            repro_rows: 206_500,
+            avg_nnz: 6.2,
+            max_nnz: 44,
+            high_throughput: false,
+            large_graph: false,
+            family: Family::RandomUniform,
+            seed: 0xA009,
+        },
+        Dataset {
+            name: "Circuit",
+            paper: paper_stats!(170_998, 958_936, 5.6, 353, 8_676_313, 5_222_525),
+            repro_rows: 170_998,
+            avg_nnz: 5.6,
+            max_nnz: 160,
+            high_throughput: false,
+            large_graph: false,
+            family: Family::Circuit,
+            seed: 0xA00A,
+        },
+        Dataset {
+            name: "Epidemiology",
+            paper: paper_stats!(525_825, 2_100_225, 4.0, 4, 8_391_680, 5_245_952),
+            repro_rows: 525_625, // 725^2 (paper: 525,825)
+            avg_nnz: 4.0,
+            max_nnz: 4,
+            high_throughput: false,
+            large_graph: false,
+            family: Family::Grid2d,
+            seed: 0xA00B,
+        },
+        Dataset {
+            name: "webbase",
+            paper: paper_stats!(1_000_005, 3_105_536, 3.1, 4700, 69_524_195, 51_111_996),
+            repro_rows: 1_000_005,
+            avg_nnz: 3.1,
+            max_nnz: 4700,
+            high_throughput: false,
+            large_graph: false,
+            family: Family::PowerLaw { col_theta: 0.72, hub_mix: 0.3, community: 64 },
+            seed: 0xA00C,
+        },
+    ]
+}
+
+/// The three large graph matrices of Table III.
+pub fn large_datasets() -> Vec<Dataset> {
+    vec![
+        Dataset {
+            name: "cage15",
+            paper: paper_stats!(5_154_859, 99_199_551, 19.2, 47, 2_078_631_615, 929_023_247),
+            repro_rows: 150_000,
+            avg_nnz: 19.2,
+            max_nnz: 47,
+            high_throughput: false,
+            large_graph: true,
+            family: Family::Banded { bandwidth: 83 },
+            seed: 0xB001,
+        },
+        Dataset {
+            name: "wb-edu",
+            paper: paper_stats!(9_845_725, 57_156_537, 5.8, 3841, 1_559_579_990, 630_077_764),
+            repro_rows: 360_000,
+            avg_nnz: 5.8,
+            max_nnz: 144,
+            high_throughput: false,
+            large_graph: true,
+            family: Family::ModularWeb { community: 96, hubs: 2 },
+            seed: 0xB002,
+        },
+        Dataset {
+            name: "cit-Patents",
+            paper: paper_stats!(3_774_768, 16_518_948, 4.4, 770, 82_152_992, 68_848_721),
+            repro_rows: 300_000,
+            avg_nnz: 4.4,
+            max_nnz: 64,
+            high_throughput: false,
+            large_graph: true,
+            family: Family::Rmat { edges_per_row: 7.0 },
+            seed: 0xB003,
+        },
+    ]
+}
+
+/// Look a dataset up by its paper name (case-insensitive).
+pub fn by_name(name: &str) -> Option<Dataset> {
+    standard_datasets()
+        .into_iter()
+        .chain(large_datasets())
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::stats::MatrixStats;
+
+    #[test]
+    fn registry_has_all_table2_rows() {
+        assert_eq!(standard_datasets().len(), 12);
+        assert_eq!(large_datasets().len(), 3);
+        let ht: Vec<&str> = standard_datasets()
+            .iter()
+            .filter(|d| d.high_throughput)
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(ht.len(), 8); // "top eight matrices" (§IV)
+        assert!(ht.contains(&"Protein") && ht.contains(&"FEM/Accelerator"));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("qcd").is_some());
+        assert!(by_name("CAGE15").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn paper_stats_match_table2_spot_checks() {
+        let p = by_name("Protein").unwrap();
+        assert_eq!(p.paper.rows, 36_417);
+        assert_eq!(p.paper.intermediate_products, 555_322_659);
+        let w = by_name("webbase").unwrap();
+        assert_eq!(w.paper.max_nnz_row, 4700);
+        let c = by_name("cage15").unwrap();
+        assert_eq!(c.paper.nnz_of_square, 929_023_247);
+    }
+
+    #[test]
+    fn device_memory_scaled_for_large_graphs_only() {
+        let std = by_name("Protein").unwrap();
+        assert_eq!(std.device_mem_bytes(), 16 << 30);
+        let big = by_name("cage15").unwrap();
+        let expect = (16.0 * (1u64 << 30) as f64 / big.row_scale()) as u64;
+        assert_eq!(big.device_mem_bytes(), expect);
+        assert!(big.device_mem_bytes() < (1 << 30));
+    }
+
+    #[test]
+    fn tiny_scale_generates_quickly_and_validly() {
+        for d in standard_datasets().iter().chain(large_datasets().iter()) {
+            let m = d.generate::<f32>(Scale::Tiny);
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert!(m.rows() >= 256, "{}: {} rows", d.name, m.rows());
+            let s = MatrixStats::structural(&m);
+            assert!(s.nnz > 0, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn tiny_scale_nnz_per_row_tracks_target() {
+        for d in standard_datasets() {
+            let m = d.generate::<f32>(Scale::Tiny);
+            let s = MatrixStats::structural(&m);
+            let rel = (s.nnz_per_row - d.avg_nnz).abs() / d.avg_nnz;
+            assert!(
+                rel < 0.45,
+                "{}: avg {} vs target {}",
+                d.name,
+                s.nnz_per_row,
+                d.avg_nnz
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = by_name("Economics").unwrap();
+        let a = d.generate::<f64>(Scale::Tiny);
+        let b = d.generate::<f64>(Scale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn epidemiology_is_exactly_regular() {
+        let d = by_name("Epidemiology").unwrap();
+        let m = d.generate::<f64>(Scale::Tiny);
+        let s = MatrixStats::structural(&m);
+        assert_eq!(s.max_nnz_row, 4);
+        assert_eq!(s.min_nnz_row, 4);
+    }
+
+    #[test]
+    fn qcd_is_exactly_39_per_row() {
+        let d = by_name("QCD").unwrap();
+        let m = d.generate::<f64>(Scale::Tiny);
+        let s = MatrixStats::structural(&m);
+        assert_eq!(s.max_nnz_row, 39);
+        assert_eq!(s.min_nnz_row, 39);
+        assert_eq!(s.nnz_per_row, 39.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the dataset generators: validity, bounds and
+//! determinism for arbitrary parameter combinations.
+
+use matgen::generators as g;
+use proptest::prelude::*;
+use sparse::stats::MatrixStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn banded_respects_bounds(
+        rows in 64usize..2000,
+        avg in 2.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        let max = (avg as usize * 2).max(4);
+        let bw = (max + 16).min(rows);
+        let m = g::banded::<f64>(rows, avg, max, bw, seed);
+        m.validate().unwrap();
+        let s = MatrixStats::structural(&m);
+        prop_assert!(s.max_nnz_row <= max);
+        prop_assert!(s.min_nnz_row >= 1);
+        prop_assert_eq!(m.rows(), rows);
+    }
+
+    #[test]
+    fn random_uniform_valid(rows in 64usize..2000, avg in 1.0f64..16.0, seed in 0u64..1000) {
+        let m = g::random_uniform::<f32>(rows, avg, (4.0 * avg) as usize + 4, seed);
+        m.validate().unwrap();
+        prop_assert!(m.nnz() >= rows); // at least the diagonal
+    }
+
+    #[test]
+    fn power_law_valid(
+        rows in 256usize..4000,
+        theta in 0.3f64..1.6,
+        mix in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!((theta - 1.0).abs() > 0.05);
+        let m = g::power_law::<f64>(rows, 3.0, rows / 4, theta, mix, 64, seed);
+        m.validate().unwrap();
+        let s = MatrixStats::structural(&m);
+        prop_assert!(s.max_nnz_row <= rows / 4);
+    }
+
+    #[test]
+    fn rmat_valid(rows in 64usize..4000, epr in 1.0f64..8.0, seed in 0u64..1000) {
+        let m = g::rmat::<f64>(rows, (rows as f64 * epr) as usize, 64,
+                               (0.57, 0.19, 0.19, 0.05), seed);
+        m.validate().unwrap();
+        let s = MatrixStats::structural(&m);
+        prop_assert!(s.max_nnz_row <= 64);
+    }
+
+    #[test]
+    fn modular_web_valid(
+        rows in 600usize..6000,
+        community in 16usize..128,
+        seed in 0u64..1000,
+    ) {
+        let m = g::modular_web::<f64>(rows, 5.0, 4 * community, community, 2, seed);
+        m.validate().unwrap();
+        let s = MatrixStats::structural(&m);
+        prop_assert!(s.min_nnz_row >= 1);
+    }
+
+    #[test]
+    fn stencils_are_exactly_regular(side in 8usize..64, seed in 0u64..100) {
+        let m = g::periodic_stencil::<f32>(side * side, &g::grid2d_offsets(side), seed);
+        let s = MatrixStats::structural(&m);
+        prop_assert_eq!(s.max_nnz_row, 4);
+        prop_assert_eq!(s.min_nnz_row, 4);
+    }
+
+    #[test]
+    fn generators_deterministic(seed in 0u64..500) {
+        let a = g::banded::<f32>(300, 10.0, 20, 64, seed);
+        let b = g::banded::<f32>(300, 10.0, 20, 64, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Coordinate (COO) storage (§II-A of the paper).
+//!
+//! COO is the natural interchange format: Matrix Market files are COO,
+//! and the ESC baseline's "expansion" phase materializes intermediate
+//! products as COO triplets. Converting to CSR sorts and deduplicates.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use crate::{Result, SparseError};
+
+/// A sparse matrix as unsorted `(row, col, value)` triplets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coo<T> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, T)>,
+}
+
+impl<T: Scalar> Coo<T> {
+    /// Empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo { rows, cols, entries: Vec::new() }
+    }
+
+    /// Build from triplets, validating bounds.
+    pub fn from_entries(rows: usize, cols: usize, entries: Vec<(u32, u32, T)>) -> Result<Self> {
+        for &(r, c, _) in &entries {
+            if r as usize >= rows {
+                return Err(SparseError::RowOutOfBounds { row: r as usize, rows });
+            }
+            if c as usize >= cols {
+                return Err(SparseError::ColumnOutOfBounds { row: r as usize, col: c, cols });
+            }
+        }
+        Ok(Coo { rows, cols, entries })
+    }
+
+    /// Append one entry (bounds asserted).
+    pub fn push(&mut self, r: u32, c: u32, v: T) {
+        assert!((r as usize) < self.rows && (c as usize) < self.cols, "COO entry out of bounds");
+        self.entries.push((r, c, v));
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (possibly duplicate) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The raw entries.
+    pub fn entries(&self) -> &[(u32, u32, T)] {
+        &self.entries
+    }
+
+    /// Convert to CSR, sorting and summing duplicate coordinates.
+    pub fn to_csr(&self) -> Csr<T> {
+        let triplets: Vec<(usize, u32, T)> =
+            self.entries.iter().map(|&(r, c, v)| (r as usize, c, v)).collect();
+        Csr::from_triplets(self.rows, self.cols, &triplets)
+            .expect("COO invariants guarantee valid triplets")
+    }
+
+    /// Convert from CSR (entries come out row-major sorted).
+    pub fn from_csr(m: &Csr<T>) -> Self {
+        let mut entries = Vec::with_capacity(m.nnz());
+        for r in 0..m.rows() {
+            let (cs, vs) = m.row(r);
+            for (&c, &v) in cs.iter().zip(vs) {
+                entries.push((r as u32, c, v));
+            }
+        }
+        Coo { rows: m.rows(), cols: m.cols(), entries }
+    }
+
+    /// Device footprint under 4-byte indices: `(4 + 4 + T::BYTES) * nnz`.
+    /// This is what makes the ESC baseline memory-hungry (§II-B).
+    pub fn device_bytes(&self) -> u64 {
+        (8 + T::BYTES as u64) * self.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_csr() {
+        let m = Csr::from_dense(&[vec![0.0f64, 1.0], vec![2.0, 0.0]]);
+        let coo = Coo::from_csr(&m);
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.to_csr(), m);
+    }
+
+    #[test]
+    fn duplicates_sum_on_conversion() {
+        let mut coo = Coo::<f32>::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 1, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.to_dense()[0][0], 3.5);
+    }
+
+    #[test]
+    fn from_entries_bounds() {
+        assert!(Coo::<f64>::from_entries(1, 1, vec![(1, 0, 1.0)]).is_err());
+        assert!(Coo::<f64>::from_entries(1, 1, vec![(0, 1, 1.0)]).is_err());
+        assert!(Coo::<f64>::from_entries(1, 1, vec![(0, 0, 1.0)]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_bounds_panics() {
+        let mut coo = Coo::<f64>::new(1, 1);
+        coo.push(0, 3, 1.0);
+    }
+
+    #[test]
+    fn device_bytes_counts_tuples() {
+        let mut coo = Coo::<f64>::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        assert_eq!(coo.device_bytes(), 2 * 16);
+        let mut coo32 = Coo::<f32>::new(4, 4);
+        coo32.push(0, 0, 1.0);
+        assert_eq!(coo32.device_bytes(), 12);
+    }
+}

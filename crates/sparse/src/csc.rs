@@ -1,0 +1,204 @@
+//! Compressed Sparse Column storage.
+//!
+//! CSC is CSR of the transpose. SpGEMM itself stays in CSR (§III), but
+//! applications around it routinely need column-major access — e.g. the
+//! `Pᵀ` factor of a Galerkin product, column scaling in MCL, or
+//! right-multiplication without materializing a transpose.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// A sparse matrix in CSC format.
+///
+/// Invariants mirror [`Csr`]: column pointers are monotone, and row
+/// indices within each column are strictly increasing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc<T> {
+    rows: usize,
+    cols: usize,
+    cpt: Vec<usize>,
+    row: Vec<u32>,
+    val: Vec<T>,
+}
+
+impl<T: Scalar> Csc<T> {
+    /// Empty matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Csc { rows, cols, cpt: vec![0; cols + 1], row: Vec::new(), val: Vec::new() }
+    }
+
+    /// Build from CSR (O(nnz + rows + cols) counting transpose).
+    pub fn from_csr(m: &Csr<T>) -> Self {
+        let t = m.transpose(); // CSR of Aᵀ has A's columns as rows
+        Csc {
+            rows: m.rows(),
+            cols: m.cols(),
+            cpt: t.rpt().to_vec(),
+            row: t.col().to_vec(),
+            val: t.val().to_vec(),
+        }
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> Csr<T> {
+        // The stored arrays are exactly the CSR of Aᵀ; transpose back.
+        Csr::from_parts_unchecked(
+            self.cols,
+            self.rows,
+            self.cpt.clone(),
+            self.row.clone(),
+            self.val.clone(),
+        )
+        .transpose()
+    }
+
+    /// Build from raw parts with validation.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        cpt: Vec<usize>,
+        row: Vec<u32>,
+        val: Vec<T>,
+    ) -> Result<Self> {
+        // Validate by viewing as CSR of the transpose.
+        Csr::from_parts(cols, rows, cpt, row, val).map(|csr_t| Csc {
+            rows,
+            cols,
+            cpt: csr_t.rpt().to_vec(),
+            row: csr_t.col().to_vec(),
+            val: csr_t.val().to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row.len()
+    }
+
+    /// Column pointer array.
+    pub fn cpt(&self) -> &[usize] {
+        &self.cpt
+    }
+
+    /// Row indices and values of column `c`.
+    pub fn col(&self, c: usize) -> (&[u32], &[T]) {
+        let span = self.cpt[c]..self.cpt[c + 1];
+        (&self.row[span.clone()], &self.val[span])
+    }
+
+    /// Entries in column `c`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.cpt[c + 1] - self.cpt[c]
+    }
+
+    /// Transposed SpMV without materializing the transpose:
+    /// `y = Aᵀ x` directly off the CSC arrays.
+    pub fn spmv_transpose(&self, x: &[T]) -> Result<Vec<T>> {
+        if x.len() != self.rows {
+            return Err(crate::SparseError::DimensionMismatch(format!(
+                "spmv_transpose: x.len() = {}, rows = {}",
+                x.len(),
+                self.rows
+            )));
+        }
+        let mut y = vec![T::ZERO; self.cols];
+        for c in 0..self.cols {
+            let (rs, vs) = self.col(c);
+            let mut acc = T::ZERO;
+            for (&r, &v) in rs.iter().zip(vs) {
+                acc += v * x[r as usize];
+            }
+            y[c] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Scale column `c` by `s[c]` (MCL's column normalization).
+    pub fn scale_columns(&mut self, s: &[T]) {
+        assert_eq!(s.len(), self.cols, "one scale per column");
+        for c in 0..self.cols {
+            let span = self.cpt[c]..self.cpt[c + 1];
+            for v in &mut self.val[span] {
+                *v = *v * s[c];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_dense(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 3.0],
+            vec![4.0, 5.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn roundtrip_csr_csc() {
+        let m = sample();
+        let c = Csc::from_csr(&m);
+        assert_eq!(c.nnz(), m.nnz());
+        assert_eq!(c.to_csr(), m);
+    }
+
+    #[test]
+    fn column_access() {
+        let c = Csc::from_csr(&sample());
+        let (rs, vs) = c.col(2);
+        assert_eq!(rs, &[0, 1]);
+        assert_eq!(vs, &[2.0, 3.0]);
+        assert_eq!(c.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn spmv_transpose_matches_explicit() {
+        let m = sample();
+        let c = Csc::from_csr(&m);
+        let x = vec![1.0, 2.0, 3.0];
+        let expect = m.transpose().spmv(&x).unwrap();
+        assert_eq!(c.spmv_transpose(&x).unwrap(), expect);
+        assert!(c.spmv_transpose(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn scale_columns_applies_per_column() {
+        let mut c = Csc::from_csr(&sample());
+        c.scale_columns(&[2.0, 3.0, 10.0]);
+        let back = c.to_csr();
+        assert_eq!(back.to_dense(), vec![
+            vec![2.0, 0.0, 20.0],
+            vec![0.0, 0.0, 30.0],
+            vec![8.0, 15.0, 0.0],
+        ]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Csc::<f64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(Csc::<f64>::from_parts(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let m = Csr::from_dense(&[vec![1.0f32, 0.0, 2.0, 0.0], vec![0.0, 3.0, 0.0, 4.0]]);
+        let c = Csc::from_csr(&m);
+        assert_eq!((c.rows(), c.cols()), (2, 4));
+        assert_eq!(c.to_csr(), m);
+        assert_eq!(Csc::<f32>::zeros(3, 5).to_csr().nnz(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! ELLPACK (ELL) and hybrid ELL+COO (HYB) storage.
+//!
+//! §II-A of the paper discusses SpMV-oriented formats that trade a
+//! conversion step for faster repeated products. ELL pads every row to a
+//! common width — perfect for regular matrices (QCD, Epidemiology),
+//! catastrophic for skewed ones (webbase's 4,700-wide row would pad the
+//! whole matrix). HYB caps the ELL width and spills the tail into COO,
+//! the classic compromise (Bell & Garland). Both are host-side here;
+//! their conversion/padding economics motivate why SpGEMM itself stays
+//! in CSR ("the computation should be executed without format
+//! conversion", §II-A).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use crate::{Result, SparseError};
+
+/// ELLPACK: `rows × width` column-major slots; unused slots hold the
+/// sentinel column `u32::MAX`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ell<T> {
+    rows: usize,
+    cols: usize,
+    width: usize,
+    /// Column indices, column-major (`slot * rows + row`).
+    col: Vec<u32>,
+    val: Vec<T>,
+}
+
+/// Sentinel marking an empty ELL slot.
+pub const ELL_EMPTY: u32 = u32::MAX;
+
+impl<T: Scalar> Ell<T> {
+    /// Convert from CSR; the width is the widest row.
+    pub fn from_csr(m: &Csr<T>) -> Self {
+        let width = (0..m.rows()).map(|r| m.row_nnz(r)).max().unwrap_or(0);
+        let mut col = vec![ELL_EMPTY; width * m.rows()];
+        let mut val = vec![T::ZERO; width * m.rows()];
+        for r in 0..m.rows() {
+            let (cs, vs) = m.row(r);
+            for (slot, (&c, &v)) in cs.iter().zip(vs).enumerate() {
+                col[slot * m.rows() + r] = c;
+                val[slot * m.rows() + r] = v;
+            }
+        }
+        Ell { rows: m.rows(), cols: m.cols(), width, col, val }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Padded width (slots per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Padding overhead: stored slots / actual non-zeros (≥ 1; ∞-like
+    /// for extremely skewed matrices).
+    pub fn fill_ratio(&self) -> f64 {
+        let nnz = self.col.iter().filter(|&&c| c != ELL_EMPTY).count();
+        if nnz == 0 {
+            1.0
+        } else {
+            (self.width * self.rows) as f64 / nnz as f64
+        }
+    }
+
+    /// Device footprint of the padded arrays.
+    pub fn device_bytes(&self) -> u64 {
+        (4 + T::BYTES as u64) * (self.width * self.rows) as u64
+    }
+
+    /// SpMV `y = A x` off the ELL layout.
+    pub fn spmv(&self, x: &[T]) -> Result<Vec<T>> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch(format!(
+                "ell spmv: x.len() = {}, cols = {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        let mut y = vec![T::ZERO; self.rows];
+        for slot in 0..self.width {
+            let base = slot * self.rows;
+            for r in 0..self.rows {
+                let c = self.col[base + r];
+                if c != ELL_EMPTY {
+                    y[r] += self.val[base + r] * x[c as usize];
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Convert back to CSR (drops padding; rows come out sorted).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut triplets = Vec::new();
+        for r in 0..self.rows {
+            for slot in 0..self.width {
+                let c = self.col[slot * self.rows + r];
+                if c != ELL_EMPTY {
+                    triplets.push((r, c, self.val[slot * self.rows + r]));
+                }
+            }
+        }
+        Csr::from_triplets(self.rows, self.cols, &triplets).expect("ELL slots are in range")
+    }
+}
+
+/// Hybrid format: ELL up to `width` entries per row, COO for the spill.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hyb<T> {
+    /// The regular part.
+    pub ell: Ell<T>,
+    /// The spilled tail.
+    pub coo: Coo<T>,
+}
+
+impl<T: Scalar> Hyb<T> {
+    /// Convert from CSR with the ELL part capped at `width` entries per
+    /// row (a typical choice: the mean row length).
+    pub fn from_csr(m: &Csr<T>, width: usize) -> Self {
+        let rows = m.rows();
+        let mut col = vec![ELL_EMPTY; width * rows];
+        let mut val = vec![T::ZERO; width * rows];
+        let mut coo = Coo::new(rows, m.cols());
+        for r in 0..rows {
+            let (cs, vs) = m.row(r);
+            for (slot, (&c, &v)) in cs.iter().zip(vs).enumerate() {
+                if slot < width {
+                    col[slot * rows + r] = c;
+                    val[slot * rows + r] = v;
+                } else {
+                    coo.push(r as u32, c, v);
+                }
+            }
+        }
+        Hyb { ell: Ell { rows, cols: m.cols(), width, col, val }, coo }
+    }
+
+    /// SpMV over both parts.
+    pub fn spmv(&self, x: &[T]) -> Result<Vec<T>> {
+        let mut y = self.ell.spmv(x)?;
+        for &(r, c, v) in self.coo.entries() {
+            y[r as usize] += v * x[c as usize];
+        }
+        Ok(y)
+    }
+
+    /// Fraction of non-zeros held by the regular (ELL) part.
+    pub fn regular_fraction(&self) -> f64 {
+        let ell_nnz = self.ell.col.iter().filter(|&&c| c != ELL_EMPTY).count();
+        let total = ell_nnz + self.coo.nnz();
+        if total == 0 {
+            1.0
+        } else {
+            ell_nnz as f64 / total as f64
+        }
+    }
+
+    /// Device footprint: padded ELL plus COO tuples.
+    pub fn device_bytes(&self) -> u64 {
+        self.ell.device_bytes() + self.coo.device_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Csr<f64> {
+        Csr::from_dense(&[
+            vec![1.0, 2.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![3.0, 4.0, 5.0, 6.0],
+            vec![0.0, 7.0, 0.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn ell_roundtrip_and_width() {
+        let e = Ell::from_csr(&m());
+        assert_eq!(e.width(), 4); // widest row
+        assert_eq!(e.to_csr(), m());
+        // fill: 16 slots for 7 nnz.
+        assert!((e.fill_ratio() - 16.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ell_spmv_matches_csr() {
+        let e = Ell::from_csr(&m());
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(e.spmv(&x).unwrap(), m().spmv(&x).unwrap());
+        assert!(e.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn hyb_splits_and_matches() {
+        let h = Hyb::from_csr(&m(), 2);
+        // Row 2 spills 2 entries.
+        assert_eq!(h.coo.nnz(), 2);
+        assert!((h.regular_fraction() - 5.0 / 7.0).abs() < 1e-12);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(h.spmv(&x).unwrap(), m().spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn skewed_matrix_shows_ell_pathology() {
+        // One 100-wide row in a 100-row, 1-nnz/row matrix: ELL pads
+        // 100x, HYB with width 1 keeps it tight — §II-A's trade-off.
+        let mut t = vec![(0usize, 0u32, 1.0f64)];
+        for c in 0..100u32 {
+            t.push((1, c, 1.0));
+        }
+        for r in 2..100 {
+            t.push((r, (r % 100) as u32, 1.0));
+        }
+        let m = Csr::from_triplets(100, 100, &t).unwrap();
+        let ell = Ell::from_csr(&m);
+        let hyb = Hyb::from_csr(&m, 1);
+        assert!(ell.fill_ratio() > 40.0);
+        assert!(hyb.ell.fill_ratio() < 1.1);
+        assert!(hyb.device_bytes() < ell.device_bytes() / 10);
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(hyb.spmv(&x).unwrap(), m.spmv(&x).unwrap());
+        assert_eq!(ell.spmv(&x).unwrap(), m.spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let z = Csr::<f32>::zeros(3, 3);
+        let e = Ell::from_csr(&z);
+        assert_eq!(e.width(), 0);
+        assert_eq!(e.fill_ratio(), 1.0);
+        assert_eq!(e.spmv(&[0.0; 3]).unwrap(), vec![0.0; 3]);
+        let h = Hyb::from_csr(&z, 2);
+        assert_eq!(h.regular_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Element-wise and structural operations around SpGEMM.
+//!
+//! The application layer (AMG, clustering, graph analytics) needs more
+//! than the product itself: Hadamard masks, diagonal extraction and
+//! scaling (Jacobi smoothers), symmetric permutations (reorderings) and
+//! pattern utilities. All operate on sorted CSR and preserve its
+//! invariants.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use crate::{Result, SparseError};
+
+/// Element-wise (Hadamard) product `A ∘ B`: entries present in both.
+pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(SparseError::DimensionMismatch(format!(
+            "hadamard: {}x{} vs {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let mut rpt = vec![0usize; a.rows() + 1];
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    for r in 0..a.rows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0, 0);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    col.push(ac[i]);
+                    val.push(av[i] * bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        rpt[r + 1] = col.len();
+    }
+    Ok(Csr::from_parts_unchecked(a.rows(), a.cols(), rpt, col, val))
+}
+
+/// Element-wise difference `A - B`.
+pub fn sub<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
+    a.add(&b.scaled(-T::ONE))
+}
+
+/// Extract the main diagonal as a dense vector (absent entries → 0).
+pub fn diagonal<T: Scalar>(a: &Csr<T>) -> Vec<T> {
+    let n = a.rows().min(a.cols());
+    let mut d = vec![T::ZERO; n];
+    for (r, slot) in d.iter_mut().enumerate() {
+        let (cs, vs) = a.row(r);
+        if let Ok(p) = cs.binary_search(&(r as u32)) {
+            *slot = vs[p];
+        }
+    }
+    d
+}
+
+/// Scale row `r` by `s[r]` (left-multiplication by a diagonal matrix).
+pub fn scale_rows<T: Scalar>(a: &Csr<T>, s: &[T]) -> Result<Csr<T>> {
+    if s.len() != a.rows() {
+        return Err(SparseError::DimensionMismatch(format!(
+            "scale_rows: {} scales for {} rows",
+            s.len(),
+            a.rows()
+        )));
+    }
+    let mut vals: Vec<T> = a.val().to_vec();
+    for r in 0..a.rows() {
+        for v in &mut vals[a.rpt()[r]..a.rpt()[r + 1]] {
+            *v = *v * s[r];
+        }
+    }
+    Ok(Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals))
+}
+
+/// Scale column `c` by `s[c]` (right-multiplication by a diagonal).
+pub fn scale_cols<T: Scalar>(a: &Csr<T>, s: &[T]) -> Result<Csr<T>> {
+    if s.len() != a.cols() {
+        return Err(SparseError::DimensionMismatch(format!(
+            "scale_cols: {} scales for {} cols",
+            s.len(),
+            a.cols()
+        )));
+    }
+    let vals: Vec<T> =
+        a.col().iter().zip(a.val()).map(|(&c, &v)| v * s[c as usize]).collect();
+    Ok(Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals))
+}
+
+/// Symmetric permutation `P A Pᵀ`: entry `(i, j)` moves to
+/// `(perm[i], perm[j])`. `perm` must be a permutation of `0..n`.
+pub fn permute_symmetric<T: Scalar>(a: &Csr<T>, perm: &[u32]) -> Result<Csr<T>> {
+    if a.rows() != a.cols() || perm.len() != a.rows() {
+        return Err(SparseError::DimensionMismatch(format!(
+            "permute_symmetric: matrix {}x{}, perm {}",
+            a.rows(),
+            a.cols(),
+            perm.len()
+        )));
+    }
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        let p = p as usize;
+        if p >= perm.len() || seen[p] {
+            return Err(SparseError::Parse("perm is not a permutation".into()));
+        }
+        seen[p] = true;
+    }
+    let mut triplets = Vec::with_capacity(a.nnz());
+    for r in 0..a.rows() {
+        let (cs, vs) = a.row(r);
+        for (&c, &v) in cs.iter().zip(vs) {
+            triplets.push((perm[r] as usize, perm[c as usize], v));
+        }
+    }
+    Csr::from_triplets(a.rows(), a.cols(), &triplets)
+}
+
+/// The pattern of `A` with all values set to 1 (adjacency extraction).
+pub fn pattern<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    Csr::from_parts_unchecked(
+        a.rows(),
+        a.cols(),
+        a.rpt().to_vec(),
+        a.col().to_vec(),
+        vec![T::ONE; a.nnz()],
+    )
+}
+
+/// Drop the diagonal entries.
+pub fn strip_diagonal<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let mut rpt = vec![0usize; a.rows() + 1];
+    let mut col = Vec::with_capacity(a.nnz());
+    let mut val = Vec::with_capacity(a.nnz());
+    for r in 0..a.rows() {
+        let (cs, vs) = a.row(r);
+        for (&c, &v) in cs.iter().zip(vs) {
+            if c as usize != r {
+                col.push(c);
+                val.push(v);
+            }
+        }
+        rpt[r + 1] = col.len();
+    }
+    Csr::from_parts_unchecked(a.rows(), a.cols(), rpt, col, val)
+}
+
+/// Frobenius norm.
+pub fn frobenius_norm<T: Scalar>(a: &Csr<T>) -> f64 {
+    a.val().iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+}
+
+/// Infinity norm (max absolute row sum).
+pub fn inf_norm<T: Scalar>(a: &Csr<T>) -> f64 {
+    (0..a.rows())
+        .map(|r| a.row(r).1.iter().map(|v| v.to_f64().abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Csr<f64> {
+        Csr::from_dense(&[
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 3.0, 4.0],
+            vec![5.0, 0.0, 6.0],
+        ])
+    }
+
+    #[test]
+    fn hadamard_keeps_intersection() {
+        let b = Csr::from_dense(&[
+            vec![1.0, 0.0, 7.0],
+            vec![0.0, 2.0, 2.0],
+            vec![0.0, 1.0, 1.0],
+        ]);
+        let h = hadamard(&m(), &b).unwrap();
+        assert_eq!(h.to_dense(), vec![
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 6.0, 8.0],
+            vec![0.0, 0.0, 6.0],
+        ]);
+        assert!(hadamard(&m(), &Csr::<f64>::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn sub_is_add_of_negation() {
+        let d = sub(&m(), &m()).unwrap();
+        assert!(d.val().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn diagonal_and_strip() {
+        assert_eq!(diagonal(&m()), vec![2.0, 3.0, 6.0]);
+        let s = strip_diagonal(&m());
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(diagonal(&s), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_col_scaling() {
+        let r = scale_rows(&m(), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(r.to_dense()[1], vec![0.0, 6.0, 8.0]);
+        let c = scale_cols(&m(), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.to_dense()[1], vec![0.0, 6.0, 12.0]);
+        assert!(scale_rows(&m(), &[1.0]).is_err());
+        assert!(scale_cols(&m(), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_spectra_proxy() {
+        // Frobenius norm and diagonal multiset are invariant.
+        let perm = [2u32, 0, 1];
+        let p = permute_symmetric(&m(), &perm).unwrap();
+        assert!((frobenius_norm(&p) - frobenius_norm(&m())).abs() < 1e-12);
+        let mut d1 = diagonal(&m());
+        let mut d2 = diagonal(&p);
+        d1.sort_by(f64::total_cmp);
+        d2.sort_by(f64::total_cmp);
+        assert_eq!(d1, d2);
+        // Round-trip with the inverse permutation.
+        let mut inv = [0u32; 3];
+        for (i, &pi) in perm.iter().enumerate() {
+            inv[pi as usize] = i as u32;
+        }
+        assert_eq!(permute_symmetric(&p, &inv).unwrap(), m());
+    }
+
+    #[test]
+    fn permutation_validated() {
+        assert!(permute_symmetric(&m(), &[0, 0, 1]).is_err());
+        assert!(permute_symmetric(&m(), &[0, 1]).is_err());
+        assert!(permute_symmetric(&m(), &[0, 1, 9]).is_err());
+    }
+
+    #[test]
+    fn pattern_is_all_ones() {
+        let p = pattern(&m());
+        assert_eq!(p.col(), m().col());
+        assert!(p.val().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn norms() {
+        assert!((frobenius_norm(&m()) - (4.0f64 + 1.0 + 9.0 + 16.0 + 25.0 + 36.0).sqrt()).abs() < 1e-12);
+        assert_eq!(inf_norm(&m()), 11.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Scalar abstraction over the two precisions the paper evaluates.
+//!
+//! §III-D sizes hash-table entries from the value width: 4 bytes of column
+//! index plus 4 (`f32`) or 8 (`f64`) bytes of value, so every algorithm in
+//! the workspace is generic over [`Scalar`] and the group boundaries of
+//! Table I fall out of [`Scalar::BYTES`].
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Floating-point element type of a sparse matrix (`f32` or `f64`).
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Size of one value in bytes on the (virtual) device: 4 or 8.
+    const BYTES: usize;
+    /// Human-readable precision tag used in reports ("single"/"double").
+    const PRECISION: &'static str;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (used by generators and tests).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64` (used by comparisons and norms).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Machine epsilon of the precision.
+    fn epsilon() -> Self;
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const PRECISION: &'static str = "single";
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+    const PRECISION: &'static str = "double";
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+}
+
+/// Relative/absolute comparison used when checking simulated results
+/// against the CPU reference: `|a-b| <= atol + rtol * max(|a|,|b|)`.
+///
+/// Accumulation order differs between the hash-table kernels and the
+/// reference, so exact equality cannot be expected in floating point.
+pub fn approx_eq<T: Scalar>(a: T, b: T, rtol: f64, atol: f64) -> bool {
+    let (a, b) = (a.to_f64(), b.to_f64());
+    (a - b).abs() <= atol + rtol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths_match_paper_table_sizing() {
+        // §III-D: 4-byte column index + value; 12 bytes/entry in double.
+        assert_eq!(f32::BYTES + 4, 8);
+        assert_eq!(f64::BYTES + 4, 12);
+    }
+
+    #[test]
+    fn precision_tags() {
+        assert_eq!(f32::PRECISION, "single");
+        assert_eq!(f64::PRECISION, "double");
+    }
+
+    #[test]
+    fn from_to_f64_roundtrip() {
+        assert_eq!(f64::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+    }
+
+    #[test]
+    fn approx_eq_tolerances() {
+        assert!(approx_eq(1.0f64, 1.0 + 1e-12, 1e-9, 0.0));
+        assert!(!approx_eq(1.0f64, 1.1, 1e-9, 0.0));
+        assert!(approx_eq(0.0f32, 1e-9f32, 0.0, 1e-6));
+    }
+
+    #[test]
+    fn abs_and_identities() {
+        assert_eq!((-2.0f32).abs(), 2.0);
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+    }
+}

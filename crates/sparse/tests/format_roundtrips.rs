@@ -1,0 +1,96 @@
+//! Property tests across all storage formats: conversions must be
+//! lossless and every format's SpMV must agree with CSR's.
+
+use proptest::prelude::*;
+use sparse::{Coo, Csc, Csr, Ell, Hyb};
+
+fn arb_csr() -> impl Strategy<Value = Csr<f64>> {
+    (2usize..80, 2usize..80).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec((0..rows, 0..cols, -8.0f64..8.0), 0..400).prop_map(
+            move |t| {
+                let t: Vec<(usize, u32, f64)> =
+                    t.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
+                Csr::from_triplets(rows, cols, &t).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csc_roundtrip(a in arb_csr()) {
+        prop_assert_eq!(Csc::from_csr(&a).to_csr(), a);
+    }
+
+    #[test]
+    fn coo_roundtrip(a in arb_csr()) {
+        prop_assert_eq!(Coo::from_csr(&a).to_csr(), a);
+    }
+
+    #[test]
+    fn ell_roundtrip(a in arb_csr()) {
+        prop_assert_eq!(Ell::from_csr(&a).to_csr(), a);
+    }
+
+    #[test]
+    fn all_spmv_agree(a in arb_csr()) {
+        let x: Vec<f64> = (0..a.cols()).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let y = a.spmv(&x).unwrap();
+        let ell = Ell::from_csr(&a).spmv(&x).unwrap();
+        let hyb = Hyb::from_csr(&a, 2).spmv(&x).unwrap();
+        for i in 0..y.len() {
+            prop_assert!((y[i] - ell[i]).abs() < 1e-9);
+            prop_assert!((y[i] - hyb[i]).abs() < 1e-9);
+        }
+        // CSC's transposed SpMV equals explicit-transpose SpMV.
+        let xt: Vec<f64> = (0..a.rows()).map(|i| (i % 5) as f64).collect();
+        let yt = a.transpose().spmv(&xt).unwrap();
+        let yc = Csc::from_csr(&a).spmv_transpose(&xt).unwrap();
+        for i in 0..yt.len() {
+            prop_assert!((yt[i] - yc[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hyb_width_never_changes_semantics(a in arb_csr(), width in 0usize..12) {
+        let x: Vec<f64> = (0..a.cols()).map(|i| i as f64 * 0.25).collect();
+        let y = a.spmv(&x).unwrap();
+        let h = Hyb::from_csr(&a, width).spmv(&x).unwrap();
+        for i in 0..y.len() {
+            prop_assert!((y[i] - h[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip_via_string(a in arb_csr()) {
+        let mut buf = Vec::new();
+        sparse::io::write_matrix_market(&a, &mut buf).unwrap();
+        let back: Csr<f64> = sparse::io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(back.rpt(), a.rpt());
+        prop_assert_eq!(back.col(), a.col());
+    }
+
+    #[test]
+    fn add_commutes_and_transpose_distributes(
+        (a, b) in (2usize..60, 2usize..60).prop_flat_map(|(rows, cols)| {
+            let gen = move || {
+                proptest::collection::vec((0..rows, 0..cols, -8.0f64..8.0), 0..300).prop_map(
+                    move |t| {
+                        let t: Vec<(usize, u32, f64)> =
+                            t.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
+                        Csr::from_triplets(rows, cols, &t).unwrap()
+                    },
+                )
+            };
+            (gen(), gen())
+        })
+    ) {
+        let s1 = a.add(&b).unwrap();
+        let s2 = b.add(&a).unwrap();
+        prop_assert_eq!(s1.clone(), s2);
+        // (A + B)^T == A^T + B^T
+        prop_assert_eq!(s1.transpose(), a.transpose().add(&b.transpose()).unwrap());
+    }
+}

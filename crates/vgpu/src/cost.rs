@@ -1,0 +1,258 @@
+//! Analytic cost model.
+//!
+//! Kernels execute functionally on the host; while doing so they charge
+//! the work each thread block *would* perform on the device through a
+//! [`BlockCostBuilder`]. Charges are expressed in **SM issue slots**
+//! (warp-instructions): an SM issues `slots_per_cycle` warp-instructions
+//! per clock when enough warps are resident to hide latency; the
+//! scheduler ([`crate::sched`]) divides by the occupancy-derived
+//! efficiency, so the same block cost runs slower in a low-occupancy
+//! kernel — exactly the effect the paper's Table I halving rule exploits.
+//!
+//! All constants live in [`CostModel`] so ablation benches can perturb
+//! them; the defaults are order-of-magnitude Pascal values (shared-memory
+//! and atomic CPIs from micro-benchmark literature, 732 GB/s HBM2, the
+//! expensive Pascal `cudaMalloc` the paper calls out in §IV-C).
+
+use crate::simtime::SimTime;
+
+/// Tunable hardware cost constants (Pascal defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Warp-instructions an SM can issue per clock (P100: 2 schedulers).
+    pub slots_per_cycle: f64,
+    /// Issue slots charged per warp-wide shared-memory access.
+    pub shared_cpi: f64,
+    /// Issue slots per shared-memory atomic attempt (CAS/add).
+    pub shared_atomic_cpi: f64,
+    /// Extra slots charged per observed hash-probe conflict/retry
+    /// (atomics to the same bank/address serialize).
+    pub atomic_conflict_penalty: f64,
+    /// Issue slots per global-memory transaction (128-byte line).
+    pub global_access_cpi: f64,
+    /// Issue slots per global-memory atomic.
+    pub global_atomic_cpi: f64,
+    /// Bytes per coalesced global transaction.
+    pub coalesced_tx_bytes: f64,
+    /// Bytes usefully transferred per *uncoalesced* lane access (one
+    /// 32-byte sector per lane).
+    pub uncoalesced_tx_bytes: f64,
+    /// Resident warps per SM needed to fully hide memory latency.
+    pub warps_to_saturate: f64,
+    /// Efficiency floor (a single resident warp still makes progress).
+    pub min_efficiency: f64,
+    /// Issue slots charged per thread block for scheduling/prologue
+    /// (block dispatch, shared-memory zeroing setup, epilogue). This is
+    /// what makes one-block-per-tiny-row launches expensive and the
+    /// PWARP/ROW packing (§III-B) profitable.
+    pub block_overhead_slots: f64,
+    /// Host-side kernel launch overhead.
+    pub launch_overhead: SimTime,
+    /// Fixed cost of one `cudaMalloc` (Pascal: hundreds of µs, §IV-C).
+    pub malloc_base: SimTime,
+    /// Additional `cudaMalloc` cost per byte (page-table mapping).
+    pub malloc_per_byte: f64,
+    /// Fixed cost of one `cudaFree`.
+    pub free_base: SimTime,
+    /// Host↔device transfer bandwidth (P100 PCIe gen3 x16: ~12 GB/s
+    /// effective). The paper's measurements exclude transfers; the CLI's
+    /// `--include-transfers` mode uses this to show the end-to-end view.
+    pub pcie_bandwidth: f64,
+    /// Fixed latency of one `cudaMemcpy` call.
+    pub memcpy_base: SimTime,
+}
+
+impl CostModel {
+    /// Pascal (P100) defaults.
+    pub fn p100() -> Self {
+        CostModel {
+            slots_per_cycle: 2.0,
+            shared_cpi: 1.0,
+            shared_atomic_cpi: 4.0,
+            atomic_conflict_penalty: 10.0,
+            global_access_cpi: 4.0,
+            global_atomic_cpi: 24.0,
+            coalesced_tx_bytes: 128.0,
+            uncoalesced_tx_bytes: 32.0,
+            warps_to_saturate: 40.0,
+            min_efficiency: 0.08,
+            block_overhead_slots: 300.0,
+            launch_overhead: SimTime::from_us(4.0),
+            malloc_base: SimTime::from_us(180.0),
+            malloc_per_byte: 0.35e-12, // ≈ 0.35 ms per GB of mapping
+            free_base: SimTime::from_us(60.0),
+            pcie_bandwidth: 12e9,
+            memcpy_base: SimTime::from_us(10.0),
+        }
+    }
+
+    /// Latency-hiding efficiency for `resident_warps` warps per SM:
+    /// `clamp(W / warps_to_saturate, min_efficiency, 1)`.
+    pub fn efficiency(&self, resident_warps: f64) -> f64 {
+        (resident_warps / self.warps_to_saturate).clamp(self.min_efficiency, 1.0)
+    }
+
+    /// Simulated duration of one `cudaMalloc` of `bytes`.
+    pub fn malloc_time(&self, bytes: u64) -> SimTime {
+        self.malloc_base + SimTime::from_secs(bytes as f64 * self.malloc_per_byte)
+    }
+
+    /// Simulated duration of one host↔device copy of `bytes`.
+    pub fn memcpy_time(&self, bytes: u64) -> SimTime {
+        self.memcpy_base + SimTime::from_secs(bytes as f64 / self.pcie_bandwidth)
+    }
+}
+
+/// Accumulated device work of one thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockCost {
+    /// SM issue slots (warp-instructions) the block consumes.
+    pub slots: f64,
+    /// DRAM traffic in bytes (feeds the device-wide bandwidth bound).
+    pub dram_bytes: f64,
+}
+
+impl BlockCost {
+    /// A block with explicit raw charges (tests and primitives).
+    pub fn raw(slots: f64, dram_bytes: f64) -> Self {
+        BlockCost { slots, dram_bytes }
+    }
+}
+
+/// Builder used by functionally-executing kernels to charge one block's
+/// work. Methods take *observed* counts (real probe chains, real element
+/// counts), keeping the model honest.
+#[derive(Debug, Clone)]
+pub struct BlockCostBuilder<'m> {
+    model: &'m CostModel,
+    cost: BlockCost,
+}
+
+impl<'m> BlockCostBuilder<'m> {
+    /// Start charging a block under the given cost model.
+    pub fn new(model: &'m CostModel) -> Self {
+        BlockCostBuilder { model, cost: BlockCost::default() }
+    }
+
+    /// Generic ALU/control work: `n` warp-instructions.
+    pub fn compute(&mut self, n: f64) -> &mut Self {
+        self.cost.slots += n;
+        self
+    }
+
+    /// `n` warp-wide shared-memory reads/writes (bank-conflict-free).
+    pub fn shared_access(&mut self, n: f64) -> &mut Self {
+        self.cost.slots += n * self.model.shared_cpi;
+        self
+    }
+
+    /// Shared-memory atomics: `attempts` total CAS/add attempts and
+    /// `conflicts` observed failed attempts / same-address serializations.
+    pub fn shared_atomic(&mut self, attempts: f64, conflicts: f64) -> &mut Self {
+        self.cost.slots += attempts * self.model.shared_atomic_cpi
+            + conflicts * self.model.atomic_conflict_penalty;
+        self
+    }
+
+    /// Coalesced global read/write of `bytes` (warp-contiguous).
+    pub fn global_coalesced(&mut self, bytes: f64) -> &mut Self {
+        let tx = bytes / self.model.coalesced_tx_bytes;
+        self.cost.slots += tx * self.model.global_access_cpi;
+        self.cost.dram_bytes += bytes;
+        self
+    }
+
+    /// Uncoalesced (random, per-lane) global access of `n_accesses`
+    /// lane-accesses of `elem_bytes` each. Each lane access moves a full
+    /// 32-byte sector on the wire — the reason random SpGEMM access is
+    /// bandwidth-hungry (§II-B).
+    pub fn global_random(&mut self, n_accesses: f64, elem_bytes: f64) -> &mut Self {
+        let sector = self.model.uncoalesced_tx_bytes.max(elem_bytes);
+        self.cost.slots += n_accesses * self.model.global_access_cpi;
+        self.cost.dram_bytes += n_accesses * sector;
+        self
+    }
+
+    /// `n` global-memory atomics of `elem_bytes` each.
+    pub fn global_atomic(&mut self, n: f64, elem_bytes: f64) -> &mut Self {
+        self.cost.slots += n * self.model.global_atomic_cpi;
+        self.cost.dram_bytes += n * self.model.uncoalesced_tx_bytes.max(elem_bytes);
+        self
+    }
+
+    /// Warp-shuffle reduction across `lanes` lanes (log2 steps).
+    pub fn warp_reduce(&mut self, lanes: f64) -> &mut Self {
+        self.cost.slots += lanes.max(2.0).log2().ceil();
+        self
+    }
+
+    /// Finish and return the accumulated cost.
+    pub fn finish(&self) -> BlockCost {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_clamps() {
+        let m = CostModel::p100();
+        assert_eq!(m.efficiency(40.0), 1.0);
+        assert_eq!(m.efficiency(400.0), 1.0);
+        assert_eq!(m.efficiency(20.0), 0.5);
+        assert_eq!(m.efficiency(0.0), m.min_efficiency);
+    }
+
+    #[test]
+    fn malloc_time_scales_with_bytes() {
+        let m = CostModel::p100();
+        let small = m.malloc_time(1024);
+        let big = m.malloc_time(1 << 30);
+        assert!(big > small);
+        assert!(small >= m.malloc_base);
+        // ~0.35 ms per GB on top of the base.
+        assert!((big.secs() - m.malloc_base.secs() - 0.35e-3).abs() < 0.05e-3);
+    }
+
+    #[test]
+    fn builder_accumulates_slots_and_bytes() {
+        let m = CostModel::p100();
+        let mut b = BlockCostBuilder::new(&m);
+        b.compute(10.0).shared_access(5.0).global_coalesced(1280.0);
+        let c = b.finish();
+        assert_eq!(c.slots, 10.0 + 5.0 * m.shared_cpi + 10.0 * m.global_access_cpi);
+        assert_eq!(c.dram_bytes, 1280.0);
+    }
+
+    #[test]
+    fn random_access_moves_full_sectors() {
+        let m = CostModel::p100();
+        let mut b = BlockCostBuilder::new(&m);
+        b.global_random(4.0, 4.0); // four 4-byte loads
+        let c = b.finish();
+        assert_eq!(c.dram_bytes, 4.0 * 32.0); // each pulls a 32 B sector
+    }
+
+    #[test]
+    fn atomics_charge_conflict_penalty() {
+        let m = CostModel::p100();
+        let mut no_conflict = BlockCostBuilder::new(&m);
+        no_conflict.shared_atomic(8.0, 0.0);
+        let mut with_conflict = BlockCostBuilder::new(&m);
+        with_conflict.shared_atomic(8.0, 8.0);
+        assert!(with_conflict.finish().slots > no_conflict.finish().slots);
+    }
+
+    #[test]
+    fn warp_reduce_is_logarithmic() {
+        let m = CostModel::p100();
+        let mut b = BlockCostBuilder::new(&m);
+        b.warp_reduce(32.0);
+        assert_eq!(b.finish().slots, 5.0);
+        let mut b4 = BlockCostBuilder::new(&m);
+        b4.warp_reduce(4.0);
+        assert_eq!(b4.finish().slots, 2.0);
+    }
+}

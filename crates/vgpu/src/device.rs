@@ -1,0 +1,368 @@
+//! The virtual GPU device: timeline, launches, synchronization, memory.
+//!
+//! Host code (the SpGEMM algorithms) drives a [`Gpu`] exactly like a CUDA
+//! runtime: allocate (`malloc`/`free`), launch kernels on streams
+//! (`launch`), synchronize (`sync`). The device clock ([`Gpu::elapsed`])
+//! only advances through these calls, so runs are perfectly deterministic
+//! and independent of host wall-clock.
+//!
+//! CUDA semantics that matter to the paper and are reproduced here:
+//! `cudaMalloc`/`cudaFree` synchronize the device and have substantial
+//! fixed cost on Pascal (§IV-C); kernels on one stream serialize while
+//! different streams may overlap (§IV-C stream experiment).
+
+use crate::config::DeviceConfig;
+use crate::cost::{BlockCost, BlockCostBuilder, CostModel};
+use crate::memory::{AllocId, DeviceMemory};
+use crate::occupancy::occupancy;
+use crate::profiler::{KernelRecord, Phase, Profiler};
+use crate::sched::{schedule_region, PendingKernel};
+use crate::simtime::SimTime;
+use crate::{GpuError, Result};
+
+/// Identifier of a CUDA stream on the virtual device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+/// The default stream (stream 0).
+pub const DEFAULT_STREAM: StreamId = StreamId(0);
+
+/// Static description of a kernel launch (grid size is implied by the
+/// number of block costs passed to [`Gpu::launch`]).
+#[derive(Debug, Clone)]
+pub struct KernelDesc {
+    /// Kernel name, recorded by the profiler.
+    pub name: String,
+    /// Stream to launch on.
+    pub stream: StreamId,
+    /// Threads per block.
+    pub block_threads: usize,
+    /// Shared memory per block in bytes.
+    pub shared_bytes: usize,
+}
+
+impl KernelDesc {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, stream: StreamId, block_threads: usize, shared_bytes: usize) -> Self {
+        KernelDesc { name: name.into(), stream, block_threads, shared_bytes }
+    }
+}
+
+/// The virtual GPU.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    cfg: DeviceConfig,
+    cost: CostModel,
+    mem: DeviceMemory,
+    profiler: Profiler,
+    now: SimTime,
+    phase_start: SimTime,
+    phase: Phase,
+    stream_ready: Vec<SimTime>,
+    pending: Vec<PendingKernel>,
+}
+
+impl Gpu {
+    /// New device with the given configuration and default cost model.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Self::with_cost_model(cfg, CostModel::p100())
+    }
+
+    /// New device with an explicit cost model (ablations).
+    pub fn with_cost_model(cfg: DeviceConfig, cost: CostModel) -> Self {
+        let mem = DeviceMemory::new(cfg.device_mem_bytes);
+        Gpu {
+            cfg,
+            cost,
+            mem,
+            profiler: Profiler::new(),
+            now: SimTime::ZERO,
+            phase_start: SimTime::ZERO,
+            phase: Phase::Other,
+            stream_ready: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Start charging costs for one thread block.
+    pub fn block_cost(&self) -> BlockCostBuilder<'_> {
+        BlockCostBuilder::new(&self.cost)
+    }
+
+    /// Simulated time since device creation (includes pending work only
+    /// after [`Gpu::sync`]).
+    pub fn elapsed(&self) -> SimTime {
+        self.now
+    }
+
+    /// Peak device-memory usage so far (Figure 4 metric).
+    pub fn peak_mem_bytes(&self) -> u64 {
+        self.mem.peak_bytes()
+    }
+
+    /// Live device-memory bytes.
+    pub fn live_mem_bytes(&self) -> u64 {
+        self.mem.live_bytes()
+    }
+
+    /// Direct read access to the allocator (diagnostics).
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Profiler with phase times and kernel records.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Switch the current phase; elapsed time since the previous switch
+    /// is attributed to the previous phase. Synchronizes the device (a
+    /// phase boundary is a measurement boundary).
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.sync();
+        let dt = self.now - self.phase_start;
+        self.profiler.add_phase_time(self.phase, dt);
+        self.phase = phase;
+        self.phase_start = self.now;
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Allocate device memory. Synchronizes, charges the Pascal
+    /// `cudaMalloc` latency, and fails with [`GpuError::OutOfMemory`]
+    /// when capacity is exceeded.
+    pub fn malloc(&mut self, bytes: u64, tag: &str) -> Result<AllocId> {
+        self.sync();
+        let id = self.mem.malloc(bytes, tag).map_err(GpuError::OutOfMemory)?;
+        let dt = self.cost.malloc_time(bytes);
+        self.profiler.record_kernel(KernelRecord {
+            name: format!("cudaMalloc({tag})"),
+            phase: self.phase,
+            stream: 0,
+            start: self.now,
+            end: self.now + dt,
+            blocks: 0,
+            dram_bytes: 0.0,
+            efficiency: 1.0,
+        });
+        self.now += dt;
+        Ok(id)
+    }
+
+    /// Host↔device transfer of `bytes` (synchronizes, charges PCIe
+    /// time). Direction only matters for the profiler label.
+    pub fn memcpy(&mut self, bytes: u64, to_device: bool) {
+        self.sync();
+        let dt = self.cost.memcpy_time(bytes);
+        self.profiler.record_kernel(KernelRecord {
+            name: if to_device { "memcpy_h2d".into() } else { "memcpy_d2h".into() },
+            phase: self.phase,
+            stream: 0,
+            start: self.now,
+            end: self.now + dt,
+            blocks: 0,
+            dram_bytes: bytes as f64,
+            efficiency: 1.0,
+        });
+        self.now += dt;
+    }
+
+    /// Free device memory (synchronizes, charges `cudaFree` latency).
+    pub fn free(&mut self, id: AllocId) {
+        self.sync();
+        self.mem.free(id);
+        self.now += self.cost.free_base;
+    }
+
+    /// Launch a kernel: one [`BlockCost`] per thread block, in grid
+    /// order. Validates the launch configuration against device limits.
+    /// Returns without running — work executes at the next sync point.
+    pub fn launch(&mut self, desc: KernelDesc, blocks: Vec<BlockCost>) -> Result<()> {
+        if occupancy(&self.cfg, desc.block_threads, desc.shared_bytes).is_none() {
+            return Err(GpuError::InvalidLaunch(format!(
+                "kernel '{}': {} threads / {} B shared exceeds device limits",
+                desc.name, desc.block_threads, desc.shared_bytes
+            )));
+        }
+        // Host-side launch overhead advances the issue cursor.
+        self.now += self.cost.launch_overhead;
+        self.pending.push(PendingKernel {
+            name: desc.name,
+            phase: self.phase,
+            stream: desc.stream.0,
+            block_threads: desc.block_threads,
+            shared_bytes: desc.shared_bytes,
+            issue_time: self.now,
+            blocks,
+        });
+        Ok(())
+    }
+
+    /// Synchronize the device: schedule all pending kernels (stream
+    /// semantics apply) and advance the clock to completion.
+    pub fn sync(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let sched =
+            schedule_region(&pending, &self.cfg, &self.cost, self.now, &mut self.stream_ready);
+        for (k, span) in pending.iter().zip(&sched.spans) {
+            self.profiler.record_kernel(KernelRecord {
+                name: k.name.clone(),
+                phase: k.phase,
+                stream: k.stream,
+                start: span.start,
+                end: span.end,
+                blocks: k.blocks.len(),
+                dram_bytes: span.dram_bytes,
+                efficiency: span.efficiency,
+            });
+        }
+        self.now = self.now.max(sched.end);
+    }
+
+    /// Finish the run: sync, close the open phase, and return total time.
+    pub fn finish(&mut self) -> SimTime {
+        self.set_phase(Phase::Other);
+        self.now
+    }
+
+    /// Reset the timeline and profiler, keeping configuration and any
+    /// live allocations (rarely what you want — prefer a fresh `Gpu`).
+    pub fn reset_timeline(&mut self) {
+        self.sync();
+        self.now = SimTime::ZERO;
+        self.phase_start = SimTime::ZERO;
+        self.phase = Phase::Other;
+        self.stream_ready.clear();
+        self.profiler.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::p100())
+    }
+
+    #[test]
+    fn clock_starts_at_zero_and_advances_on_sync() {
+        let mut g = gpu();
+        assert_eq!(g.elapsed(), SimTime::ZERO);
+        let desc = KernelDesc::new("k", DEFAULT_STREAM, 256, 0);
+        g.launch(desc, vec![BlockCost::raw(1.0e6, 0.0)]).unwrap();
+        let after_launch = g.elapsed();
+        assert_eq!(after_launch, g.cost_model().launch_overhead);
+        g.sync();
+        assert!(g.elapsed() > after_launch);
+    }
+
+    #[test]
+    fn malloc_charges_time_and_tracks_peak() {
+        let mut g = gpu();
+        let a = g.malloc(1 << 20, "buf").unwrap();
+        assert!(g.elapsed() >= g.cost_model().malloc_base);
+        assert_eq!(g.peak_mem_bytes(), 1 << 20);
+        g.free(a);
+        assert_eq!(g.live_mem_bytes(), 0);
+        assert_eq!(g.peak_mem_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn oom_is_an_error_not_a_panic() {
+        let mut g = Gpu::new(DeviceConfig::p100_with_memory(1024));
+        assert!(matches!(g.malloc(2048, "big"), Err(GpuError::OutOfMemory(_))));
+    }
+
+    #[test]
+    fn invalid_launch_rejected() {
+        let mut g = gpu();
+        let desc = KernelDesc::new("bad", DEFAULT_STREAM, 4096, 0);
+        assert!(matches!(g.launch(desc, vec![]), Err(GpuError::InvalidLaunch(_))));
+        let desc = KernelDesc::new("bad2", DEFAULT_STREAM, 256, 64 * 1024);
+        assert!(matches!(g.launch(desc, vec![]), Err(GpuError::InvalidLaunch(_))));
+    }
+
+    #[test]
+    fn phase_attribution() {
+        let mut g = gpu();
+        g.set_phase(Phase::Count);
+        g.launch(KernelDesc::new("count", DEFAULT_STREAM, 256, 0), vec![BlockCost::raw(1e6, 0.0)])
+            .unwrap();
+        g.set_phase(Phase::Calc);
+        g.launch(KernelDesc::new("calc", DEFAULT_STREAM, 256, 0), vec![BlockCost::raw(2e6, 0.0)])
+            .unwrap();
+        g.finish();
+        let times = g.profiler().phase_times();
+        let count = times.iter().find(|(p, _)| *p == Phase::Count).unwrap().1;
+        let calc = times.iter().find(|(p, _)| *p == Phase::Calc).unwrap().1;
+        assert!(count > SimTime::ZERO);
+        // calc has 2x the slots; both phases also contain one launch overhead.
+        assert!(calc > count);
+        // Total phase time equals elapsed.
+        assert!((g.profiler().total_time().secs() - g.elapsed().secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_overlap_through_device_api() {
+        // Mirror of the scheduler test, via the full device API.
+        let run = |streams: bool| {
+            let mut g = gpu();
+            for i in 0..4 {
+                let s = if streams { StreamId(i) } else { DEFAULT_STREAM };
+                g.launch(
+                    KernelDesc::new(format!("k{i}"), s, 256, 0),
+                    vec![BlockCost::raw(1.0e7, 0.0); 4],
+                )
+                .unwrap();
+            }
+            g.finish().secs()
+        };
+        let serial = run(false);
+        let overlapped = run(true);
+        assert!(overlapped < 0.5 * serial, "overlapped {overlapped} vs serial {serial}");
+    }
+
+    #[test]
+    fn memcpy_charges_pcie_time() {
+        let mut g = gpu();
+        let t0 = g.elapsed();
+        g.memcpy(12_000_000_000, true); // 12 GB at 12 GB/s ≈ 1 s
+        let dt = (g.elapsed() - t0).secs();
+        assert!((dt - 1.0).abs() < 0.01, "dt {dt}");
+        assert!(g.profiler().kernels().iter().any(|k| k.name == "memcpy_h2d"));
+    }
+
+    #[test]
+    fn sync_without_pending_is_noop() {
+        let mut g = gpu();
+        g.sync();
+        assert_eq!(g.elapsed(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_timeline_clears_time_but_keeps_memory() {
+        let mut g = gpu();
+        let _a = g.malloc(128, "keep").unwrap();
+        g.reset_timeline();
+        assert_eq!(g.elapsed(), SimTime::ZERO);
+        assert_eq!(g.live_mem_bytes(), 128);
+        assert!(g.profiler().kernels().is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Occupancy calculation — how many thread blocks of a kernel fit on one
+//! SM, and hence how many warps are available to hide memory latency.
+//!
+//! This is the mechanism behind the paper's Table I: halving the hash
+//! table (shared memory per block) and the thread-block size doubles the
+//! number of co-resident blocks, "improves the GPU resource usage and
+//! occupancy" (§III-D), until the hard limit of 32 blocks per SM stops
+//! the subdivision.
+
+use crate::config::DeviceConfig;
+
+/// Resource limits of one launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident blocks per SM (minimum over all resource constraints).
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM (`blocks_per_sm * warps_per_block`, capped
+    /// by the SM thread limit).
+    pub warps_per_sm: usize,
+    /// Which resource is binding.
+    pub limiter: Limiter,
+}
+
+/// The resource that limits occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Shared memory per SM / shared memory per block.
+    SharedMemory,
+    /// Thread count per SM / threads per block.
+    Threads,
+    /// Hard cap on resident blocks per SM.
+    BlockSlots,
+}
+
+/// Compute occupancy of a launch with `block_threads` threads and
+/// `shared_bytes` bytes of shared memory per block.
+///
+/// Returns `None` if a single block already exceeds device limits
+/// (callers should reject the launch).
+pub fn occupancy(cfg: &DeviceConfig, block_threads: usize, shared_bytes: usize) -> Option<Occupancy> {
+    if block_threads == 0 || block_threads > cfg.max_threads_per_block {
+        return None;
+    }
+    if shared_bytes > cfg.max_shared_per_block {
+        return None;
+    }
+    let by_threads = cfg.max_threads_per_sm / block_threads;
+    let by_shared = if shared_bytes == 0 {
+        usize::MAX
+    } else {
+        cfg.shared_mem_per_sm / shared_bytes
+    };
+    let by_slots = cfg.max_blocks_per_sm;
+    let blocks = by_threads.min(by_shared).min(by_slots);
+    if blocks == 0 {
+        return None;
+    }
+    let limiter = if blocks == by_shared && by_shared <= by_threads && by_shared <= by_slots {
+        Limiter::SharedMemory
+    } else if blocks == by_threads && by_threads <= by_slots {
+        Limiter::Threads
+    } else {
+        Limiter::BlockSlots
+    };
+    let warps_per_block = block_threads.div_ceil(cfg.warp_size);
+    let warps = (blocks * warps_per_block).min(cfg.max_warps_per_sm());
+    Some(Occupancy { blocks_per_sm: blocks, warps_per_sm: warps, limiter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p100() -> DeviceConfig {
+        DeviceConfig::p100()
+    }
+
+    #[test]
+    fn table1_count_phase_tb_counts() {
+        // §III-D / Table I "#TB" column: the symbolic (count) phase uses
+        // 4-byte hash entries, so shared bytes = 4 * table_size. The
+        // paper's (table size, block size) pairs must give the #TB column
+        // 2, 2, 4, 8, 16, 32.
+        let cases = [
+            (8192usize, 1024usize, 2usize), // group 1
+            (4096, 512, 4),                 // group 2
+            (2048, 256, 8),                 // group 3
+            (1024, 128, 16),                // group 4
+            (512, 64, 32),                  // group 5
+        ];
+        for (tsize, threads, expect) in cases {
+            let occ = occupancy(&p100(), threads, 4 * tsize).unwrap();
+            assert_eq!(occ.blocks_per_sm, expect, "tsize={tsize} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn numeric_phase_group1_is_shared_limited() {
+        // Numeric phase, double precision: 12 B/entry * 4096 = 48 KB →
+        // exactly one block per SM, limited by shared memory.
+        let occ = occupancy(&p100(), 1024, 12 * 4096).unwrap();
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+        assert_eq!(occ.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn block_slot_hard_cap() {
+        // Tiny blocks with no shared memory hit the 32-blocks/SM cap.
+        let occ = occupancy(&p100(), 32, 0).unwrap();
+        assert_eq!(occ.blocks_per_sm, 32);
+        assert_eq!(occ.limiter, Limiter::BlockSlots);
+        assert_eq!(occ.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn thread_limited_full_blocks() {
+        let occ = occupancy(&p100(), 1024, 0).unwrap();
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, Limiter::Threads);
+        assert_eq!(occ.warps_per_sm, 64);
+    }
+
+    #[test]
+    fn rejects_oversized_blocks() {
+        assert!(occupancy(&p100(), 2048, 0).is_none()); // too many threads
+        assert!(occupancy(&p100(), 0, 0).is_none());
+        assert!(occupancy(&p100(), 256, 49 * 1024).is_none()); // > 48 KB
+    }
+
+    #[test]
+    fn warps_capped_by_sm_thread_limit() {
+        // 64-thread blocks, 32 resident = 2048 threads = 64 warps: at cap.
+        let occ = occupancy(&p100(), 64, 0).unwrap();
+        assert_eq!(occ.warps_per_sm, 64);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the block scheduler: invariants that must
+//! hold for *any* workload, not just the hand-written cases.
+
+use proptest::prelude::*;
+use vgpu::cost::{BlockCost, CostModel};
+use vgpu::profiler::Phase;
+use vgpu::sched::{schedule_region, PendingKernel};
+use vgpu::{DeviceConfig, SimTime};
+
+fn kernel(stream: usize, blocks: Vec<BlockCost>, threads: usize, shared: usize) -> PendingKernel {
+    PendingKernel {
+        name: "k".into(),
+        phase: Phase::Other,
+        stream,
+        block_threads: threads,
+        shared_bytes: shared,
+        issue_time: SimTime::ZERO,
+        blocks,
+    }
+}
+
+/// Strategy for a list of block costs.
+fn arb_blocks() -> impl Strategy<Value = Vec<BlockCost>> {
+    proptest::collection::vec(
+        (1.0f64..1e6, 0.0f64..1e6).prop_map(|(s, b)| BlockCost::raw(s, b)),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn region_end_covers_every_resource_bound(blocks in arb_blocks()) {
+        let cfg = DeviceConfig::p100();
+        let cost = CostModel::p100();
+        let total_bytes: f64 = blocks.iter().map(|b| b.dram_bytes).sum();
+        let total_slots: f64 =
+            blocks.iter().map(|b| b.slots + cost.block_overhead_slots).sum();
+        let n = blocks.len();
+        let sched = schedule_region(
+            &[kernel(0, blocks, 256, 0)],
+            &cfg,
+            &cost,
+            SimTime::ZERO,
+            &mut vec![],
+        );
+        // Bandwidth bound.
+        prop_assert!(sched.end.secs() >= total_bytes / cfg.mem_bandwidth - 1e-12);
+        // Aggregate compute bound: device cannot issue faster than all
+        // SMs at full efficiency.
+        let best_rate = cfg.num_sms as f64 * cost.slots_per_cycle * cfg.clock_hz;
+        prop_assert!(sched.end.secs() >= total_slots / best_rate - 1e-12);
+        // Work conservation: no better than perfect speedup over one SM.
+        let _ = n;
+    }
+
+    #[test]
+    fn adding_a_block_never_speeds_things_up_at_saturation(
+        blocks in proptest::collection::vec(
+            (1.0f64..1e6, 0.0f64..1e6).prop_map(|(s, b)| BlockCost::raw(s, b)),
+            // >= 8 blocks/SM: occupancy (256 threads -> 8 blocks) is
+            // saturated, so efficiency no longer depends on the grid
+            // size and the makespan must be monotone in the block set.
+            // (Below saturation an extra block can legitimately *help*
+            // by raising residency and hiding more latency.)
+            449..600,
+        )
+    ) {
+        let cfg = DeviceConfig::p100();
+        let cost = CostModel::p100();
+        let shorter = schedule_region(
+            &[kernel(0, blocks[..blocks.len() - 1].to_vec(), 256, 0)],
+            &cfg, &cost, SimTime::ZERO, &mut vec![],
+        );
+        let longer = schedule_region(
+            &[kernel(0, blocks.clone(), 256, 0)],
+            &cfg, &cost, SimTime::ZERO, &mut vec![],
+        );
+        prop_assert!(longer.end.secs() >= shorter.end.secs() - 1e-15);
+    }
+
+    #[test]
+    fn streams_never_slower_than_serial(
+        a in arb_blocks(),
+        b in arb_blocks(),
+    ) {
+        let cfg = DeviceConfig::p100();
+        let cost = CostModel::p100();
+        let serial = schedule_region(
+            &[kernel(0, a.clone(), 256, 0), kernel(0, b.clone(), 256, 0)],
+            &cfg, &cost, SimTime::ZERO, &mut vec![],
+        );
+        let overlap = schedule_region(
+            &[kernel(0, a, 256, 0), kernel(1, b, 256, 0)],
+            &cfg, &cost, SimTime::ZERO, &mut vec![],
+        );
+        prop_assert!(overlap.end.secs() <= serial.end.secs() + 1e-12);
+    }
+
+    #[test]
+    fn spans_are_well_formed(blocks in arb_blocks()) {
+        let cfg = DeviceConfig::p100();
+        let cost = CostModel::p100();
+        let sched = schedule_region(
+            &[kernel(0, blocks, 512, 1024)],
+            &cfg, &cost, SimTime::ZERO, &mut vec![],
+        );
+        for span in &sched.spans {
+            prop_assert!(span.end >= span.start);
+            prop_assert!(span.end <= sched.end);
+            prop_assert!(span.efficiency > 0.0 && span.efficiency <= 1.0);
+        }
+    }
+
+    #[test]
+    fn higher_occupancy_never_hurts(blocks in arb_blocks()) {
+        // Same blocks, more shared memory per block (lower occupancy)
+        // must never be faster.
+        let cfg = DeviceConfig::p100();
+        let cost = CostModel::p100();
+        let light = schedule_region(
+            &[kernel(0, blocks.clone(), 256, 2 * 1024)],
+            &cfg, &cost, SimTime::ZERO, &mut vec![],
+        );
+        let heavy = schedule_region(
+            &[kernel(0, blocks, 256, 48 * 1024)],
+            &cfg, &cost, SimTime::ZERO, &mut vec![],
+        );
+        prop_assert!(heavy.end.secs() >= light.end.secs() - 1e-15);
+    }
+}

@@ -1,0 +1,40 @@
+//! AMG setup: build an aggregation multigrid hierarchy for a 2-D Poisson
+//! problem, forming every coarse operator `Pᵀ A P` with the paper's
+//! SpGEMM on the virtual GPU — the §I motivation ("preconditioners such
+//! as algebraic multigrid").
+//!
+//! ```text
+//! cargo run --release --example amg_galerkin [grid-side]
+//! ```
+
+use apps::amg;
+use nsparse_repro::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    println!("2-D Poisson on a {n} x {n} grid ({} unknowns)", n * n);
+
+    let a = amg::poisson2d::<f64>(n);
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let h = amg::build_hierarchy(&mut gpu, a, 4, 64).expect("AMG setup");
+
+    println!("\n{:>5} {:>12} {:>14} {:>10}", "level", "rows", "nnz", "nnz/row");
+    for (i, level) in h.levels.iter().enumerate() {
+        println!(
+            "{:>5} {:>12} {:>14} {:>10.1}",
+            i,
+            level.a.rows(),
+            level.a.nnz(),
+            level.a.nnz() as f64 / level.a.rows().max(1) as f64
+        );
+    }
+    println!("\noperator complexity : {:.3}", h.operator_complexity());
+    println!("galerkin SpGEMMs    : {}", h.reports.len());
+    println!("total SpGEMM time   : {}", apps::total_spgemm_time(&h.reports));
+    println!("max peak memory     : {:.1} MB", apps::max_peak_bytes(&h.reports) as f64 / (1 << 20) as f64);
+    let total_flops: u64 = h.reports.iter().map(|r| 2 * r.intermediate_products).sum();
+    println!(
+        "aggregate rate      : {:.3} GFLOPS",
+        total_flops as f64 / apps::total_spgemm_time(&h.reports).secs() / 1e9
+    );
+}

@@ -1,0 +1,56 @@
+//! Compare all four SpGEMM implementations (CUSP / cuSPARSE-like /
+//! BHSPARSE-like / the paper's proposal) on one dataset — a miniature
+//! Figure 2 for a single matrix, including memory (Figure 4 style).
+//!
+//! ```text
+//! cargo run --release --example library_shootout [dataset-name]
+//! ```
+
+use nsparse_repro::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "FEM/Harbor".to_string());
+    let dataset = matgen::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown dataset '{name}'");
+        std::process::exit(1);
+    });
+    println!("dataset '{}' at repro scale (device memory {:.1} GB)...", dataset.name,
+        dataset.device_mem_bytes() as f64 / (1u64 << 30) as f64);
+    let a = dataset.generate::<f32>(matgen::Scale::Repro);
+    println!("  {} rows, {} nnz", a.rows(), a.nnz());
+
+    println!("\n{:<10} {:>12} {:>10} {:>12} {:>10}", "library", "time", "GFLOPS", "peak MB", "vs best");
+    let mut results = Vec::new();
+    for alg in Algorithm::ALL {
+        let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(dataset.device_mem_bytes()));
+        match alg.run::<f32>(&mut gpu, &a, &a) {
+            Ok((_, r)) => results.push((alg, Some(r))),
+            Err(nsparse_repro::nsparse_core::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => {
+                results.push((alg, None))
+            }
+            Err(e) => panic!("{}: {e}", alg.name()),
+        }
+    }
+    let best_other = results
+        .iter()
+        .filter(|(alg, _)| *alg != Algorithm::Proposal)
+        .filter_map(|(_, r)| r.as_ref().map(|r| r.gflops()))
+        .fold(0.0f64, f64::max);
+    for (alg, r) in &results {
+        match r {
+            Some(r) => println!(
+                "{:<10} {:>12} {:>10.3} {:>12.1} {:>10}",
+                alg.name(),
+                format!("{}", r.total_time),
+                r.gflops(),
+                r.peak_mem_bytes as f64 / (1 << 20) as f64,
+                if *alg == Algorithm::Proposal {
+                    format!("x{:.2}", r.gflops() / best_other.max(1e-30))
+                } else {
+                    String::new()
+                }
+            ),
+            None => println!("{:<10} {:>12} {:>10} {:>12} (out of device memory)", alg.name(), "-", "-", "-"),
+        }
+    }
+}

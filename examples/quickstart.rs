@@ -1,0 +1,49 @@
+//! Quickstart: square one synthetic matrix with the paper's SpGEMM on
+//! the virtual P100 and verify the result against the CPU reference.
+//!
+//! ```text
+//! cargo run --release --example quickstart [dataset-name]
+//! ```
+
+use nsparse_repro::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "QCD".to_string());
+    let dataset = matgen::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown dataset '{name}'; available:");
+        for d in matgen::standard_datasets().iter().chain(matgen::large_datasets().iter()) {
+            eprintln!("  {}", d.name);
+        }
+        std::process::exit(1);
+    });
+
+    println!("generating '{}' at repro scale...", dataset.name);
+    let a = dataset.generate::<f32>(matgen::Scale::Repro);
+    println!("  {} rows, {} non-zeros ({:.1} nnz/row)", a.rows(), a.nnz(), a.nnz() as f64 / a.rows() as f64);
+
+    // Run the paper's grouped hash SpGEMM on a virtual Tesla P100.
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let (c, report) =
+        nsparse_core::multiply(&mut gpu, &a, &a, &Options::default()).expect("SpGEMM");
+
+    println!("\nC = A^2:");
+    println!("  output nnz          : {}", c.nnz());
+    println!("  intermediate products: {}", report.intermediate_products);
+    println!("  simulated time      : {}", report.total_time);
+    println!("  performance         : {:.3} GFLOPS (paper metric: 2*ip/time)", report.gflops());
+    println!("  peak device memory  : {:.1} MB", report.peak_mem_bytes as f64 / (1 << 20) as f64);
+    println!("  phase breakdown:");
+    for (phase, t) in &report.phase_times {
+        if *phase != Phase::Other {
+            println!("    {:10} {}", phase.label(), t);
+        }
+    }
+
+    // Verify against the CPU reference (Gustavson).
+    print!("\nverifying against CPU reference... ");
+    let c_ref = sparse::spgemm_ref::spgemm_gustavson(&a, &a).expect("reference");
+    assert_eq!(c.rpt(), c_ref.rpt(), "row pointers differ");
+    assert_eq!(c.col(), c_ref.col(), "column patterns differ");
+    assert!(c.approx_eq(&c_ref, 1e-4, 1e-6), "values differ beyond tolerance");
+    println!("OK (pattern exact, values within fp tolerance)");
+}

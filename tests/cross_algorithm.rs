@@ -1,0 +1,98 @@
+//! Cross-crate integration: all four SpGEMM implementations must agree
+//! with the CPU reference (exact pattern, fp-tolerant values) on every
+//! dataset family, in both precisions.
+
+use nsparse_repro::prelude::*;
+use sparse::spgemm_ref::spgemm_gustavson;
+
+fn check_all<T: Scalar>(a: &Csr<T>, dataset: &str) {
+    let c_ref = spgemm_gustavson(a, a).expect("reference");
+    for alg in Algorithm::ALL {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let (c, report) = alg.run::<T>(&mut gpu, a, a)
+            .unwrap_or_else(|e| panic!("{} on {dataset}: {e}", alg.name()));
+        assert_eq!(c.rpt(), c_ref.rpt(), "{} on {dataset}: row pointers", alg.name());
+        assert_eq!(c.col(), c_ref.col(), "{} on {dataset}: columns", alg.name());
+        assert!(
+            c.approx_eq(&c_ref, 1e-4, 1e-6),
+            "{} on {dataset}: values beyond tolerance",
+            alg.name()
+        );
+        assert_eq!(report.output_nnz, c_ref.nnz() as u64, "{} on {dataset}", alg.name());
+        assert!(report.total_time > SimTime::ZERO, "{} on {dataset}", alg.name());
+        assert_eq!(gpu.live_mem_bytes(), 0, "{} on {dataset} leaked device memory", alg.name());
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_standard_tiny_f32() {
+    for d in matgen::standard_datasets() {
+        let a = d.generate::<f32>(matgen::Scale::Tiny);
+        check_all(&a, d.name);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_standard_tiny_f64() {
+    for d in matgen::standard_datasets() {
+        let a = d.generate::<f64>(matgen::Scale::Tiny);
+        check_all(&a, d.name);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_large_graph_tiny() {
+    for d in matgen::large_datasets() {
+        let a = d.generate::<f64>(matgen::Scale::Tiny);
+        check_all(&a, d.name);
+    }
+}
+
+#[test]
+fn proposal_handles_rectangular_products() {
+    // C = A * B with A 200x300, B 300x150.
+    let mut ta = Vec::new();
+    let mut tb = Vec::new();
+    let mut s = 99u64;
+    let mut nxt = |m: usize| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as usize % m
+    };
+    for r in 0..200 {
+        for _ in 0..5 {
+            ta.push((r, nxt(300) as u32, 1.0f64));
+        }
+    }
+    for r in 0..300 {
+        for _ in 0..4 {
+            tb.push((r, nxt(150) as u32, 2.0f64));
+        }
+    }
+    let a = Csr::from_triplets(200, 300, &ta).unwrap();
+    let b = Csr::from_triplets(300, 150, &tb).unwrap();
+    let c_ref = spgemm_gustavson(&a, &b).unwrap();
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let (c, _) = nsparse_core::multiply(&mut gpu, &a, &b, &Options::default()).unwrap();
+    assert_eq!(c, c_ref);
+    // Chain: (A*B) * (A*B)^T is square.
+    let ct = c.transpose();
+    let (sq, _) = nsparse_core::multiply(&mut gpu, &c, &ct, &Options::default()).unwrap();
+    assert_eq!(sq, spgemm_gustavson(&c, &ct).unwrap());
+}
+
+#[test]
+fn repeated_multiplications_on_one_device() {
+    // The device must be reusable: run 5 products back-to-back and check
+    // the timeline is monotone and memory fully released each time.
+    let d = matgen::by_name("Economics").unwrap();
+    let a = d.generate::<f32>(matgen::Scale::Tiny);
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let mut last = SimTime::ZERO;
+    for _ in 0..5 {
+        let (_, r) = nsparse_core::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
+        assert!(r.total_time > SimTime::ZERO);
+        assert_eq!(gpu.live_mem_bytes(), 0);
+        assert!(gpu.elapsed() > last);
+        last = gpu.elapsed();
+    }
+}

@@ -1,0 +1,83 @@
+//! Determinism: the whole stack — generators, functional kernels, cost
+//! model, scheduler — must be bit-reproducible, because every figure of
+//! the reproduction is regenerated rather than archived.
+
+use nsparse_repro::prelude::*;
+
+#[test]
+fn generators_are_bit_identical_across_calls() {
+    for d in matgen::standard_datasets().iter().chain(matgen::large_datasets().iter()) {
+        let a = d.generate::<f64>(matgen::Scale::Tiny);
+        let b = d.generate::<f64>(matgen::Scale::Tiny);
+        assert_eq!(a, b, "{}", d.name);
+    }
+}
+
+#[test]
+fn simulated_times_are_bit_identical() {
+    let d = matgen::by_name("FEM/Harbor").unwrap();
+    let a = d.generate::<f32>(matgen::Scale::Tiny);
+    let run = || {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let (_, r) = nsparse_core::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
+        (r.total_time.secs(), r.peak_mem_bytes, r.output_nnz)
+    };
+    let first = run();
+    for _ in 0..3 {
+        let again = run();
+        assert_eq!(first.0.to_bits(), again.0.to_bits(), "time must be bit-identical");
+        assert_eq!(first.1, again.1);
+        assert_eq!(first.2, again.2);
+    }
+}
+
+#[test]
+fn all_baselines_deterministic() {
+    let d = matgen::by_name("Circuit").unwrap();
+    let a = d.generate::<f32>(matgen::Scale::Tiny);
+    for alg in Algorithm::ALL {
+        let mut t = Vec::new();
+        for _ in 0..2 {
+            let mut gpu = Gpu::new(DeviceConfig::p100());
+            let (_, r) = alg.run::<f32>(&mut gpu, &a, &a).unwrap();
+            t.push((r.total_time.secs().to_bits(), r.peak_mem_bytes));
+        }
+        assert_eq!(t[0], t[1], "{} not deterministic", alg.name());
+    }
+}
+
+#[test]
+fn phase_times_sum_to_total() {
+    let d = matgen::by_name("Protein").unwrap();
+    let a = d.generate::<f64>(matgen::Scale::Tiny);
+    for alg in Algorithm::ALL {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let (_, r) = alg.run::<f64>(&mut gpu, &a, &a).unwrap();
+        let sum: SimTime = r
+            .phase_times
+            .iter()
+            .filter(|(p, _)| *p != Phase::Other)
+            .map(|&(_, t)| t)
+            .sum();
+        assert!(
+            (sum.secs() - r.total_time.secs()).abs() <= 1e-12 * r.total_time.secs().max(1e-30),
+            "{}: phases {} vs total {}",
+            alg.name(),
+            sum,
+            r.total_time
+        );
+    }
+}
+
+#[test]
+fn gflops_definition_is_paper_metric() {
+    // §IV: FLOPS = 2 * intermediate products / time.
+    let d = matgen::by_name("QCD").unwrap();
+    let a = d.generate::<f32>(matgen::Scale::Tiny);
+    let ip = sparse::spgemm_ref::total_intermediate_products(&a, &a).unwrap();
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let (_, r) = nsparse_core::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
+    assert_eq!(r.intermediate_products, ip);
+    let expect = 2.0 * ip as f64 / r.total_time.secs() / 1e9;
+    assert!((r.gflops() - expect).abs() < 1e-9);
+}

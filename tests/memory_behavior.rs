@@ -1,0 +1,87 @@
+//! Memory behaviour across algorithms: the paper's two memory claims —
+//! the proposal uses less device memory than every baseline (Figure 4),
+//! and CUSP/BHSPARSE exhaust a constrained device where the proposal
+//! and cuSPARSE still run (Table III's "-" entries).
+
+use nsparse_repro::prelude::*;
+
+fn peak<T: Scalar>(alg: Algorithm, a: &Csr<T>, device_mem: u64) -> Option<u64> {
+    let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(device_mem));
+    match alg.run::<T>(&mut gpu, a, a) {
+        Ok((_, r)) => Some(r.peak_mem_bytes),
+        Err(nsparse_repro::nsparse_core::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => None,
+        Err(e) => panic!("{}: {e}", alg.name()),
+    }
+}
+
+#[test]
+fn proposal_uses_least_memory_on_high_throughput_sets() {
+    for name in ["Protein", "FEM/Spheres", "QCD"] {
+        let d = matgen::by_name(name).unwrap();
+        let a = d.generate::<f32>(matgen::Scale::Tiny);
+        let full = 16 << 30;
+        let prop = peak::<f32>(Algorithm::Proposal, &a, full).unwrap();
+        for other in [Algorithm::Cusp, Algorithm::Cusparse, Algorithm::Bhsparse] {
+            let o = peak::<f32>(other, &a, full).unwrap();
+            assert!(
+                prop <= o,
+                "{name}: proposal {prop} B vs {} {o} B",
+                other.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cusp_and_bhsparse_oom_where_proposal_fits() {
+    // The Table III regime: a cage-like banded matrix on a device whose
+    // memory is scaled with the dataset.
+    let d = matgen::by_name("cage15").unwrap();
+    let a = d.generate::<f64>(matgen::Scale::Tiny);
+    // Shrink the device by the tiny-scale factor too.
+    let mem = (d.device_mem_bytes() as f64 * a.rows() as f64 / d.rows_at(matgen::Scale::Repro) as f64)
+        as u64;
+    assert!(peak::<f64>(Algorithm::Cusp, &a, mem).is_none(), "CUSP must OOM");
+    assert!(peak::<f64>(Algorithm::Bhsparse, &a, mem).is_none(), "BHSPARSE must OOM");
+    assert!(peak::<f64>(Algorithm::Proposal, &a, mem).is_some(), "proposal must fit");
+    assert!(peak::<f64>(Algorithm::Cusparse, &a, mem).is_some(), "cuSPARSE must fit");
+}
+
+#[test]
+fn double_precision_needs_more_memory_than_single() {
+    let d = matgen::by_name("FEM/Cantilever").unwrap();
+    let a32 = d.generate::<f32>(matgen::Scale::Tiny);
+    let a64 = d.generate::<f64>(matgen::Scale::Tiny);
+    for alg in Algorithm::ALL {
+        let p32 = peak::<f32>(alg, &a32, 16 << 30).unwrap();
+        let p64 = peak::<f64>(alg, &a64, 16 << 30).unwrap();
+        assert!(p64 > p32, "{}: f64 {p64} must exceed f32 {p32}", alg.name());
+    }
+}
+
+#[test]
+fn failed_run_releases_all_memory() {
+    let d = matgen::by_name("wb-edu").unwrap();
+    let a = d.generate::<f32>(matgen::Scale::Tiny);
+    for alg in Algorithm::ALL {
+        // A device too small for anybody.
+        let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(64 * 1024));
+        let res = alg.run::<f32>(&mut gpu, &a, &a);
+        assert!(res.is_err(), "{} should OOM on a 64 KB device", alg.name());
+        assert_eq!(gpu.live_mem_bytes(), 0, "{} leaked after OOM", alg.name());
+        // The device stays usable for a tiny product afterwards.
+        let tiny = Csr::<f32>::identity(8);
+        let (c, _) = nsparse_core::multiply(&mut gpu, &tiny, &tiny, &Options::default()).unwrap();
+        assert_eq!(c, tiny);
+    }
+}
+
+#[test]
+fn peak_memory_monotone_in_problem_size() {
+    let d = matgen::by_name("Economics").unwrap();
+    let small = d.generate::<f32>(matgen::Scale::Tiny);
+    let big = d.generate::<f32>(matgen::Scale::Repro);
+    let p_small = peak::<f32>(Algorithm::Proposal, &small, 16 << 30).unwrap();
+    let p_big = peak::<f32>(Algorithm::Proposal, &big, 16 << 30).unwrap();
+    assert!(p_big > p_small);
+}
