@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline. Every dependency is a workspace
+# path dependency (see DESIGN.md "Vendored test & bench harness"), so
+# this script must pass on a machine with no crates.io access at all.
+#
+# The exhaustive per-dataset sweeps are #[ignore]d to keep this fast;
+# run them with:
+#   cargo test --offline --test cross_algorithm -- --ignored
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt ==" >&2
+cargo fmt --check
+
+echo "== clippy (deny warnings) ==" >&2
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== build (release, offline) ==" >&2
+cargo build --release --offline
+
+echo "== tier-1 tests (offline) ==" >&2
+cargo test -q --offline
+
+echo "ci/check.sh: all checks passed" >&2

@@ -101,13 +101,7 @@ pub fn build_hierarchy_opts<T: Scalar>(
             let diag = sparse::ops::diagonal(&current);
             let scale: Vec<T> = diag
                 .iter()
-                .map(|&d| {
-                    if d == T::ZERO {
-                        T::ZERO
-                    } else {
-                        -T::from_f64(2.0 / 3.0) / d
-                    }
-                })
+                .map(|&d| if d == T::ZERO { T::ZERO } else { -T::from_f64(2.0 / 3.0) / d })
                 .collect();
             let s_mat = sparse::ops::scale_rows(&current, &scale)?
                 .add(&Csr::identity(current.rows()))
@@ -259,8 +253,7 @@ mod tests {
         assert!(h.levels.len() >= 2);
         // Check level 1 against a CPU triple product.
         let p = h.levels[0].p.as_ref().unwrap();
-        let expect =
-            spgemm_gustavson(&p.transpose(), &spgemm_gustavson(&a, p).unwrap()).unwrap();
+        let expect = spgemm_gustavson(&p.transpose(), &spgemm_gustavson(&a, p).unwrap()).unwrap();
         assert_eq!(h.levels[1].a, expect);
         // Two SpGEMMs per constructed level.
         assert_eq!(h.reports.len(), 2 * (h.levels.len() - 1));

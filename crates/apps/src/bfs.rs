@@ -49,6 +49,7 @@ pub fn multi_source_bfs<T: Scalar>(
         let next = spgemm(gpu, &at, &frontier, &mut reports)?;
         // Mask: keep only vertices not yet visited per source.
         let mut tri: Vec<(usize, u32, T)> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // v indexes levels[s][v], not a single slice
         for v in 0..n {
             let (cols, _) = next.row(v);
             for &s in cols {
@@ -69,8 +70,7 @@ mod tests {
     use vgpu::DeviceConfig;
 
     fn digraph(n: usize, edges: &[(usize, usize)]) -> Csr<f64> {
-        let t: Vec<(usize, u32, f64)> =
-            edges.iter().map(|&(u, v)| (u, v as u32, 1.0)).collect();
+        let t: Vec<(usize, u32, f64)> = edges.iter().map(|&(u, v)| (u, v as u32, 1.0)).collect();
         Csr::from_triplets(n, n, &t).unwrap()
     }
 

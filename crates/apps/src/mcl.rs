@@ -123,7 +123,11 @@ fn extract_clusters<T: Scalar>(m: &Csr<T>) -> Vec<usize> {
 
 /// Run MCL on an adjacency matrix (made column-stochastic internally).
 /// Every expansion is an SpGEMM on the virtual GPU.
-pub fn mcl<T: Scalar>(gpu: &mut Gpu, adjacency: &Csr<T>, params: &MclParams) -> Result<MclResult<T>> {
+pub fn mcl<T: Scalar>(
+    gpu: &mut Gpu,
+    adjacency: &Csr<T>,
+    params: &MclParams,
+) -> Result<MclResult<T>> {
     let mut m = column_stochastic(adjacency);
     let mut reports = Vec::new();
     let mut iterations = 0;

@@ -100,8 +100,7 @@ mod tests {
     use vgpu::DeviceConfig;
 
     fn digraph(n: usize, edges: &[(usize, usize)]) -> Csr<f64> {
-        let t: Vec<(usize, u32, f64)> =
-            edges.iter().map(|&(u, v)| (u, v as u32, 1.0)).collect();
+        let t: Vec<(usize, u32, f64)> = edges.iter().map(|&(u, v)| (u, v as u32, 1.0)).collect();
         Csr::from_triplets(n, n, &t).unwrap()
     }
 
@@ -138,12 +137,9 @@ mod tests {
         let mut g1 = Gpu::new(DeviceConfig::p100());
         let plain = pagerank(&mut g1, &g, &PagerankParams::default()).unwrap();
         let mut g2 = Gpu::new(DeviceConfig::p100());
-        let blocked = pagerank(
-            &mut g2,
-            &g,
-            &PagerankParams { blocked: true, ..PagerankParams::default() },
-        )
-        .unwrap();
+        let blocked =
+            pagerank(&mut g2, &g, &PagerankParams { blocked: true, ..PagerankParams::default() })
+                .unwrap();
         assert_eq!(plain.iterations, blocked.iterations);
         for (a, b) in plain.ranks.iter().zip(&blocked.ranks) {
             assert!((a - b).abs() < 1e-12);

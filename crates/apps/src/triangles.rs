@@ -36,7 +36,7 @@ pub fn count_triangles<T: Scalar>(gpu: &mut Gpu, adj: &Csr<T>) -> Result<Triangl
     // {i, j, k} contributes to 6 (ordered) wedge closures.
     let mut per_vertex = vec![0u64; adj.rows()];
     let mut total = 0u64;
-    for i in 0..adj.rows() {
+    for (i, pv) in per_vertex.iter_mut().enumerate() {
         let (ecols, _) = adj.row(i);
         let (pcols, pvals) = a2.row(i);
         let (mut e, mut p) = (0usize, 0usize);
@@ -52,7 +52,7 @@ pub fn count_triangles<T: Scalar>(gpu: &mut Gpu, adj: &Csr<T>) -> Result<Triangl
                 }
             }
         }
-        per_vertex[i] = wedges / 2; // each vertex-triangle counted twice
+        *pv = wedges / 2; // each vertex-triangle counted twice
         total += wedges;
     }
     Ok(TriangleCount { triangles: total / 6, per_vertex, reports })
@@ -102,7 +102,7 @@ mod tests {
         let mut gpu = Gpu::new(DeviceConfig::p100());
         let res = count_triangles(&mut gpu, &g).unwrap();
         assert_eq!(res.triangles, 56); // C(8,3)
-        // Every vertex is in C(7,2) = 21 triangles.
+                                       // Every vertex is in C(7,2) = 21 triangles.
         assert!(res.per_vertex.iter().all(|&c| c == 21));
     }
 

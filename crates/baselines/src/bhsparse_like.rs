@@ -41,7 +41,11 @@ pub const HEAP_LIMIT: usize = 64;
 pub const ESC_LIMIT: usize = 2048;
 
 /// BHSPARSE-like SpGEMM `C = A * B` on the virtual device.
-pub fn multiply<T: Scalar>(gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>) -> Result<(Csr<T>, SpgemmReport)> {
+pub fn multiply<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+) -> Result<(Csr<T>, SpgemmReport)> {
     let mut allocs = Allocs::new();
     let res = multiply_inner(gpu, a, b, &mut allocs);
     allocs.free_all(gpu);
@@ -96,11 +100,7 @@ fn multiply_inner<T: Scalar>(
     // Upper-bound output buffer: BHSPARSE computes *into* memory sized
     // by the bound (products) for ESC/merge rows before compaction —
     // the big allocation behind its Figure 4 footprint.
-    let ub_entries: u64 = nprod
-        .iter()
-        .filter(|&&p| p > HEAP_LIMIT)
-        .map(|&p| p as u64)
-        .sum();
+    let ub_entries: u64 = nprod.iter().filter(|&&p| p > HEAP_LIMIT).map(|&p| p as u64).sum();
     let entry = (4 + T::BYTES) as u64;
     gpu.set_phase(Phase::Calc);
     allocs.push(gpu.malloc(ub_entries * entry, "ub_output")?);
@@ -258,12 +258,7 @@ mod tests {
         let (_, bh) = multiply(&mut g1, &skew, &skew).unwrap();
         let mut g2 = Gpu::new(DeviceConfig::p100());
         let (_, cu) = crate::cusparse_like::multiply(&mut g2, &skew, &skew).unwrap();
-        assert!(
-            bh.gflops() > cu.gflops(),
-            "bhsparse {} vs cusparse {}",
-            bh.gflops(),
-            cu.gflops()
-        );
+        assert!(bh.gflops() > cu.gflops(), "bhsparse {} vs cusparse {}", bh.gflops(), cu.gflops());
     }
 
     #[test]

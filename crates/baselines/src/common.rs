@@ -65,16 +65,9 @@ pub(crate) fn finish_report(
 ) -> SpgemmReport {
     gpu.set_phase(Phase::Other);
     let after = gpu.profiler().phase_times();
-    let phase_times: Vec<(Phase, SimTime)> = after
-        .iter()
-        .zip(before)
-        .map(|(&(p, t1), &(_, t0))| (p, t1 - t0))
-        .collect();
-    let total_time = phase_times
-        .iter()
-        .filter(|(p, _)| *p != Phase::Other)
-        .map(|&(_, t)| t)
-        .sum();
+    let phase_times: Vec<(Phase, SimTime)> =
+        after.iter().zip(before).map(|(&(p, t1), &(_, t0))| (p, t1 - t0)).collect();
+    let total_time = phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
     SpgemmReport {
         algorithm: algorithm.to_string(),
         precision,

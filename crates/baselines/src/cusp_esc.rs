@@ -31,7 +31,11 @@ use vgpu::{primitives, BlockCost, Gpu, KernelDesc, Phase, SpgemmReport};
 const SORT_SLOTS_PER_ITEM_PASS: f64 = 7.0;
 
 /// ESC SpGEMM `C = A * B` on the virtual device.
-pub fn multiply<T: Scalar>(gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>) -> Result<(Csr<T>, SpgemmReport)> {
+pub fn multiply<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+) -> Result<(Csr<T>, SpgemmReport)> {
     let mut allocs = Allocs::new();
     let res = multiply_inner(gpu, a, b, &mut allocs);
     allocs.free_all(gpu);
@@ -196,10 +200,7 @@ mod tests {
         let cap = a.device_bytes() * 2 + ip * 16 / 2;
         let mut g = Gpu::new(DeviceConfig::p100_with_memory(cap));
         let res = multiply(&mut g, &a, &a);
-        assert!(matches!(
-            res,
-            Err(nsparse_core::pipeline::Error::Gpu(GpuError::OutOfMemory(_)))
-        ));
+        assert!(matches!(res, Err(nsparse_core::pipeline::Error::Gpu(GpuError::OutOfMemory(_)))));
         assert_eq!(g.live_mem_bytes(), 0);
     }
 

@@ -167,7 +167,11 @@ fn charge_row(gpu: &Gpu, w: &RowWork, value_bytes: Option<usize>) -> BlockCost {
 }
 
 /// cuSPARSE-like SpGEMM `C = A * B` on the virtual device.
-pub fn multiply<T: Scalar>(gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>) -> Result<(Csr<T>, SpgemmReport)> {
+pub fn multiply<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+) -> Result<(Csr<T>, SpgemmReport)> {
     let mut allocs = Allocs::new();
     let res = multiply_inner(gpu, a, b, &mut allocs);
     allocs.free_all(gpu);
@@ -412,8 +416,7 @@ mod tests {
         let skew = Csr::from_triplets(n, n, &t).unwrap();
         let balanced = rand_mat(n, 16, 11);
         let ip_skew = sparse::spgemm_ref::total_intermediate_products(&skew, &skew).unwrap();
-        let ip_bal =
-            sparse::spgemm_ref::total_intermediate_products(&balanced, &balanced).unwrap();
+        let ip_bal = sparse::spgemm_ref::total_intermediate_products(&balanced, &balanced).unwrap();
         assert!(ip_bal > ip_skew / 2, "keep workloads comparable");
         let mut g1 = Gpu::new(DeviceConfig::p100());
         let (_, r1) = multiply(&mut g1, &skew, &skew).unwrap();

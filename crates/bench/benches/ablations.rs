@@ -1,34 +1,32 @@
 //! Ablation benches (§IV-C and §III-B): CUDA streams on Circuit,
 //! PWARP/ROW on Epidemiology, the PWARP width sweep, and the HASH_SCAL
 //! scrambling switch. Each configuration's simulated time is one bench
-//! id; speedups are printed on stderr.
+//! id; speedups are printed on stderr, and each ablation's
+//! `results/<tag>.csv` (the `repro` schema) is written alongside the
+//! timing CSV `results/bench_ablations.csv`.
 
 use bench::experiments as exp;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{harness, report};
 
-fn record(
-    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-    tag: &str,
-    rows: Vec<exp::AblationRow>,
-) {
+fn record(g: &mut harness::Group, tag: &str, rows: Vec<exp::AblationRow>) {
     for r in &rows {
         eprintln!("{tag} {} [{}]: {} ({:.3} GFLOPS)", r.dataset, r.label, r.time, r.gflops);
-        let t = r.time.secs();
-        g.bench_function(
-            format!("{tag}/{}/{}", r.dataset.replace('/', "_"), r.label.replace(' ', "_")),
-            |b| b.iter_custom(|iters| std::time::Duration::from_secs_f64(t * iters as f64)),
+        g.bench_sim(
+            &format!("{tag}/{}/{}", r.dataset.replace('/', "_"), r.label.replace(' ', "_")),
+            r.time,
         );
     }
+    let p = report::write_ablation_csv(tag, &rows);
+    println!("{tag} -> {}", p.display());
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    record(&mut g, "streams", exp::ablation_streams::<f32>());
-    record(&mut g, "pwarp", exp::ablation_pwarp::<f32>());
-    record(&mut g, "pwarp_width", exp::ablation_pwarp_width::<f32>());
-    record(&mut g, "hash", exp::ablation_hash::<f32>());
-    record(&mut g, "devices", exp::extension_devices::<f32>());
+fn main() {
+    let mut g = harness::group("ablations");
+    record(&mut g, "ablation_streams", exp::ablation_streams::<f32>());
+    record(&mut g, "ablation_pwarp", exp::ablation_pwarp::<f32>());
+    record(&mut g, "ablation_pwarp_width", exp::ablation_pwarp_width::<f32>());
+    record(&mut g, "ablation_hash", exp::ablation_hash::<f32>());
+    record(&mut g, "extension_devices", exp::extension_devices::<f32>());
     // Plan reuse: numeric-only vs full multiply on one dataset.
     {
         let d = matgen::by_name("FEM/Cantilever").unwrap();
@@ -47,14 +45,8 @@ fn bench_ablations(c: &mut Criterion) {
             full.total_time.secs() / planned.total_time.secs()
         );
         for (label, t) in [("full", full.total_time), ("numeric_only", planned.total_time)] {
-            let dur = t.secs();
-            g.bench_function(format!("plan_reuse/FEM_Cantilever/{label}"), |b| {
-                b.iter_custom(|iters| std::time::Duration::from_secs_f64(dur * iters as f64))
-            });
+            g.bench_sim(&format!("plan_reuse/FEM_Cantilever/{label}"), t);
         }
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -2,39 +2,42 @@
 //! matrices, all four algorithms.
 //!
 //! The measured quantity is the *simulated* device time (see DESIGN.md):
-//! each benchmark id reports the virtual P100's execution time through
-//! Criterion's `iter_custom`, so `cargo bench` output corresponds
-//! directly to the paper's GFLOPS bars (`GFLOPS = 2·ip / time`). The
-//! simulation itself is deterministic, hence the near-zero variance.
+//! each benchmark id records the virtual P100's execution time through
+//! the in-repo harness, so `cargo bench` output corresponds directly to
+//! the paper's GFLOPS bars (`GFLOPS = 2·ip / time`). The simulation is
+//! deterministic, so each record is a single exact sample. Besides the
+//! timing CSV (`results/bench_fig3_double.csv`), this entry point writes
+//! the same `results/fig3.csv` the `repro` binary emits.
 
 use baselines::Algorithm;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{harness, report};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_double");
-    g.sample_size(10);
+fn main() {
+    let mut g = harness::group("fig3_double");
+    let mut results = Vec::new();
     for d in matgen::standard_datasets() {
         for alg in Algorithm::ALL {
             let r = bench::run_one::<f64>(alg, &d);
-            let Some(report) = r.report else {
-                eprintln!("{} on {}: OOM (skipped)", alg.name(), d.name);
-                continue;
-            };
-            eprintln!(
-                "{} on {}: {:.3} GFLOPS, peak {} MB",
-                alg.name(),
-                d.name,
-                report.gflops(),
-                report.peak_mem_bytes >> 20
-            );
-            let t = report.total_time.secs();
-            g.bench_function(format!("{}/{}", d.name.replace('/', "_"), alg.name()), |b| {
-                b.iter_custom(|iters| std::time::Duration::from_secs_f64(t * iters as f64))
-            });
+            match &r.report {
+                Some(rep) => {
+                    eprintln!(
+                        "{} on {}: {:.3} GFLOPS, peak {} MB",
+                        alg.name(),
+                        d.name,
+                        rep.gflops(),
+                        rep.peak_mem_bytes >> 20
+                    );
+                    g.bench_sim(
+                        &format!("{}/{}", d.name.replace('/', "_"), alg.name()),
+                        rep.total_time,
+                    );
+                }
+                None => eprintln!("{} on {}: OOM (skipped)", alg.name(), d.name),
+            }
+            results.push(r);
         }
     }
     g.finish();
+    let p = report::write_gflops_csv("fig3", &results);
+    println!("fig3 -> {}", p.display());
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,19 @@
 //! Figure 4: maximum device-memory usage relative to cuSPARSE.
 //!
-//! Criterion measures time, not bytes, so this bench (a) records each
-//! algorithm's simulated time as usual and (b) prints the Figure 4
-//! memory-ratio table on stderr (the `repro` binary writes the same data
-//! to `results/fig4_*.csv`).
+//! The harness measures time, not bytes, so this bench (a) records the
+//! proposal's simulated time per matrix as usual and (b) writes the
+//! Figure 4 memory-ratio data to `results/fig4_{single,double}.csv` —
+//! the same files the `repro` binary emits — printing the ratios on
+//! stderr along the way.
 
 use baselines::Algorithm;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{harness, report};
 
-fn run<T: bench::CachedMatrix>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    for row in bench::experiments::fig4::<T>() {
-        let cusparse = row
-            .entries
-            .iter()
-            .find(|e| e.0 == Algorithm::Cusparse)
-            .and_then(|e| e.1)
-            .unwrap_or(0);
+fn run<T: bench::CachedMatrix>(g: &mut harness::Group) {
+    let data = bench::experiments::fig4::<T>();
+    for row in &data {
+        let cusparse =
+            row.entries.iter().find(|e| e.0 == Algorithm::Cusparse).and_then(|e| e.1).unwrap_or(0);
         for (alg, peak, ratio) in &row.entries {
             eprintln!(
                 "fig4 {} {} on {}: peak {} MB, ratio {:?} (cuSPARSE {} MB)",
@@ -29,20 +27,18 @@ fn run<T: bench::CachedMatrix>(g: &mut criterion::BenchmarkGroup<'_, criterion::
         }
         let d = matgen::by_name(&row.dataset).unwrap();
         let r = bench::run_one::<T>(Algorithm::Proposal, &d).report.unwrap();
-        let t = r.total_time.secs();
-        g.bench_function(format!("{}/{}/PROPOSAL", T::PRECISION, row.dataset.replace('/', "_")), |b| {
-            b.iter_custom(|iters| std::time::Duration::from_secs_f64(t * iters as f64))
-        });
+        g.bench_sim(
+            &format!("{}/{}/PROPOSAL", T::PRECISION, row.dataset.replace('/', "_")),
+            r.total_time,
+        );
     }
+    let p = report::write_fig4_csv(T::PRECISION, &data);
+    println!("fig4_{} -> {}", T::PRECISION, p.display());
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_memory");
-    g.sample_size(10);
+fn main() {
+    let mut g = harness::group("fig4_memory");
     run::<f32>(&mut g);
     run::<f64>(&mut g);
     g.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

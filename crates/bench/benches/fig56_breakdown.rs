@@ -1,38 +1,37 @@
 //! Figures 5 and 6: execution-time breakdown (setup / count / calc /
 //! cudaMalloc) of the proposal and cuSPARSE, single and double
-//! precision. Every phase of every matrix is its own bench id, measured
-//! as simulated time.
+//! precision. Every phase of every matrix is its own bench id, recorded
+//! as simulated time. Besides the timing CSV
+//! (`results/bench_fig56_breakdown.csv`), this entry point writes the
+//! `results/fig{5,6}.csv` files the `repro` binary emits.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use baselines::Algorithm;
+use bench::{harness, report};
 use vgpu::Phase;
 
-fn run<T: bench::CachedMatrix>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, fig: &str) {
-    use baselines::Algorithm;
+fn run<T: bench::CachedMatrix>(g: &mut harness::Group, fig: &str) {
     for d in matgen::standard_datasets() {
         for alg in [Algorithm::Cusparse, Algorithm::Proposal] {
-            let report = bench::run_one::<T>(alg, &d).report.expect("standard set fits");
+            let rep = bench::run_one::<T>(alg, &d).report.expect("standard set fits");
             for phase in [Phase::Setup, Phase::Count, Phase::Calc, Phase::Malloc] {
-                let t = report.phase_time(phase);
+                let t = rep.phase_time(phase);
                 if t <= vgpu::SimTime::ZERO {
                     continue;
                 }
-                let dur = t.secs();
-                g.bench_function(
-                    format!("{fig}/{}/{}/{}", d.name.replace('/', "_"), alg.name(), phase.label()),
-                    |b| b.iter_custom(|iters| std::time::Duration::from_secs_f64(dur * iters as f64)),
+                g.bench_sim(
+                    &format!("{fig}/{}/{}/{}", d.name.replace('/', "_"), alg.name(), phase.label()),
+                    t,
                 );
             }
         }
     }
+    let p = report::write_fig56_csv(fig, &bench::experiments::fig56::<T>());
+    println!("{fig} -> {}", p.display());
 }
 
-fn bench_fig56(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig56_breakdown");
-    g.sample_size(10);
+fn main() {
+    let mut g = harness::group("fig56_breakdown");
     run::<f32>(&mut g, "fig5");
     run::<f64>(&mut g, "fig6");
     g.finish();
 }
-
-criterion_group!(benches, bench_fig56);
-criterion_main!(benches);

@@ -1,61 +1,62 @@
 //! Wall-clock micro-benchmarks of the host-side building blocks: these
 //! measure the real Rust code (not simulated time) — hash-table inserts,
 //! the deterministic PRNG, generators, the CPU SpGEMM references and CSR
-//! transforms.
+//! transforms. Medians of auto-calibrated batches land in
+//! `results/bench_micro.csv`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::harness;
 use nsparse_core::HashTable;
 use sparse::spgemm_ref;
+use std::hint::black_box;
 
-fn bench_micro(c: &mut Criterion) {
+fn main() {
+    let mut g = harness::group("micro");
+
     // Hash table: symbolic inserts of scattered keys.
-    c.bench_function("hash_insert_symbolic_4096", |b| {
-        let mut t = HashTable::<f64>::new(8192, true);
-        let keys: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
-        b.iter(|| {
-            t.reset(8192);
-            for &k in &keys {
-                t.insert_symbolic(black_box(k));
-            }
-            black_box(t.occupied())
-        })
+    let keys: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
+    let mut t = HashTable::<f64>::new(8192, true);
+    g.bench_wall("hash_insert_symbolic_4096", || {
+        t.reset(8192);
+        for &k in &keys {
+            t.insert_symbolic(black_box(k));
+        }
+        black_box(t.occupied());
     });
-    c.bench_function("hash_insert_numeric_4096", |b| {
-        let mut t = HashTable::<f64>::new(8192, true);
-        let keys: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
-        b.iter(|| {
-            t.reset(8192);
-            for &k in &keys {
-                t.insert_numeric(black_box(k), 1.0);
-            }
-            black_box(t.occupied())
-        })
+    let mut t = HashTable::<f64>::new(8192, true);
+    g.bench_wall("hash_insert_numeric_4096", || {
+        t.reset(8192);
+        for &k in &keys {
+            t.insert_numeric(black_box(k), 1.0);
+        }
+        black_box(t.occupied());
     });
-    c.bench_function("rng64_throughput_1M", |b| {
-        let mut rng = matgen::generators::Rng64::new(7);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc ^= rng.next_u64();
-            }
-            black_box(acc)
-        })
-    });
-    c.bench_function("generate_banded_10k_rows", |b| {
-        b.iter(|| black_box(matgen::generators::banded::<f32>(10_000, 40.0, 80, 300, 3)))
-    });
-    let a = matgen::generators::banded::<f64>(5_000, 30.0, 60, 200, 5);
-    c.bench_function("spgemm_gustavson_5k", |b| {
-        b.iter(|| black_box(spgemm_ref::spgemm_gustavson(&a, &a).unwrap()))
-    });
-    c.bench_function("spgemm_heap_5k", |b| {
-        b.iter(|| black_box(spgemm_ref::spgemm_heap(&a, &a).unwrap()))
-    });
-    c.bench_function("csr_transpose_5k", |b| b.iter(|| black_box(a.transpose())));
-    c.bench_function("symbolic_row_nnz_5k", |b| {
-        b.iter(|| black_box(spgemm_ref::symbolic_row_nnz(&a, &a).unwrap()))
-    });
-}
 
-criterion_group!(benches, bench_micro);
-criterion_main!(benches);
+    let mut rng = matgen::generators::Rng64::new(7);
+    g.bench_wall("rng64_throughput_1M", || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc ^= rng.next_u64();
+        }
+        black_box(acc);
+    });
+
+    g.bench_wall("generate_banded_10k_rows", || {
+        black_box(matgen::generators::banded::<f32>(10_000, 40.0, 80, 300, 3));
+    });
+
+    let a = matgen::generators::banded::<f64>(5_000, 30.0, 60, 200, 5);
+    g.bench_wall("spgemm_gustavson_5k", || {
+        black_box(spgemm_ref::spgemm_gustavson(&a, &a).unwrap());
+    });
+    g.bench_wall("spgemm_heap_5k", || {
+        black_box(spgemm_ref::spgemm_heap(&a, &a).unwrap());
+    });
+    g.bench_wall("csr_transpose_5k", || {
+        black_box(a.transpose());
+    });
+    g.bench_wall("symbolic_row_nnz_5k", || {
+        black_box(spgemm_ref::symbolic_row_nnz(&a, &a).unwrap());
+    });
+
+    g.finish();
+}

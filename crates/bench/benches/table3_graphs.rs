@@ -3,28 +3,31 @@
 //!
 //! The virtual device's memory is scaled with the dataset (DESIGN.md §8)
 //! so CUSP and BHSPARSE hit the paper's out-of-memory "-" entries; OOM
-//! cases are reported on stderr and skipped as bench ids.
+//! cases are reported on stderr and skipped as bench ids. Besides the
+//! timing CSV (`results/bench_table3_graphs.csv`), this entry point
+//! writes the `results/table3_{single,double}.csv` files the `repro`
+//! binary emits.
 
 use baselines::Algorithm;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{harness, report};
 
-fn run<T: bench::CachedMatrix>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+fn run<T: bench::CachedMatrix>(g: &mut harness::Group) -> Vec<bench::EvalResult> {
+    let mut results = Vec::new();
     for d in matgen::large_datasets() {
         for alg in Algorithm::ALL {
             let r = bench::run_one::<T>(alg, &d);
-            match r.report {
-                Some(report) => {
+            match &r.report {
+                Some(rep) => {
                     eprintln!(
                         "{} {} on {}: {:.3} GFLOPS",
                         T::PRECISION,
                         alg.name(),
                         d.name,
-                        report.gflops()
+                        rep.gflops()
                     );
-                    let t = report.total_time.secs();
-                    g.bench_function(
-                        format!("{}/{}/{}", T::PRECISION, d.name, alg.name()),
-                        |b| b.iter_custom(|iters| std::time::Duration::from_secs_f64(t * iters as f64)),
+                    g.bench_sim(
+                        &format!("{}/{}/{}", T::PRECISION, d.name, alg.name()),
+                        rep.total_time,
                     );
                 }
                 None => eprintln!(
@@ -34,17 +37,19 @@ fn run<T: bench::CachedMatrix>(g: &mut criterion::BenchmarkGroup<'_, criterion::
                     d.name
                 ),
             }
+            results.push(r);
         }
     }
+    results
 }
 
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_graphs");
-    g.sample_size(10);
-    run::<f32>(&mut g);
-    run::<f64>(&mut g);
+fn main() {
+    let mut g = harness::group("table3_graphs");
+    let single = run::<f32>(&mut g);
+    let double = run::<f64>(&mut g);
     g.finish();
+    let p = report::write_gflops_csv("table3_single", &single);
+    println!("table3_single -> {}", p.display());
+    let p = report::write_gflops_csv("table3_double", &double);
+    println!("table3_double -> {}", p.display());
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

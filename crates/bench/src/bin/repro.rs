@@ -13,6 +13,7 @@
 
 use baselines::Algorithm;
 use bench::experiments as exp;
+use bench::report;
 use bench::table::{gflops_cell, mb, render};
 use bench::write_csv;
 use nsparse_core::Assignment;
@@ -22,8 +23,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "table2", "fig2", "fig3", "table3", "fig4", "fig5", "fig6",
-            "ablation-streams", "ablation-pwarp", "ablation-pwarp-width", "ablation-hash",
+            "table1",
+            "table2",
+            "fig2",
+            "fig3",
+            "table3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "ablation-streams",
+            "ablation-pwarp",
+            "ablation-pwarp-width",
+            "ablation-hash",
             "extension-devices",
         ]
     } else {
@@ -178,23 +189,14 @@ fn fig23<T: bench::CachedMatrix>(tag: &str, title: &str) {
 fn table3() {
     println!("\n== Table III: performance for large graph data [GFLOPS] ==");
     for prec in ["single", "double"] {
-        let results =
-            if prec == "single" { exp::table3::<f32>() } else { exp::table3::<f64>() };
+        let results = if prec == "single" { exp::table3::<f32>() } else { exp::table3::<f64>() };
         println!("-- {prec} precision --");
         print_gflops_table(&format!("table3_{prec}"), &results);
     }
 }
 
 fn print_gflops_table(tag: &str, results: &[bench::EvalResult]) {
-    let datasets: Vec<String> = {
-        let mut seen = Vec::new();
-        for r in results {
-            if !seen.contains(&r.dataset) {
-                seen.push(r.dataset.clone());
-            }
-        }
-        seen
-    };
+    let datasets = report::dataset_order(results);
     let mut rows = vec![vec![
         "Matrix".to_string(),
         "CUSP".to_string(),
@@ -203,13 +205,9 @@ fn print_gflops_table(tag: &str, results: &[bench::EvalResult]) {
         "PROPOSAL".to_string(),
         "speedup".to_string(),
     ]];
-    let mut csv = Vec::new();
     for d in &datasets {
         let g = |alg: Algorithm| {
-            results
-                .iter()
-                .find(|r| &r.dataset == d && r.algorithm == alg)
-                .and_then(|r| r.gflops())
+            results.iter().find(|r| &r.dataset == d && r.algorithm == alg).and_then(|r| r.gflops())
         };
         let (cusp, cusparse, bh, prop) = (
             g(Algorithm::Cusp),
@@ -218,8 +216,7 @@ fn print_gflops_table(tag: &str, results: &[bench::EvalResult]) {
             g(Algorithm::Proposal),
         );
         let best_other = [cusp, cusparse, bh].iter().flatten().fold(0.0f64, |a, &b| a.max(b));
-        let speedup =
-            if best_other > 0.0 { prop.map(|p| p / best_other) } else { None };
+        let speedup = if best_other > 0.0 { prop.map(|p| p / best_other) } else { None };
         rows.push(vec![
             d.clone(),
             gflops_cell(cusp),
@@ -228,17 +225,9 @@ fn print_gflops_table(tag: &str, results: &[bench::EvalResult]) {
             gflops_cell(prop),
             speedup.map(|s| format!("x{s:.2}")).unwrap_or_default(),
         ]);
-        csv.push(format!(
-            "{},{},{},{},{}",
-            d,
-            gflops_cell(cusp),
-            gflops_cell(cusparse),
-            gflops_cell(bh),
-            gflops_cell(prop)
-        ));
     }
     print!("{}", render(&rows));
-    let p = write_csv(tag, "matrix,cusp,cusparse,bhsparse,proposal", &csv);
+    let p = report::write_gflops_csv(tag, results);
     println!("-> {}", p.display());
 }
 
@@ -252,13 +241,12 @@ fn fig4<T: bench::CachedMatrix>() {
         "BHSPARSE".to_string(),
         "PROPOSAL".to_string(),
     ]];
-    let mut csv = Vec::new();
+    let data = exp::fig4::<T>();
     let mut prop_sum = 0.0;
     let mut n = 0usize;
-    for row in exp::fig4::<T>() {
+    for row in &data {
         let find = |alg: Algorithm| row.entries.iter().find(|e| e.0 == alg).cloned().unwrap();
-        let ratio =
-            |alg: Algorithm| find(alg).2.map(|x| format!("{x:.3}")).unwrap_or("-".into());
+        let ratio = |alg: Algorithm| find(alg).2.map(|x| format!("{x:.3}")).unwrap_or("-".into());
         let cu_peak = find(Algorithm::Cusparse).1.map(mb).unwrap_or("-".into());
         if let Some(r) = find(Algorithm::Proposal).2 {
             prop_sum += r;
@@ -267,18 +255,10 @@ fn fig4<T: bench::CachedMatrix>() {
         rows.push(vec![
             row.dataset.clone(),
             ratio(Algorithm::Cusp),
-            cu_peak.clone(),
+            cu_peak,
             ratio(Algorithm::Bhsparse),
             ratio(Algorithm::Proposal),
         ]);
-        csv.push(format!(
-            "{},{},{},{},{}",
-            row.dataset,
-            ratio(Algorithm::Cusp),
-            cu_peak,
-            ratio(Algorithm::Bhsparse),
-            ratio(Algorithm::Proposal)
-        ));
     }
     print!("{}", render(&rows));
     if n > 0 {
@@ -288,11 +268,7 @@ fn fig4<T: bench::CachedMatrix>() {
             100.0 * (1.0 - prop_sum / n as f64)
         );
     }
-    let p = write_csv(
-        &format!("fig4_{prec}"),
-        "matrix,cusp_ratio,cusparse_mb,bhsparse_ratio,proposal_ratio",
-        &csv,
-    );
+    let p = report::write_fig4_csv(prec, &data);
     println!("-> {}", p.display());
 }
 
@@ -314,11 +290,9 @@ fn fig56<T: bench::CachedMatrix>(tag: &str) {
         "pr:malloc".to_string(),
         "pr:total".to_string(),
     ]];
-    let mut csv = Vec::new();
-    for row in exp::fig56::<T>() {
-        let get = |v: &[(Phase, f64)], p: Phase| {
-            v.iter().find(|&&(q, _)| q == p).map(|&(_, f)| f).unwrap_or(0.0)
-        };
+    let data = exp::fig56::<T>();
+    for row in &data {
+        let get = report::phase_frac;
         let f = |x: f64| format!("{x:.3}");
         rows.push(vec![
             row.dataset.clone(),
@@ -332,25 +306,9 @@ fn fig56<T: bench::CachedMatrix>(tag: &str) {
             f(get(&row.proposal, Phase::Malloc)),
             f(row.proposal_total),
         ]);
-        csv.push(format!(
-            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
-            row.dataset,
-            get(&row.cusparse, Phase::Setup),
-            get(&row.cusparse, Phase::Count),
-            get(&row.cusparse, Phase::Calc),
-            get(&row.cusparse, Phase::Malloc),
-            get(&row.proposal, Phase::Setup),
-            get(&row.proposal, Phase::Count),
-            get(&row.proposal, Phase::Calc),
-            get(&row.proposal, Phase::Malloc),
-        ));
     }
     print!("{}", render(&rows));
-    let p = write_csv(
-        tag,
-        "matrix,cu_setup,cu_count,cu_calc,cu_malloc,pr_setup,pr_count,pr_calc,pr_malloc",
-        &csv,
-    );
+    let p = report::write_fig56_csv(tag, &data);
     println!("-> {}", p.display());
 }
 
@@ -362,7 +320,6 @@ fn ablation(tag: &str, title: &str, rows_in: Vec<exp::AblationRow>) {
         "time".to_string(),
         "GFLOPS".to_string(),
     ]];
-    let mut csv = Vec::new();
     for r in &rows_in {
         rows.push(vec![
             r.dataset.clone(),
@@ -370,7 +327,6 @@ fn ablation(tag: &str, title: &str, rows_in: Vec<exp::AblationRow>) {
             format!("{}", r.time),
             format!("{:.3}", r.gflops),
         ]);
-        csv.push(format!("{},{},{:.9},{:.3}", r.dataset, r.label, r.time.secs(), r.gflops));
     }
     print!("{}", render(&rows));
     // For on/off ablations, print the speedup of the first config.
@@ -386,6 +342,6 @@ fn ablation(tag: &str, title: &str, rows_in: Vec<exp::AblationRow>) {
             println!("{d}: speedup x{:.2}", of[1].time.secs() / of[0].time.secs());
         }
     }
-    let p = write_csv(tag, "matrix,config,time_s,gflops", &csv);
+    let p = report::write_ablation_csv(tag, &rows_in);
     println!("-> {}", p.display());
 }

@@ -59,9 +59,7 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let value = |it: &mut dyn Iterator<Item = String>| {
-            it.next().unwrap_or_else(|| usage())
-        };
+        let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--dataset" => args.dataset = Some(value(&mut it)),
             "--matrix" => args.matrix = Some(value(&mut it)),
@@ -141,7 +139,12 @@ fn run<T: Scalar>(args: &Args) {
         eprintln!("matrix must be square to compute A^2 ({}x{})", a.rows(), a.cols());
         std::process::exit(1);
     }
-    eprintln!("{} rows, {} nnz ({:.2} nnz/row)", a.rows(), a.nnz(), a.nnz() as f64 / a.rows().max(1) as f64);
+    eprintln!(
+        "{} rows, {} nnz ({:.2} nnz/row)",
+        a.rows(),
+        a.nnz(),
+        a.nnz() as f64 / a.rows().max(1) as f64
+    );
 
     let mut gpu = Gpu::new(device_config(&args.device));
     if args.include_transfers {
@@ -174,7 +177,12 @@ fn run<T: Scalar>(args: &Args) {
     println!("peak memory : {:.1} MB", report.peak_mem_bytes as f64 / (1 << 20) as f64);
     for (phase, t) in &report.phase_times {
         if *phase != Phase::Other && t.secs() > 0.0 {
-            println!("  {:10} {} ({:.1}%)", phase.label(), t, 100.0 * t.secs() / report.total_time.secs());
+            println!(
+                "  {:10} {} ({:.1}%)",
+                phase.label(),
+                t,
+                100.0 * t.secs() / report.total_time.secs()
+            );
         }
     }
     if let Some(path) = &args.trace {

@@ -1,15 +1,19 @@
 //! Benchmark harness: runners for every table and figure of the paper.
 //!
 //! Each experiment has a function returning structured rows; the `repro`
-//! binary prints them as text tables and CSV, and the Criterion benches
-//! feed the simulated durations into `iter_custom` so `cargo bench`
-//! output is directly comparable with the paper's figures.
+//! binary prints them as text tables, and the [`report`] module writes
+//! the per-figure CSVs shared by `repro` and the `cargo bench` entry
+//! points. The benches record durations through the in-repo [`harness`]
+//! (no external Criterion dependency — see DESIGN.md §7), so
+//! `cargo bench` output is directly comparable with the paper's figures.
 //!
 //! Dataset matrices are generated once per process and cached
 //! ([`matrix_f32`]/[`matrix_f64`]) — generation is seeded and
 //! deterministic, so caching cannot change results.
 
 pub mod experiments;
+pub mod harness;
+pub mod report;
 pub mod table;
 
 use baselines::Algorithm;
@@ -105,12 +109,7 @@ pub fn run_one<T: CachedMatrix>(alg: Algorithm, d: &Dataset) -> EvalResult {
         Err(nsparse_core::pipeline::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => None,
         Err(e) => panic!("{} on {} failed: {e}", alg.name(), d.name),
     };
-    EvalResult {
-        dataset: d.name.to_string(),
-        algorithm: alg,
-        precision: T::PRECISION,
-        report,
-    }
+    EvalResult { dataset: d.name.to_string(), algorithm: alg, precision: T::PRECISION, report }
 }
 
 /// Evaluate all four algorithms over the given datasets.
@@ -124,12 +123,20 @@ pub fn eval_matrix_set<T: CachedMatrix>(datasets: &[Dataset]) -> Vec<EvalResult>
     out
 }
 
+/// The workspace-root `results/` directory. Anchored via the crate's
+/// manifest path so `cargo bench` (which runs with the crate directory
+/// as cwd) and `cargo run` (invocation cwd) write the same files.
+pub fn results_dir() -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).unwrap_or(manifest).join("results")
+}
+
 /// Write rows as CSV into `results/<name>.csv` (creating the directory),
-/// returning the path. Used by the `repro` binary so every figure's data
-/// lands on disk.
+/// returning the path. Used by the `repro` binary and the bench entry
+/// points so every figure's data lands on disk.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.csv"));
     let mut body = String::from(header);
     body.push('\n');

@@ -52,10 +52,8 @@ mod tests {
 
     #[test]
     fn renders_aligned_table() {
-        let t = render(&[
-            vec!["name".into(), "x".into()],
-            vec!["longer-name".into(), "12345".into()],
-        ]);
+        let t =
+            render(&[vec!["name".into(), "x".into()], vec!["longer-name".into(), "12345".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("---"));

@@ -183,14 +183,12 @@ pub fn build_groups(
         // tables fit the 48 KB budget.
         let per_row_table = (pwarp_border.max(1) * 2).next_power_of_two();
         let max_rows_by_shared = cfg.max_shared_per_block / (per_row_table * entry_bytes);
-        let rows_per_block =
-            (PWARP_BLOCK_THREADS / pwarp_width).min(max_rows_by_shared).max(1);
+        let rows_per_block = (PWARP_BLOCK_THREADS / pwarp_width).min(max_rows_by_shared).max(1);
         // Round the block down to a warp multiple; never round *up*, or
         // the per-row tables would overflow the block's shared budget on
         // small-LDS devices. A sub-warp block is legal (just inefficient)
         // when even one warp's worth of rows does not fit.
-        let mut block_threads =
-            (rows_per_block * pwarp_width) / cfg.warp_size * cfg.warp_size;
+        let mut block_threads = (rows_per_block * pwarp_width) / cfg.warp_size * cfg.warp_size;
         if block_threads == 0 {
             block_threads = rows_per_block * pwarp_width;
         }

@@ -401,14 +401,7 @@ mod tests {
     fn symbolic_overflow_detected() {
         // Row 0 of a selects a dense B row wider than the table.
         let a = Csr::from_dense(&[vec![1.0]]);
-        let b = Csr::from_parts(
-            1,
-            64,
-            vec![0, 64],
-            (0..64).collect(),
-            vec![1.0; 64],
-        )
-        .unwrap();
+        let b = Csr::from_parts(1, 64, vec![0, 64], (0..64).collect(), vec![1.0; 64]).unwrap();
         let mut table = HashTable::<f64>::new(16, true);
         let s = tb_symbolic_row(&a, &b, 0, 16, &mut table);
         assert!(s.overflowed);
@@ -418,14 +411,8 @@ mod tests {
     fn pwarp_lane_max_reflects_imbalance() {
         // One long B-row, three empty ones: lane 0 does all the work.
         let a = Csr::from_dense(&[vec![1.0, 1.0, 1.0, 1.0]]);
-        let b = Csr::from_parts(
-            4,
-            64,
-            vec![0, 40, 40, 40, 40],
-            (0..40).collect(),
-            vec![1.0; 40],
-        )
-        .unwrap();
+        let b = Csr::from_parts(4, 64, vec![0, 40, 40, 40, 40], (0..40).collect(), vec![1.0; 40])
+            .unwrap();
         let mut table = HashTable::<f64>::new(64, true);
         let s = pwarp_row(&a, &b, 0, 4, 64, &mut table, false, None);
         assert_eq!(s.products, 40);
@@ -438,8 +425,14 @@ mod tests {
         let (a, b) = small();
         let gpu = Gpu::new(DeviceConfig::p100());
         let mut table = HashTable::<f64>::new(64, true);
-        let spec = crate::groups::build_groups(gpu.config(), 8, crate::groups::GroupPhase::Numeric, 4, true)
-            .groups[5]
+        let spec = crate::groups::build_groups(
+            gpu.config(),
+            8,
+            crate::groups::GroupPhase::Numeric,
+            4,
+            true,
+        )
+        .groups[5]
             .clone();
         let nnz0 = spgemm_gustavson(&a, &b).unwrap().row_nnz(0);
         let (mut oc, mut ov) = (vec![0u32; nnz0], vec![0.0f64; nnz0]);

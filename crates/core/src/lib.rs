@@ -37,7 +37,7 @@ pub mod spmv;
 
 pub use groups::{build_groups, Assignment, GroupPhase, GroupSpec, GroupTable};
 pub use hash::{HashTable, HASH_SCAL};
-pub use pipeline::{estimate_memory, multiply, Error, MemoryEstimate, Options};
 pub use masked::multiply_masked;
+pub use pipeline::{estimate_memory, multiply, Error, MemoryEstimate, Options};
 pub use plan::SpgemmPlan;
 pub use spmv::{spmv, BlockedMatrix};

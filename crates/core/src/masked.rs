@@ -56,10 +56,7 @@ pub fn multiply_masked<T: Scalar>(
 
     // Output pattern is the mask: allocate it up front — no count phase.
     gpu.set_phase(Phase::Malloc);
-    let c_buf = gpu.malloc(
-        4 * (m as u64 + 1) + (4 + T::BYTES as u64) * mask.nnz() as u64,
-        "C",
-    )?;
+    let c_buf = gpu.malloc(4 * (m as u64 + 1) + (4 + T::BYTES as u64) * mask.nnz() as u64, "C")?;
 
     gpu.set_phase(Phase::Calc);
     // One numeric pass: per row, build the mask's column set in the hash
@@ -104,10 +101,7 @@ pub fn multiply_masked<T: Scalar>(
         c.global_coalesced(mcols.len() as f64 * T::BYTES as f64);
         blocks.push(c.finish());
     }
-    gpu.launch(
-        KernelDesc::new("masked_numeric", DEFAULT_STREAM, 256, 16 * 1024),
-        blocks,
-    )?;
+    gpu.launch(KernelDesc::new("masked_numeric", DEFAULT_STREAM, 256, 16 * 1024), blocks)?;
     gpu.set_phase(Phase::Other);
 
     for id in [a_buf, b_buf, m_buf, c_buf] {
@@ -115,16 +109,9 @@ pub fn multiply_masked<T: Scalar>(
     }
 
     let after = gpu.profiler().phase_times();
-    let phase_times: Vec<(Phase, SimTime)> = after
-        .iter()
-        .zip(&phase_before)
-        .map(|(&(p, t1), &(_, t0))| (p, t1 - t0))
-        .collect();
-    let total_time = phase_times
-        .iter()
-        .filter(|(p, _)| *p != Phase::Other)
-        .map(|&(_, t)| t)
-        .sum();
+    let phase_times: Vec<(Phase, SimTime)> =
+        after.iter().zip(&phase_before).map(|(&(p, t1), &(_, t0))| (p, t1 - t0)).collect();
+    let total_time = phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
     let report = SpgemmReport {
         algorithm: "proposal (masked)".into(),
         precision: T::PRECISION,
@@ -134,13 +121,7 @@ pub fn multiply_masked<T: Scalar>(
         intermediate_products: ip,
         output_nnz: mask.nnz() as u64,
     };
-    let c = Csr::from_parts_unchecked(
-        m,
-        b.cols(),
-        mask.rpt().to_vec(),
-        mask.col().to_vec(),
-        val_c,
-    );
+    let c = Csr::from_parts_unchecked(m, b.cols(), mask.rpt().to_vec(), mask.col().to_vec(), val_c);
     Ok((c, report))
 }
 
@@ -184,10 +165,7 @@ mod tests {
             let (mc, _) = mask.row(i);
             let (fc, fv) = full.row(i);
             for &c in mc {
-                let v = fc
-                    .binary_search(&c)
-                    .map(|p| fv[p])
-                    .unwrap_or(0.0);
+                let v = fc.binary_search(&c).map(|p| fv[p]).unwrap_or(0.0);
                 vals.push(v);
             }
         }

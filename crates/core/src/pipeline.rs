@@ -23,7 +23,9 @@ use crate::kernels::{
 use sparse::spgemm_ref::row_intermediate_products;
 use sparse::{Csr, Scalar};
 use vgpu::device::DEFAULT_STREAM;
-use vgpu::{primitives, AllocId, Gpu, GpuError, KernelDesc, Phase, SimTime, SpgemmReport, StreamId};
+use vgpu::{
+    primitives, AllocId, Gpu, GpuError, KernelDesc, Phase, SimTime, SpgemmReport, StreamId,
+};
 
 /// Tunables of the proposal. Defaults reproduce the paper's
 /// configuration; the switches drive the §III/§IV-C ablations.
@@ -180,10 +182,7 @@ fn multiply_inner<T: Scalar>(
 
     // ---------------- Malloc: (5) allocate the output ----------------
     gpu.set_phase(Phase::Malloc);
-    allocs.push(gpu.malloc(
-        4 * (m as u64 + 1) + (4 + T::BYTES as u64) * nnz_c as u64,
-        "C",
-    )?);
+    allocs.push(gpu.malloc(4 * (m as u64 + 1) + (4 + T::BYTES as u64) * nnz_c as u64, "C")?);
 
     // ---------------- Calc: (6) regroup, (7) numeric ----------------
     gpu.set_phase(Phase::Calc);
@@ -191,16 +190,9 @@ fn multiply_inner<T: Scalar>(
     gpu.set_phase(Phase::Other);
     // Assemble the report from the profiler delta of this call.
     let phase_after = gpu.profiler().phase_times();
-    let phase_times: Vec<(Phase, SimTime)> = phase_after
-        .iter()
-        .zip(&phase_before)
-        .map(|(&(p, t1), &(_, t0))| (p, t1 - t0))
-        .collect();
-    let total_time = phase_times
-        .iter()
-        .filter(|(p, _)| *p != Phase::Other)
-        .map(|&(_, t)| t)
-        .sum();
+    let phase_times: Vec<(Phase, SimTime)> =
+        phase_after.iter().zip(&phase_before).map(|(&(p, t1), &(_, t0))| (p, t1 - t0)).collect();
+    let total_time = phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
     let report = SpgemmReport {
         algorithm: "proposal".to_string(),
         precision: T::PRECISION,
@@ -213,7 +205,6 @@ fn multiply_inner<T: Scalar>(
     let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c);
     Ok((c, report))
 }
-
 
 /// Exclusive prefix sum of per-row counts into a CSR row pointer.
 pub(crate) fn prefix_sum(nnz_row: &[u32]) -> Vec<usize> {
@@ -315,10 +306,8 @@ pub(crate) fn run_count<T: Scalar>(
     // Second pass for rows whose table overflowed shared memory:
     // per-row global tables sized from their intermediate products.
     if !count_overflow.is_empty() {
-        let table_bytes: u64 = count_overflow
-            .iter()
-            .map(|&r| 4 * global_table_size(nprod[r as usize]) as u64)
-            .sum();
+        let table_bytes: u64 =
+            count_overflow.iter().map(|&r| 4 * global_table_size(nprod[r as usize]) as u64).sum();
         let gt = gpu.malloc(table_bytes, "count_global_tables")?;
         primitives::memset(gpu, DEFAULT_STREAM, table_bytes)?;
         let mut blocks = Vec::with_capacity(count_overflow.len());
@@ -330,7 +319,12 @@ pub(crate) fn run_count<T: Scalar>(
             blocks.push(tb_global_block_cost(gpu, &s, cap, None));
         }
         gpu.launch(
-            KernelDesc::new("symbolic_global", DEFAULT_STREAM, gpu.config().max_threads_per_block, 0),
+            KernelDesc::new(
+                "symbolic_global",
+                DEFAULT_STREAM,
+                gpu.config().max_threads_per_block,
+                0,
+            ),
             blocks,
         )?;
         gpu.free(gt); // synchronizes; table only lives through the pass
@@ -529,10 +523,7 @@ mod tests {
                 t2.push((r, (next() % n) as u32, 1.0 + (next() % 5) as f64));
             }
         }
-        (
-            Csr::from_triplets(n, n, &t1).unwrap(),
-            Csr::from_triplets(n, n, &t2).unwrap(),
-        )
+        (Csr::from_triplets(n, n, &t1).unwrap(), Csr::from_triplets(n, n, &t2).unwrap())
     }
 
     #[test]
@@ -612,12 +603,8 @@ mod tests {
         let (a, b) = random_pair(300, 5);
         let mut g = gpu();
         let (_, r) = multiply(&mut g, &a, &b, &Options::default()).unwrap();
-        let sum: SimTime = r
-            .phase_times
-            .iter()
-            .filter(|(p, _)| *p != Phase::Other)
-            .map(|&(_, t)| t)
-            .sum();
+        let sum: SimTime =
+            r.phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
         assert!((sum.secs() - r.total_time.secs()).abs() < 1e-15);
         assert!(r.phase_time(Phase::Count) > SimTime::ZERO);
         assert!(r.phase_time(Phase::Calc) > SimTime::ZERO);
@@ -697,24 +684,14 @@ pub fn estimate_memory<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<MemoryEstima
     let entry = 4 + T::BYTES as u64;
     // Count-phase overflow tables exist for rows beyond the largest
     // shared table (threshold depends only on device class; use P100's).
-    let groups = build_groups(
-        &vgpu::DeviceConfig::p100(),
-        T::BYTES,
-        GroupPhase::Count,
-        4,
-        true,
-    );
+    let groups = build_groups(&vgpu::DeviceConfig::p100(), T::BYTES, GroupPhase::Count, 4, true);
     let shared_max = groups.groups[0].lower - 1;
-    let tables: u64 = nprod
-        .iter()
-        .filter(|&&p| p > shared_max)
-        .map(|&p| 4 * global_table_size(p) as u64)
-        .sum();
+    let tables: u64 =
+        nprod.iter().filter(|&&p| p > shared_max).map(|&p| 4 * global_table_size(p) as u64).sum();
     Ok(MemoryEstimate {
         inputs: a.device_bytes() + b.device_bytes(),
         working: 4 * (m + 1) + 4 * m + 4 * (m + 1),
-        output_upper: 4 * (m + 1)
-            + entry * nprod.iter().map(|&p| p as u64).sum::<u64>(),
+        output_upper: 4 * (m + 1) + entry * nprod.iter().map(|&p| p as u64).sum::<u64>(),
         global_tables_upper: tables,
     })
 }

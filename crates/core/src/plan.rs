@@ -105,10 +105,7 @@ impl<T: Scalar> SpgemmPlan<T> {
         let m = a.rows();
         let nnz_c = self.output_nnz();
         gpu.set_phase(Phase::Malloc);
-        let c_buf = gpu.malloc(
-            4 * (m as u64 + 1) + (4 + T::BYTES as u64) * nnz_c as u64,
-            "C",
-        )?;
+        let c_buf = gpu.malloc(4 * (m as u64 + 1) + (4 + T::BYTES as u64) * nnz_c as u64, "C")?;
         gpu.set_phase(Phase::Calc);
         let res = pipeline::run_numeric(gpu, a, b, &self.opts, &self.nnz_row, &self.rpt_c);
         gpu.set_phase(Phase::Other);
@@ -116,16 +113,10 @@ impl<T: Scalar> SpgemmPlan<T> {
         let (col_c, val_c) = res?;
 
         let after = gpu.profiler().phase_times();
-        let phase_times: Vec<(Phase, SimTime)> = after
-            .iter()
-            .zip(&phase_before)
-            .map(|(&(p, t1), &(_, t0))| (p, t1 - t0))
-            .collect();
-        let total_time = phase_times
-            .iter()
-            .filter(|(p, _)| *p != Phase::Other)
-            .map(|&(_, t)| t)
-            .sum();
+        let phase_times: Vec<(Phase, SimTime)> =
+            after.iter().zip(&phase_before).map(|(&(p, t1), &(_, t0))| (p, t1 - t0)).collect();
+        let total_time =
+            phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
         let ip: u64 = row_intermediate_products(a, b)?.iter().map(|&x| x as u64).sum();
         let report = SpgemmReport {
             algorithm: "proposal (planned)".into(),
@@ -136,10 +127,7 @@ impl<T: Scalar> SpgemmPlan<T> {
             intermediate_products: ip,
             output_nnz: nnz_c as u64,
         };
-        Ok((
-            Csr::from_parts_unchecked(m, self.cols_b, self.rpt_c.clone(), col_c, val_c),
-            report,
-        ))
+        Ok((Csr::from_parts_unchecked(m, self.cols_b, self.rpt_c.clone(), col_c, val_c), report))
     }
 }
 

@@ -142,8 +142,7 @@ impl<T: Scalar> BlockedMatrix<T> {
         gpu.launch(KernelDesc::new("spmv_blocked", DEFAULT_STREAM, 256, 4096), blocks)?;
         gpu.sync();
         let time = gpu.elapsed() - t0;
-        let matrix_bytes =
-            (self.a.nnz() as f64 * self.fill_ratio * (4.0 + T::BYTES as f64)) as u64;
+        let matrix_bytes = (self.a.nnz() as f64 * self.fill_ratio * (4.0 + T::BYTES as f64)) as u64;
         Ok((
             y,
             SpmvReport {
@@ -158,10 +157,20 @@ impl<T: Scalar> BlockedMatrix<T> {
 /// Convenience: blocked SpMV pays off after this many applications of
 /// the same matrix (conversion time ÷ per-iteration saving); `None` when
 /// the blocked variant is not faster per iteration (high fill ratio).
-pub fn blocked_break_even<T: Scalar>(gpu_template: &Gpu, a: &Csr<T>, x: &[T]) -> Result<Option<usize>> {
-    let mut g1 = vgpu::Gpu::with_cost_model(gpu_template.config().clone(), gpu_template.cost_model().clone());
+pub fn blocked_break_even<T: Scalar>(
+    gpu_template: &Gpu,
+    a: &Csr<T>,
+    x: &[T],
+) -> Result<Option<usize>> {
+    let mut g1 = vgpu::Gpu::with_cost_model(
+        gpu_template.config().clone(),
+        gpu_template.cost_model().clone(),
+    );
     let (_, plain) = spmv(&mut g1, a, x)?;
-    let mut g2 = vgpu::Gpu::with_cost_model(gpu_template.config().clone(), gpu_template.cost_model().clone());
+    let mut g2 = vgpu::Gpu::with_cost_model(
+        gpu_template.config().clone(),
+        gpu_template.cost_model().clone(),
+    );
     let blocked = BlockedMatrix::new(&mut g2, a)?;
     let (_, b) = blocked.spmv(&mut g2, x)?;
     if b.time >= plain.time {

@@ -2,21 +2,21 @@
 //! the grouping rules must stay sound for any plausible hardware.
 
 use nsparse_core::{build_groups, Assignment, GroupPhase};
-use proptest::prelude::*;
+use quickprop::prelude::*;
 use vgpu::occupancy::occupancy;
 use vgpu::DeviceConfig;
 
-fn arb_device() -> impl Strategy<Value = DeviceConfig> {
+fn arb_device() -> impl Gen<Value = DeviceConfig> {
     (
-        1usize..128,           // num_sms
-        4u32..8,               // log2(shared KB per block): 16..128 KB
-        1usize..3,             // threads-per-SM multiplier (1024 or 2048)
+        1usize..128, // num_sms
+        4u32..8,     // log2(shared KB per block): 16..128 KB
+        1usize..3,   // threads-per-SM multiplier (1024 or 2048)
         prop_oneof![Just(32usize), Just(64usize)],
     )
         .prop_map(|(sms, lg_shared, tmul, warp)| {
             let max_shared = (1usize << lg_shared) * 1024;
             DeviceConfig {
-                name: "proptest".into(),
+                name: "quickprop".into(),
                 num_sms: sms,
                 cores_per_sm: 64,
                 clock_hz: 1.0e9,
@@ -32,8 +32,8 @@ fn arb_device() -> impl Strategy<Value = DeviceConfig> {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+quickprop! {
+    #![config(cases = 128)]
 
     #[test]
     fn groups_tile_metric_space_on_any_device(
@@ -98,7 +98,7 @@ proptest! {
     #[test]
     fn group_lookup_total_and_consistent(
         cfg in arb_device(),
-        metrics in proptest::collection::vec(0usize..100_000, 32),
+        metrics in collection::vec(0usize..100_000, 32..33),
     ) {
         let t = build_groups(&cfg, 8, GroupPhase::Numeric, 4, true);
         for m in metrics {

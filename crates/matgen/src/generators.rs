@@ -77,7 +77,12 @@ fn value<T: Scalar>(rng: &mut Rng64) -> T {
 
 /// Assemble a CSR matrix from per-row column lists (sorted + deduped
 /// here), attaching random values.
-fn assemble<T: Scalar>(rows: usize, cols: usize, row_cols: Vec<Vec<u32>>, rng: &mut Rng64) -> Csr<T> {
+fn assemble<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    row_cols: Vec<Vec<u32>>,
+    rng: &mut Rng64,
+) -> Csr<T> {
     let mut rpt = vec![0usize; rows + 1];
     let mut col = Vec::new();
     let mut val = Vec::new();
@@ -201,12 +206,7 @@ pub fn qcd_offsets(dims: [usize; 4]) -> Vec<i64> {
 
 /// Scattered uniform-random columns with mildly varying degree — the
 /// Economics family.
-pub fn random_uniform<T: Scalar>(
-    rows: usize,
-    avg_nnz: f64,
-    max_nnz: usize,
-    seed: u64,
-) -> Csr<T> {
+pub fn random_uniform<T: Scalar>(rows: usize, avg_nnz: f64, max_nnz: usize, seed: u64) -> Csr<T> {
     assert!(rows > 0 && avg_nnz >= 1.0);
     let mut rng = Rng64::new(seed);
     let mut row_cols = Vec::with_capacity(rows);
@@ -346,8 +346,7 @@ pub fn modular_web<T: Scalar>(
     // 0.5 per extra hub on average): subtract that from the sampled
     // degree target so the overall mean stays on avg_nnz.
     let hub_links = 1.0 + 0.5 * (hubs as f64 - 1.0);
-    let ord_avg =
-        ((avg_nnz * rows as f64 - hub_mass) / ordinary_rows - hub_links).max(1.0);
+    let ord_avg = ((avg_nnz * rows as f64 - hub_mass) / ordinary_rows - hub_links).max(1.0);
     let mut row_cols: Vec<Vec<u32>> = Vec::with_capacity(rows);
     for i in 0..rows {
         let base = i / community * community;
@@ -462,12 +461,7 @@ pub fn rmat<T: Scalar>(
 /// Circuit-netlist-like matrix: low uniform degree near the diagonal for
 /// almost all rows, plus a few high-degree hub rows and hub columns
 /// (power/ground nets) — the Circuit family.
-pub fn circuit_like<T: Scalar>(
-    rows: usize,
-    avg_nnz: f64,
-    max_nnz: usize,
-    seed: u64,
-) -> Csr<T> {
+pub fn circuit_like<T: Scalar>(rows: usize, avg_nnz: f64, max_nnz: usize, seed: u64) -> Csr<T> {
     assert!(rows > 16 && avg_nnz >= 1.0);
     let mut rng = Rng64::new(seed);
     let n_hubs = (rows / 1500).clamp(4, 64);

@@ -364,11 +364,8 @@ mod tests {
     fn registry_has_all_table2_rows() {
         assert_eq!(standard_datasets().len(), 12);
         assert_eq!(large_datasets().len(), 3);
-        let ht: Vec<&str> = standard_datasets()
-            .iter()
-            .filter(|d| d.high_throughput)
-            .map(|d| d.name)
-            .collect();
+        let ht: Vec<&str> =
+            standard_datasets().iter().filter(|d| d.high_throughput).map(|d| d.name).collect();
         assert_eq!(ht.len(), 8); // "top eight matrices" (§IV)
         assert!(ht.contains(&"Protein") && ht.contains(&"FEM/Accelerator"));
     }
@@ -418,13 +415,7 @@ mod tests {
             let m = d.generate::<f32>(Scale::Tiny);
             let s = MatrixStats::structural(&m);
             let rel = (s.nnz_per_row - d.avg_nnz).abs() / d.avg_nnz;
-            assert!(
-                rel < 0.45,
-                "{}: avg {} vs target {}",
-                d.name,
-                s.nnz_per_row,
-                d.avg_nnz
-            );
+            assert!(rel < 0.45, "{}: avg {} vs target {}", d.name, s.nnz_per_row, d.avg_nnz);
         }
     }
 

@@ -2,11 +2,11 @@
 //! determinism for arbitrary parameter combinations.
 
 use matgen::generators as g;
-use proptest::prelude::*;
+use quickprop::prelude::*;
 use sparse::stats::MatrixStats;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+quickprop! {
+    #![config(cases = 24)]
 
     #[test]
     fn banded_respects_bounds(

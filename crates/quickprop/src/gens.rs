@@ -1,0 +1,217 @@
+//! The [`Gen`] strategy trait and its structural combinators.
+
+use crate::Rng64;
+use std::fmt::Debug;
+
+/// A value-generation strategy: draws a value from the deterministic
+/// PRNG, and (optionally) proposes structurally smaller variants of a
+/// failing value for greedy shrinking.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut Rng64) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first.
+    /// Strategies that cannot invert their construction (e.g. [`Map`])
+    /// return nothing — the case seed still replays the failure.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Transform every generated value (mirror of `Strategy::prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a dependent strategy from every generated value (mirror of
+    /// `Strategy::prop_flat_map`).
+    fn prop_flat_map<G, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        G: Gen,
+        F: Fn(Self::Value) -> G,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy (needed by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedGen(Box::new(self))
+    }
+}
+
+/// Always produces the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng64) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Gen::prop_map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G: Gen, U: Clone + Debug, F: Fn(G::Value) -> U> Gen for Map<G, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut Rng64) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Gen::prop_flat_map`].
+pub struct FlatMap<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G: Gen, H: Gen, F: Fn(G::Value) -> H> Gen for FlatMap<G, F> {
+    type Value = H::Value;
+    fn generate(&self, rng: &mut Rng64) -> H::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedGen<T>(Box<dyn Gen<Value = T>>);
+
+impl<T: Clone + Debug> Gen for BoxedGen<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng64) -> T {
+        self.0.generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
+    }
+}
+
+/// Uniform choice between type-erased strategies of one value type
+/// (built by [`crate::prop_oneof!`]).
+pub struct OneOf<T> {
+    branches: Vec<BoxedGen<T>>,
+}
+
+impl<T: Clone + Debug> OneOf<T> {
+    /// `branches` must be non-empty.
+    pub fn new(branches: Vec<BoxedGen<T>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        OneOf { branches }
+    }
+}
+
+impl<T: Clone + Debug> Gen for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng64) -> T {
+        let i = rng.below(self.branches.len());
+        self.branches[i].generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // Provenance is unknown; offer every branch's suggestions (each
+        // candidate is re-tested against the property anyway).
+        self.branches.iter().flat_map(|b| b.shrink(value)).collect()
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($G:ident / $i:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+            fn generate(&self, rng: &mut Rng64) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$i.shrink(&value.$i) {
+                        let mut c = value.clone();
+                        c.$i = s;
+                        out.push(c);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A / 0);
+tuple_gen!(A / 0, B / 1);
+tuple_gen!(A / 0, B / 1, C / 2);
+tuple_gen!(A / 0, B / 1, C / 2, D / 3);
+tuple_gen!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_gen!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_repeats_and_never_shrinks() {
+        let g = Just(7usize);
+        let mut rng = Rng64::new(1);
+        assert_eq!(g.generate(&mut rng), 7);
+        assert!(g.shrink(&7).is_empty());
+    }
+
+    #[test]
+    fn map_transforms() {
+        let g = (0usize..10).prop_map(|x| x * 2);
+        let mut rng = Rng64::new(3);
+        for _ in 0..50 {
+            assert_eq!(g.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_respects_dependency() {
+        let g = (1usize..8).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        let mut rng = Rng64::new(9);
+        for _ in 0..200 {
+            let (n, k) = g.generate(&mut rng);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn oneof_only_emits_branch_values() {
+        let g = crate::prop_oneof![Just(32usize), Just(64usize)];
+        let mut rng = Rng64::new(5);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            match g.generate(&mut rng) {
+                32 => seen[0] = true,
+                64 => seen[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1], "both branches should be drawn");
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let g = (0usize..10, 0usize..10);
+        let shrinks = g.shrink(&(4, 6));
+        assert!(!shrinks.is_empty());
+        for (a, b) in shrinks {
+            // Each candidate changes exactly one component, toward 0.
+            assert!((a != 4) ^ (b != 6));
+            assert!(a <= 4 && b <= 6);
+        }
+    }
+}

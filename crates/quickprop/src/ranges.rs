@@ -1,0 +1,109 @@
+//! Range strategies: `lo..hi` draws uniformly and shrinks toward `lo`.
+
+use crate::{Gen, Rng64};
+use std::ops::Range;
+
+macro_rules! int_range_gen {
+    ($($t:ty),+) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as usize;
+                self.start + rng.below(span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2;
+                    if mid != self.start && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+
+int_range_gen!(usize, u8, u16, u32, u64, i32, i64);
+
+macro_rules! float_range_gen {
+    ($($t:ty),+) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit() as $t) * (self.end - self.start)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if (v - self.start).abs() > 1e-9 {
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2.0;
+                    if (mid - self.start).abs() > 1e-9 && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+
+float_range_gen!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let g = 7usize..19;
+        let mut rng = Rng64::new(42);
+        for _ in 0..1000 {
+            let v = g.generate(&mut rng);
+            assert!((7..19).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let g = -4.0f64..4.0;
+        let mut rng = Rng64::new(42);
+        for _ in 0..1000 {
+            let v = g.generate(&mut rng);
+            assert!((-4.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shrinks_move_toward_start() {
+        let g = 3usize..100;
+        for c in g.shrink(&50) {
+            assert!((3..50).contains(&c));
+        }
+        assert!(g.shrink(&3).is_empty(), "start is minimal");
+        let f = 1.0f64..1e6;
+        for c in f.shrink(&512.0) {
+            assert!((1.0..512.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let g = 0u64..1_000_000;
+        let a: Vec<u64> = {
+            let mut rng = Rng64::new(77);
+            (0..64).map(|_| g.generate(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = Rng64::new(77);
+            (0..64).map(|_| g.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

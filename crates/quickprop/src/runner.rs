@@ -1,0 +1,351 @@
+//! The case runner: deterministic seeding, rejection handling, greedy
+//! shrinking and failure reporting.
+
+use crate::{Gen, Rng64};
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Base seed when `QUICKPROP_SEED` is unset — fixed so every run of the
+/// suite draws identical cases.
+pub const DEFAULT_SEED: u64 = 0x5eed_1357_9bdf_2468;
+
+/// Runner configuration (built by the [`crate::quickprop!`] macro).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Cap on property evaluations spent shrinking one failure.
+    pub max_shrink_iters: u32,
+    /// Cap on `prop_assume!` rejections before the property errors out.
+    pub max_rejects: u32,
+    /// Base seed; per-case seeds derive from it deterministically.
+    pub seed: u64,
+}
+
+impl Config {
+    /// `cases` runs, honouring the `QUICKPROP_SEED` / `QUICKPROP_CASES`
+    /// environment overrides (for replaying and for soak runs).
+    pub fn with_cases(cases: u32) -> Self {
+        let seed = std::env::var("QUICKPROP_SEED")
+            .ok()
+            .and_then(|s| parse_u64(&s))
+            .unwrap_or(DEFAULT_SEED);
+        let cases = std::env::var("QUICKPROP_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(cases)
+            .max(1);
+        Config { cases, max_shrink_iters: 400, max_rejects: cases.saturating_mul(16) + 64, seed }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum CaseError {
+    /// The property is violated (assertion text).
+    Fail(String),
+    /// The input fails a `prop_assume!` precondition; draw another.
+    Reject,
+}
+
+impl CaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+}
+
+/// What a property body returns (via the `prop_*` macros).
+pub type CaseResult = Result<(), CaseError>;
+
+/// A counterexample, before and after shrinking.
+#[derive(Debug)]
+pub struct Failure<V> {
+    /// Index of the failing case among accepted cases.
+    pub case: u32,
+    /// Seed that regenerates the original counterexample.
+    pub case_seed: u64,
+    /// Assertion message of the *minimal* counterexample.
+    pub message: String,
+    /// The value as first drawn.
+    pub original: V,
+    /// The value after greedy shrinking (still failing).
+    pub minimal: V,
+    /// Property evaluations spent shrinking.
+    pub shrink_steps: u32,
+}
+
+enum Outcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once) a panic hook that suppresses the default report while
+/// this thread probes candidates — expected panics during shrinking
+/// would otherwise flood the output. Other threads are unaffected.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn eval<V, F>(f: &F, value: &V) -> Outcome
+where
+    V: Clone + Debug,
+    F: Fn(V) -> CaseResult,
+{
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| f(value.clone())));
+    QUIET_PANICS.with(|q| q.set(false));
+    match result {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(CaseError::Reject)) => Outcome::Reject,
+        Ok(Err(CaseError::Fail(m))) => Outcome::Fail(m),
+        Err(payload) => Outcome::Fail(panic_message(payload)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Debug-format a value, truncated so megabyte matrices stay readable.
+pub fn debug_short<T: Debug>(value: &T) -> String {
+    let mut s = format!("{value:?}");
+    const LIMIT: usize = 600;
+    if s.len() > LIMIT {
+        let mut cut = LIMIT;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+        s.push_str("… (truncated)");
+    }
+    s
+}
+
+/// Run the property over `config.cases` generated inputs, returning the
+/// (shrunk) counterexample instead of panicking — the engine under
+/// [`run`], exposed for testing the harness itself.
+pub fn check<G, F>(config: &Config, gen: &G, f: F) -> Option<Failure<G::Value>>
+where
+    G: Gen,
+    F: Fn(G::Value) -> CaseResult,
+{
+    let mut accepted = 0u32;
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        let case_seed = config.seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        let mut rng = Rng64::new(case_seed);
+        let value = gen.generate(&mut rng);
+        match eval(&f, &value) {
+            Outcome::Pass => accepted += 1,
+            Outcome::Reject => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_rejects,
+                    "quickprop: {rejects} cases rejected by prop_assume! \
+                     (accepted only {accepted}/{} so far) — loosen the strategy",
+                    config.cases
+                );
+            }
+            Outcome::Fail(first_msg) => {
+                let (minimal, message, shrink_steps) =
+                    shrink_failure(gen, &f, value.clone(), first_msg, config.max_shrink_iters);
+                return Some(Failure {
+                    case: accepted,
+                    case_seed,
+                    message,
+                    original: value,
+                    minimal,
+                    shrink_steps,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Greedy descent: repeatedly take the first shrink candidate that still
+/// fails, until none fails or the iteration budget runs out.
+fn shrink_failure<G, F>(
+    gen: &G,
+    f: &F,
+    mut value: G::Value,
+    mut message: String,
+    budget: u32,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    F: Fn(G::Value) -> CaseResult,
+{
+    let mut steps = 0u32;
+    'descend: while steps < budget {
+        for candidate in gen.shrink(&value) {
+            steps += 1;
+            if let Outcome::Fail(m) = eval(f, &candidate) {
+                value = candidate;
+                message = m;
+                continue 'descend;
+            }
+            if steps >= budget {
+                break 'descend;
+            }
+        }
+        break; // No candidate fails: `value` is locally minimal.
+    }
+    (value, message, steps)
+}
+
+/// Run the property and panic with a replayable report on failure (what
+/// the [`crate::quickprop!`] macro calls).
+pub fn run<G, F>(config: &Config, name: &str, gen: &G, f: F)
+where
+    G: Gen,
+    F: Fn(G::Value) -> CaseResult,
+{
+    if let Some(fail) = check(config, gen, &f) {
+        panic!(
+            "property `{name}` failed at case {} (case seed {:#018x}):\n  {}\n  \
+             minimal input ({} shrink steps): {}\n  original input: {}\n  \
+             replay: QUICKPROP_SEED={:#x} cargo test {name}",
+            fail.case,
+            fail.case_seed,
+            fail.message,
+            fail.shrink_steps,
+            debug_short(&fail.minimal),
+            debug_short(&fail.original),
+            config.seed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cases: u32) -> Config {
+        Config { cases, max_shrink_iters: 400, max_rejects: cases * 16 + 64, seed: DEFAULT_SEED }
+    }
+
+    #[test]
+    fn passing_property_returns_none() {
+        assert!(check(&cfg(64), &(0usize..100), |v| {
+            if v < 100 {
+                Ok(())
+            } else {
+                Err(CaseError::fail("out of range"))
+            }
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // "v < 10" fails for v >= 10; the minimal counterexample in
+        // 0..100 under toward-start shrinking is some v in [10, 19]
+        // (start and midpoint probing cannot cross below the boundary,
+        // but must land within one halving of it).
+        let fail = check(&cfg(64), &(0usize..100), |v| {
+            if v < 10 {
+                Ok(())
+            } else {
+                Err(CaseError::fail("too big"))
+            }
+        })
+        .expect("property must fail");
+        assert!(fail.minimal >= 10, "minimal case still fails");
+        assert!(fail.minimal <= 19, "greedy halving reaches the boundary region");
+        assert!(fail.minimal <= fail.original);
+    }
+
+    #[test]
+    fn panics_are_failures_too() {
+        let fail = check(&cfg(16), &(0usize..50), |v| {
+            assert!(v < 1, "boom {v}");
+            Ok(())
+        })
+        .expect("panicking property fails");
+        assert!(fail.message.contains("boom"));
+        assert_eq!(fail.minimal, 1, "shrinks to the smallest panicking value");
+    }
+
+    #[test]
+    fn rejection_draws_replacements() {
+        let seen = std::cell::Cell::new(0u32);
+        assert!(check(&cfg(32), &(0usize..100), |v| {
+            if v % 2 == 1 {
+                return Err(CaseError::Reject);
+            }
+            seen.set(seen.get() + 1);
+            Ok(())
+        })
+        .is_none());
+        assert_eq!(seen.get(), 32, "all accepted cases ran");
+    }
+
+    #[test]
+    fn same_config_reproduces_identical_failure() {
+        let f = |v: usize| {
+            if v < 30 {
+                Ok(())
+            } else {
+                Err(CaseError::fail("x"))
+            }
+        };
+        let a = check(&cfg(64), &(0usize..100), f).unwrap();
+        let b = check(&cfg(64), &(0usize..100), f).unwrap();
+        assert_eq!(a.original, b.original);
+        assert_eq!(a.minimal, b.minimal);
+        assert_eq!(a.case_seed, b.case_seed);
+    }
+
+    #[test]
+    fn shrink_budget_bounds_work() {
+        // A pathological property failing on everything: shrinking must
+        // terminate within the configured budget.
+        let mut c = cfg(4);
+        c.max_shrink_iters = 37;
+        let fail = check(&c, &(0usize..1_000_000), |_| Err(CaseError::fail("always"))).unwrap();
+        assert!(fail.shrink_steps <= 37);
+        assert_eq!(fail.minimal, 0, "always-failing shrinks to range start");
+    }
+
+    #[test]
+    fn debug_short_truncates() {
+        let long = vec![123u32; 4000];
+        let s = debug_short(&long);
+        assert!(s.len() < 700);
+        assert!(s.ends_with("(truncated)"));
+    }
+}

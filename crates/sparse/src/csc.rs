@@ -112,25 +112,26 @@ impl<T: Scalar> Csc<T> {
                 self.rows
             )));
         }
-        let mut y = vec![T::ZERO; self.cols];
-        for c in 0..self.cols {
-            let (rs, vs) = self.col(c);
-            let mut acc = T::ZERO;
-            for (&r, &v) in rs.iter().zip(vs) {
-                acc += v * x[r as usize];
-            }
-            y[c] = acc;
-        }
+        let y = (0..self.cols)
+            .map(|c| {
+                let (rs, vs) = self.col(c);
+                let mut acc = T::ZERO;
+                for (&r, &v) in rs.iter().zip(vs) {
+                    acc += v * x[r as usize];
+                }
+                acc
+            })
+            .collect();
         Ok(y)
     }
 
     /// Scale column `c` by `s[c]` (MCL's column normalization).
     pub fn scale_columns(&mut self, s: &[T]) {
         assert_eq!(s.len(), self.cols, "one scale per column");
-        for c in 0..self.cols {
+        for (c, &sc) in s.iter().enumerate() {
             let span = self.cpt[c]..self.cpt[c + 1];
             for v in &mut self.val[span] {
-                *v = *v * s[c];
+                *v = *v * sc;
             }
         }
     }
@@ -141,11 +142,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Csr<f64> {
-        Csr::from_dense(&[
-            vec![1.0, 0.0, 2.0],
-            vec![0.0, 0.0, 3.0],
-            vec![4.0, 5.0, 0.0],
-        ])
+        Csr::from_dense(&[vec![1.0, 0.0, 2.0], vec![0.0, 0.0, 3.0], vec![4.0, 5.0, 0.0]])
     }
 
     #[test]
@@ -180,11 +177,10 @@ mod tests {
         let mut c = Csc::from_csr(&sample());
         c.scale_columns(&[2.0, 3.0, 10.0]);
         let back = c.to_csr();
-        assert_eq!(back.to_dense(), vec![
-            vec![2.0, 0.0, 20.0],
-            vec![0.0, 0.0, 30.0],
-            vec![8.0, 15.0, 0.0],
-        ]);
+        assert_eq!(
+            back.to_dense(),
+            vec![vec![2.0, 0.0, 20.0], vec![0.0, 0.0, 30.0], vec![8.0, 15.0, 0.0],]
+        );
     }
 
     #[test]

@@ -120,9 +120,12 @@ impl<T: Scalar> Csr<T> {
         let mut scratch: Vec<(u32, T)> = Vec::new();
         for r in 0..rows {
             scratch.clear();
-            scratch.extend(col[counts[r]..counts[r + 1]].iter().copied().zip(
-                val[counts[r]..counts[r + 1]].iter().copied(),
-            ));
+            scratch.extend(
+                col[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(val[counts[r]..counts[r + 1]].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {
@@ -186,9 +189,7 @@ impl<T: Scalar> Csr<T> {
         }
         for r in 0..self.rows {
             if self.rpt[r] > self.rpt[r + 1] {
-                return Err(SparseError::MalformedRowPointers(format!(
-                    "rpt decreases at row {r}"
-                )));
+                return Err(SparseError::MalformedRowPointers(format!("rpt decreases at row {r}")));
             }
             let cols = &self.col[self.rpt[r]..self.rpt[r + 1]];
             for w in cols.windows(2) {
@@ -316,13 +317,13 @@ impl<T: Scalar> Csr<T> {
             )));
         }
         let mut y = vec![T::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, y_r) in y.iter_mut().enumerate() {
             let (cs, vs) = self.row(r);
             let mut acc = T::ZERO;
             for (&c, &v) in cs.iter().zip(vs) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *y_r = acc;
         }
         Ok(y)
     }
@@ -377,10 +378,10 @@ impl<T: Scalar> Csr<T> {
     /// Dense representation (small matrices / tests only).
     pub fn to_dense(&self) -> Vec<Vec<T>> {
         let mut d = vec![vec![T::ZERO; self.cols]; self.rows];
-        for r in 0..self.rows {
+        for (r, d_r) in d.iter_mut().enumerate() {
             let (cs, vs) = self.row(r);
             for (&c, &v) in cs.iter().zip(vs) {
-                d[r][c as usize] = v;
+                d_r[c as usize] = v;
             }
         }
         d
@@ -393,11 +394,7 @@ impl<T: Scalar> Csr<T> {
             && self.cols == other.cols
             && self.rpt == other.rpt
             && self.col == other.col
-            && self
-                .val
-                .iter()
-                .zip(&other.val)
-                .all(|(&a, &b)| approx_eq(a, b, rtol, atol))
+            && self.val.iter().zip(&other.val).all(|(&a, &b)| approx_eq(a, b, rtol, atol))
     }
 
     /// Frobenius norm of the difference `||A - B||_F` (patterns may differ).
@@ -474,12 +471,9 @@ mod tests {
 
     #[test]
     fn from_triplets_sorts_and_sums_duplicates() {
-        let m = Csr::<f64>::from_triplets(
-            2,
-            3,
-            &[(1, 2, 1.0), (0, 1, 2.0), (1, 2, 3.0), (0, 0, 1.0)],
-        )
-        .unwrap();
+        let m =
+            Csr::<f64>::from_triplets(2, 3, &[(1, 2, 1.0), (0, 1, 2.0), (1, 2, 3.0), (0, 0, 1.0)])
+                .unwrap();
         assert_eq!(m.rpt(), &[0, 2, 3]);
         assert_eq!(m.col(), &[0, 1, 2]);
         assert_eq!(m.val(), &[1.0, 2.0, 4.0]);
@@ -503,7 +497,8 @@ mod tests {
         assert!(Csr::<f64>::from_parts(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).is_err()); // unsorted
         assert!(Csr::<f64>::from_parts(1, 2, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()); // dup
         assert!(Csr::<f64>::from_parts(1, 2, vec![0, 1], vec![7], vec![1.0]).is_err()); // col oob
-        assert!(Csr::<f64>::from_parts(1, 2, vec![1, 1], vec![], vec![]).is_err()); // rpt[0] != 0
+        assert!(Csr::<f64>::from_parts(1, 2, vec![1, 1], vec![], vec![]).is_err());
+        // rpt[0] != 0
     }
 
     #[test]
@@ -545,17 +540,12 @@ mod tests {
     #[test]
     fn add_merges_rows() {
         let a = sample();
-        let b = Csr::from_dense(&[
-            vec![0.0, 1.0, -2.0],
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, -5.0, 0.0],
-        ]);
+        let b = Csr::from_dense(&[vec![0.0, 1.0, -2.0], vec![1.0, 0.0, 0.0], vec![0.0, -5.0, 0.0]]);
         let s = a.add(&b).unwrap();
-        assert_eq!(s.to_dense(), vec![
-            vec![1.0, 1.0, 0.0],
-            vec![1.0, 0.0, 3.0],
-            vec![4.0, 0.0, 0.0],
-        ]);
+        assert_eq!(
+            s.to_dense(),
+            vec![vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 3.0], vec![4.0, 0.0, 0.0],]
+        );
         // Explicit zeros stay until pruned.
         assert_eq!(s.nnz(), 7);
         assert_eq!(s.pruned().nnz(), 5);

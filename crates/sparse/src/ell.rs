@@ -84,10 +84,10 @@ impl<T: Scalar> Ell<T> {
         let mut y = vec![T::ZERO; self.rows];
         for slot in 0..self.width {
             let base = slot * self.rows;
-            for r in 0..self.rows {
+            for (r, y_r) in y.iter_mut().enumerate() {
                 let c = self.col[base + r];
                 if c != ELL_EMPTY {
-                    y[r] += self.val[base + r] * x[c as usize];
+                    *y_r += self.val[base + r] * x[c as usize];
                 }
             }
         }

@@ -90,8 +90,7 @@ pub fn scale_cols<T: Scalar>(a: &Csr<T>, s: &[T]) -> Result<Csr<T>> {
             a.cols()
         )));
     }
-    let vals: Vec<T> =
-        a.col().iter().zip(a.val()).map(|(&c, &v)| v * s[c as usize]).collect();
+    let vals: Vec<T> = a.col().iter().zip(a.val()).map(|(&c, &v)| v * s[c as usize]).collect();
     Ok(Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals))
 }
 
@@ -170,26 +169,17 @@ mod tests {
     use super::*;
 
     fn m() -> Csr<f64> {
-        Csr::from_dense(&[
-            vec![2.0, 1.0, 0.0],
-            vec![0.0, 3.0, 4.0],
-            vec![5.0, 0.0, 6.0],
-        ])
+        Csr::from_dense(&[vec![2.0, 1.0, 0.0], vec![0.0, 3.0, 4.0], vec![5.0, 0.0, 6.0]])
     }
 
     #[test]
     fn hadamard_keeps_intersection() {
-        let b = Csr::from_dense(&[
-            vec![1.0, 0.0, 7.0],
-            vec![0.0, 2.0, 2.0],
-            vec![0.0, 1.0, 1.0],
-        ]);
+        let b = Csr::from_dense(&[vec![1.0, 0.0, 7.0], vec![0.0, 2.0, 2.0], vec![0.0, 1.0, 1.0]]);
         let h = hadamard(&m(), &b).unwrap();
-        assert_eq!(h.to_dense(), vec![
-            vec![2.0, 0.0, 0.0],
-            vec![0.0, 6.0, 8.0],
-            vec![0.0, 0.0, 6.0],
-        ]);
+        assert_eq!(
+            h.to_dense(),
+            vec![vec![2.0, 0.0, 0.0], vec![0.0, 6.0, 8.0], vec![0.0, 0.0, 6.0],]
+        );
         assert!(hadamard(&m(), &Csr::<f64>::zeros(2, 3)).is_err());
     }
 
@@ -252,7 +242,9 @@ mod tests {
 
     #[test]
     fn norms() {
-        assert!((frobenius_norm(&m()) - (4.0f64 + 1.0 + 9.0 + 16.0 + 25.0 + 36.0).sqrt()).abs() < 1e-12);
+        assert!(
+            (frobenius_norm(&m()) - (4.0f64 + 1.0 + 9.0 + 16.0 + 25.0 + 36.0).sqrt()).abs() < 1e-12
+        );
         assert_eq!(inf_norm(&m()), 11.0);
     }
 }

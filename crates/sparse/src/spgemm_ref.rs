@@ -39,12 +39,9 @@ pub fn row_intermediate_products<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Ve
     check_dims(a, b)?;
     let rpt_b = b.rpt();
     let mut nprod = vec![0usize; a.rows()];
-    for i in 0..a.rows() {
+    for (i, np) in nprod.iter_mut().enumerate() {
         let (cols, _) = a.row(i);
-        nprod[i] = cols
-            .iter()
-            .map(|&k| rpt_b[k as usize + 1] - rpt_b[k as usize])
-            .sum();
+        *np = cols.iter().map(|&k| rpt_b[k as usize + 1] - rpt_b[k as usize]).sum();
     }
     Ok(nprod)
 }
@@ -61,7 +58,7 @@ pub fn symbolic_row_nnz<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Vec<usize>>
     check_dims(a, b)?;
     let mut mark = vec![u32::MAX; b.cols()];
     let mut nnz = vec![0usize; a.rows()];
-    for i in 0..a.rows() {
+    for (i, nnz_i) in nnz.iter_mut().enumerate() {
         let stamp = i as u32;
         let (acols, _) = a.row(i);
         let mut count = 0usize;
@@ -74,7 +71,7 @@ pub fn symbolic_row_nnz<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Vec<usize>>
                 }
             }
         }
-        nnz[i] = count;
+        *nnz_i = count;
     }
     Ok(nnz)
 }
@@ -198,24 +195,68 @@ pub fn spgemm_heap<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
     Ok(Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val))
 }
 
+/// SpGEMM by explicit expansion-sorting-contraction — the CPU mirror of
+/// CUSP's ESC algorithm (§II-B): materialize every intermediate product
+/// as a `(row, col, value)` tuple, sort by the combined key, and reduce
+/// runs of equal coordinates. Exists to cross-validate the ESC baseline
+/// and to document its memory appetite (the tuple list holds *all*
+/// intermediate products at once).
+pub fn spgemm_esc<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
+    check_dims(a, b)?;
+    // Expansion.
+    let total = total_intermediate_products(a, b)? as usize;
+    let mut tuples: Vec<(u64, T)> = Vec::with_capacity(total);
+    for i in 0..a.rows() {
+        let (acols, avals) = a.row(i);
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k as usize);
+            for (&j, &bv) in bcols.iter().zip(bvals) {
+                tuples.push((((i as u64) << 32) | j as u64, av * bv));
+            }
+        }
+    }
+    // Sorting (stable for deterministic accumulation order).
+    tuples.sort_by_key(|&(key, _)| key);
+    // Contraction.
+    let mut rpt = vec![0usize; a.rows() + 1];
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    let mut iter = tuples.into_iter();
+    if let Some((mut key, mut acc)) = iter.next() {
+        for (k, v) in iter {
+            if k == key {
+                acc += v;
+            } else {
+                rpt[(key >> 32) as usize + 1] = {
+                    col.push(key as u32);
+                    val.push(acc);
+                    col.len()
+                };
+                key = k;
+                acc = v;
+            }
+        }
+        col.push(key as u32);
+        val.push(acc);
+        rpt[(key >> 32) as usize + 1] = col.len();
+    }
+    // Fill row-pointer gaps (empty rows keep the previous offset).
+    for i in 1..rpt.len() {
+        rpt[i] = rpt[i].max(rpt[i - 1]);
+    }
+    Ok(Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn a() -> Csr<f64> {
-        Csr::from_dense(&[
-            vec![1.0, 0.0, 2.0],
-            vec![0.0, 3.0, 0.0],
-            vec![4.0, 0.0, 5.0],
-        ])
+        Csr::from_dense(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0], vec![4.0, 0.0, 5.0]])
     }
 
     fn b() -> Csr<f64> {
-        Csr::from_dense(&[
-            vec![0.0, 1.0],
-            vec![2.0, 0.0],
-            vec![3.0, 4.0],
-        ])
+        Csr::from_dense(&[vec![0.0, 1.0], vec![2.0, 0.0], vec![3.0, 4.0]])
     }
 
     fn dense_mm(a: &Csr<f64>, b: &Csr<f64>) -> Vec<Vec<f64>> {
@@ -256,10 +297,7 @@ mod tests {
         let z = Csr::<f64>::zeros(4, 4);
         assert_eq!(spgemm_esc(&z, &z).unwrap().nnz(), 0);
         // Empty leading and trailing rows keep a valid row pointer.
-        let m = Csr::from_dense(&[
-            vec![0.0, 0.0],
-            vec![1.0, 2.0],
-        ]);
+        let m = Csr::from_dense(&[vec![0.0, 0.0], vec![1.0, 2.0]]);
         let e = spgemm_esc(&m, &m).unwrap();
         e.validate().unwrap();
         assert_eq!(e, spgemm_gustavson(&m, &m).unwrap());
@@ -317,56 +355,4 @@ mod tests {
         assert_eq!(c.nnz(), 1);
         assert_eq!(c.val()[0], 0.0);
     }
-}
-
-/// SpGEMM by explicit expansion-sorting-contraction — the CPU mirror of
-/// CUSP's ESC algorithm (§II-B): materialize every intermediate product
-/// as a `(row, col, value)` tuple, sort by the combined key, and reduce
-/// runs of equal coordinates. Exists to cross-validate the ESC baseline
-/// and to document its memory appetite (the tuple list holds *all*
-/// intermediate products at once).
-pub fn spgemm_esc<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
-    check_dims(a, b)?;
-    // Expansion.
-    let total = total_intermediate_products(a, b)? as usize;
-    let mut tuples: Vec<(u64, T)> = Vec::with_capacity(total);
-    for i in 0..a.rows() {
-        let (acols, avals) = a.row(i);
-        for (&k, &av) in acols.iter().zip(avals) {
-            let (bcols, bvals) = b.row(k as usize);
-            for (&j, &bv) in bcols.iter().zip(bvals) {
-                tuples.push((((i as u64) << 32) | j as u64, av * bv));
-            }
-        }
-    }
-    // Sorting (stable for deterministic accumulation order).
-    tuples.sort_by_key(|&(key, _)| key);
-    // Contraction.
-    let mut rpt = vec![0usize; a.rows() + 1];
-    let mut col = Vec::new();
-    let mut val = Vec::new();
-    let mut iter = tuples.into_iter();
-    if let Some((mut key, mut acc)) = iter.next() {
-        for (k, v) in iter {
-            if k == key {
-                acc += v;
-            } else {
-                rpt[(key >> 32) as usize + 1] = {
-                    col.push(key as u32);
-                    val.push(acc);
-                    col.len()
-                };
-                key = k;
-                acc = v;
-            }
-        }
-        col.push(key as u32);
-        val.push(acc);
-        rpt[(key >> 32) as usize + 1] = col.len();
-    }
-    // Fill row-pointer gaps (empty rows keep the previous offset).
-    for i in 1..rpt.len() {
-        rpt[i] = rpt[i].max(rpt[i - 1]);
-    }
-    Ok(Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val))
 }

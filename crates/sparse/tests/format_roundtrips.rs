@@ -1,23 +1,15 @@
 //! Property tests across all storage formats: conversions must be
 //! lossless and every format's SpMV must agree with CSR's.
 
-use proptest::prelude::*;
+use quickprop::prelude::*;
 use sparse::{Coo, Csc, Csr, Ell, Hyb};
 
-fn arb_csr() -> impl Strategy<Value = Csr<f64>> {
-    (2usize..80, 2usize..80).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec((0..rows, 0..cols, -8.0f64..8.0), 0..400).prop_map(
-            move |t| {
-                let t: Vec<(usize, u32, f64)> =
-                    t.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
-                Csr::from_triplets(rows, cols, &t).unwrap()
-            },
-        )
-    })
+fn arb_csr() -> sparse_gen::CsrGen {
+    sparse_gen::csr_in(2..80, 2..80, 400).values(-8.0, 8.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+quickprop! {
+    #![config(cases = 64)]
 
     #[test]
     fn csc_roundtrip(a in arb_csr()) {
@@ -74,18 +66,7 @@ proptest! {
 
     #[test]
     fn add_commutes_and_transpose_distributes(
-        (a, b) in (2usize..60, 2usize..60).prop_flat_map(|(rows, cols)| {
-            let gen = move || {
-                proptest::collection::vec((0..rows, 0..cols, -8.0f64..8.0), 0..300).prop_map(
-                    move |t| {
-                        let t: Vec<(usize, u32, f64)> =
-                            t.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
-                        Csr::from_triplets(rows, cols, &t).unwrap()
-                    },
-                )
-            };
-            (gen(), gen())
-        })
+        (a, b) in sparse_gen::csr_pair(60, 300).values(-8.0, 8.0)
     ) {
         let s1 = a.add(&b).unwrap();
         let s2 = b.add(&a).unwrap();

@@ -128,7 +128,7 @@ impl DeviceConfig {
         if self.max_threads_per_block > self.max_threads_per_sm {
             return Err("per-block threads exceed per-SM threads".into());
         }
-        if self.max_threads_per_sm % self.warp_size != 0 {
+        if !self.max_threads_per_sm.is_multiple_of(self.warp_size) {
             return Err("max_threads_per_sm must be a warp multiple".into());
         }
         Ok(())

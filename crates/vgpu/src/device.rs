@@ -43,7 +43,12 @@ pub struct KernelDesc {
 
 impl KernelDesc {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, stream: StreamId, block_threads: usize, shared_bytes: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        stream: StreamId,
+        block_threads: usize,
+        shared_bytes: usize,
+    ) -> Self {
         KernelDesc { name: name.into(), stream, block_threads, shared_bytes }
     }
 }

@@ -37,7 +37,11 @@ pub enum Limiter {
 ///
 /// Returns `None` if a single block already exceeds device limits
 /// (callers should reject the launch).
-pub fn occupancy(cfg: &DeviceConfig, block_threads: usize, shared_bytes: usize) -> Option<Occupancy> {
+pub fn occupancy(
+    cfg: &DeviceConfig,
+    block_threads: usize,
+    shared_bytes: usize,
+) -> Option<Occupancy> {
     if block_threads == 0 || block_threads > cfg.max_threads_per_block {
         return None;
     }
@@ -45,11 +49,7 @@ pub fn occupancy(cfg: &DeviceConfig, block_threads: usize, shared_bytes: usize) 
         return None;
     }
     let by_threads = cfg.max_threads_per_sm / block_threads;
-    let by_shared = if shared_bytes == 0 {
-        usize::MAX
-    } else {
-        cfg.shared_mem_per_sm / shared_bytes
-    };
+    let by_shared = cfg.shared_mem_per_sm.checked_div(shared_bytes).unwrap_or(usize::MAX);
     let by_slots = cfg.max_blocks_per_sm;
     let blocks = by_threads.min(by_shared).min(by_slots);
     if blocks == 0 {

@@ -26,7 +26,8 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in report order.
-    pub const ALL: [Phase; 5] = [Phase::Setup, Phase::Count, Phase::Calc, Phase::Malloc, Phase::Other];
+    pub const ALL: [Phase; 5] =
+        [Phase::Setup, Phase::Count, Phase::Calc, Phase::Malloc, Phase::Other];
 
     /// Short label used in report tables.
     pub fn label(self) -> &'static str {
@@ -98,12 +99,7 @@ impl Profiler {
         Phase::ALL
             .iter()
             .map(|&p| {
-                let t = self
-                    .phase_acc
-                    .iter()
-                    .filter(|(q, _)| *q == p)
-                    .map(|&(_, dt)| dt)
-                    .sum();
+                let t = self.phase_acc.iter().filter(|(q, _)| *q == p).map(|&(_, dt)| dt).sum();
                 (p, t)
             })
             .collect()
@@ -129,11 +125,8 @@ impl Profiler {
             if i > 0 {
                 out.push(',');
             }
-            let name: String = k
-                .name
-                .chars()
-                .map(|c| if c == '"' || c == '\\' { '_' } else { c })
-                .collect();
+            let name: String =
+                k.name.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect();
             out.push_str(&format!(
                 concat!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",",
@@ -235,7 +228,7 @@ mod tests {
         assert!(t.contains("\"tid\":2"));
         assert!(t.contains("\"dur\":2.500"));
         assert!(t.contains("we_ird_name")); // quotes/backslashes scrubbed
-        // Exactly two events.
+                                            // Exactly two events.
         assert_eq!(t.matches("\"ph\":\"X\"").count(), 2);
     }
 }

@@ -36,11 +36,7 @@ impl SpgemmReport {
 
     /// Time attributed to one phase.
     pub fn phase_time(&self, phase: Phase) -> SimTime {
-        self.phase_times
-            .iter()
-            .find(|(p, _)| *p == phase)
-            .map(|&(_, t)| t)
-            .unwrap_or(SimTime::ZERO)
+        self.phase_times.iter().find(|(p, _)| *p == phase).map(|&(_, t)| t).unwrap_or(SimTime::ZERO)
     }
 
     /// Fraction of total time in one phase.

@@ -92,8 +92,7 @@ pub fn schedule_region(
         let warps_per_block = k.block_threads.div_ceil(cfg.warp_size);
         let grid_blocks_per_sm = k.blocks.len().div_ceil(cfg.num_sms).max(1);
         let resident_blocks = occ.blocks_per_sm.min(grid_blocks_per_sm);
-        let resident_warps =
-            (resident_blocks * warps_per_block).min(cfg.max_warps_per_sm()) as f64;
+        let resident_warps = (resident_blocks * warps_per_block).min(cfg.max_warps_per_sm()) as f64;
         let eff = cost.efficiency(resident_warps);
         let slot_rate = cost.slots_per_cycle * eff * cfg.clock_hz; // slots/sec
 
@@ -169,13 +168,8 @@ mod tests {
     fn blocks_fill_sms_in_parallel() {
         let (cfg, cost) = p100();
         // Exactly num_sms equal blocks: same makespan as a single block.
-        let one = schedule_region(
-            &[kernel(0, 1, 1.0e6, 1024)],
-            &cfg,
-            &cost,
-            SimTime::ZERO,
-            &mut vec![],
-        );
+        let one =
+            schedule_region(&[kernel(0, 1, 1.0e6, 1024)], &cfg, &cost, SimTime::ZERO, &mut vec![]);
         let many = schedule_region(
             &[kernel(0, cfg.num_sms, 1.0e6, 1024)],
             &cfg,
@@ -215,8 +209,7 @@ mod tests {
         let a = kernel(0, 4, 1.0e6, 256);
         let b_same = kernel(0, 4, 1.0e6, 256);
         let b_other = kernel(1, 4, 1.0e6, 256);
-        let serial =
-            schedule_region(&[a.clone(), b_same], &cfg, &cost, SimTime::ZERO, &mut vec![]);
+        let serial = schedule_region(&[a.clone(), b_same], &cfg, &cost, SimTime::ZERO, &mut vec![]);
         let overlap = schedule_region(&[a, b_other], &cfg, &cost, SimTime::ZERO, &mut vec![]);
         assert!(overlap.end.secs() < 0.6 * serial.end.secs());
     }
@@ -239,10 +232,10 @@ mod tests {
     fn stream_state_carries_across_regions() {
         let (cfg, cost) = p100();
         let mut ready = vec![];
-        let r1 = schedule_region(&[kernel(0, 1, 1.0e6, 256)], &cfg, &cost, SimTime::ZERO, &mut ready);
+        let r1 =
+            schedule_region(&[kernel(0, 1, 1.0e6, 256)], &cfg, &cost, SimTime::ZERO, &mut ready);
         // Second region starts at r1.end; stream 0 must not go backwards.
-        let r2 =
-            schedule_region(&[kernel(0, 1, 1.0e6, 256)], &cfg, &cost, r1.end, &mut ready);
+        let r2 = schedule_region(&[kernel(0, 1, 1.0e6, 256)], &cfg, &cost, r1.end, &mut ready);
         assert!(r2.spans[0].start >= r1.end);
     }
 

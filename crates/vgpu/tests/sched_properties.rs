@@ -1,7 +1,7 @@
 //! Property-based tests of the block scheduler: invariants that must
 //! hold for *any* workload, not just the hand-written cases.
 
-use proptest::prelude::*;
+use quickprop::prelude::*;
 use vgpu::cost::{BlockCost, CostModel};
 use vgpu::profiler::Phase;
 use vgpu::sched::{schedule_region, PendingKernel};
@@ -20,15 +20,12 @@ fn kernel(stream: usize, blocks: Vec<BlockCost>, threads: usize, shared: usize) 
 }
 
 /// Strategy for a list of block costs.
-fn arb_blocks() -> impl Strategy<Value = Vec<BlockCost>> {
-    proptest::collection::vec(
-        (1.0f64..1e6, 0.0f64..1e6).prop_map(|(s, b)| BlockCost::raw(s, b)),
-        1..200,
-    )
+fn arb_blocks() -> impl Gen<Value = Vec<BlockCost>> {
+    collection::vec((1.0f64..1e6, 0.0f64..1e6).prop_map(|(s, b)| BlockCost::raw(s, b)), 1..200)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+quickprop! {
+    #![config(cases = 64)]
 
     #[test]
     fn region_end_covers_every_resource_bound(blocks in arb_blocks()) {
@@ -57,7 +54,7 @@ proptest! {
 
     #[test]
     fn adding_a_block_never_speeds_things_up_at_saturation(
-        blocks in proptest::collection::vec(
+        blocks in collection::vec(
             (1.0f64..1e6, 0.0f64..1e6).prop_map(|(s, b)| BlockCost::raw(s, b)),
             // >= 8 blocks/SM: occupancy (256 threads -> 8 blocks) is
             // saturated, so efficiency no longer depends on the grid

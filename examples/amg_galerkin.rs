@@ -31,7 +31,10 @@ fn main() {
     println!("\noperator complexity : {:.3}", h.operator_complexity());
     println!("galerkin SpGEMMs    : {}", h.reports.len());
     println!("total SpGEMM time   : {}", apps::total_spgemm_time(&h.reports));
-    println!("max peak memory     : {:.1} MB", apps::max_peak_bytes(&h.reports) as f64 / (1 << 20) as f64);
+    println!(
+        "max peak memory     : {:.1} MB",
+        apps::max_peak_bytes(&h.reports) as f64 / (1 << 20) as f64
+    );
     let total_flops: u64 = h.reports.iter().map(|r| 2 * r.intermediate_products).sum();
     println!(
         "aggregate rate      : {:.3} GFLOPS",

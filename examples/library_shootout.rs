@@ -14,12 +14,18 @@ fn main() {
         eprintln!("unknown dataset '{name}'");
         std::process::exit(1);
     });
-    println!("dataset '{}' at repro scale (device memory {:.1} GB)...", dataset.name,
-        dataset.device_mem_bytes() as f64 / (1u64 << 30) as f64);
+    println!(
+        "dataset '{}' at repro scale (device memory {:.1} GB)...",
+        dataset.name,
+        dataset.device_mem_bytes() as f64 / (1u64 << 30) as f64
+    );
     let a = dataset.generate::<f32>(matgen::Scale::Repro);
     println!("  {} rows, {} nnz", a.rows(), a.nnz());
 
-    println!("\n{:<10} {:>12} {:>10} {:>12} {:>10}", "library", "time", "GFLOPS", "peak MB", "vs best");
+    println!(
+        "\n{:<10} {:>12} {:>10} {:>12} {:>10}",
+        "library", "time", "GFLOPS", "peak MB", "vs best"
+    );
     let mut results = Vec::new();
     for alg in Algorithm::ALL {
         let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(dataset.device_mem_bytes()));
@@ -50,7 +56,13 @@ fn main() {
                     String::new()
                 }
             ),
-            None => println!("{:<10} {:>12} {:>10} {:>12} (out of device memory)", alg.name(), "-", "-", "-"),
+            None => println!(
+                "{:<10} {:>12} {:>10} {:>12} (out of device memory)",
+                alg.name(),
+                "-",
+                "-",
+                "-"
+            ),
         }
     }
 }

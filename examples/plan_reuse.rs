@@ -6,8 +6,8 @@
 //! cargo run --release --example plan_reuse [dataset-name] [repeats]
 //! ```
 
-use nsparse_repro::prelude::*;
 use nsparse_repro::nsparse_core::SpgemmPlan;
+use nsparse_repro::prelude::*;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "FEM/Cantilever".to_string());
@@ -17,7 +17,12 @@ fn main() {
         std::process::exit(1);
     });
     let a = dataset.generate::<f32>(matgen::Scale::Repro);
-    println!("dataset '{}': {} rows, {} nnz, {repeats} repeated products", dataset.name, a.rows(), a.nnz());
+    println!(
+        "dataset '{}': {} rows, {} nnz, {repeats} repeated products",
+        dataset.name,
+        a.rows(),
+        a.nnz()
+    );
 
     let mut gpu = Gpu::new(DeviceConfig::p100());
     // Baseline: full multiply every time.

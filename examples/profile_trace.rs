@@ -17,7 +17,12 @@ fn main() {
     let a = dataset.generate::<f32>(matgen::Scale::Repro);
     let mut gpu = Gpu::new(DeviceConfig::p100());
     let (_, report) = nsparse_core::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
-    println!("'{}' multiplied in {} ({:.2} GFLOPS)", dataset.name, report.total_time, report.gflops());
+    println!(
+        "'{}' multiplied in {} ({:.2} GFLOPS)",
+        dataset.name,
+        report.total_time,
+        report.gflops()
+    );
 
     std::fs::create_dir_all("results").unwrap();
     let path = "results/trace.json";

@@ -19,7 +19,12 @@ fn main() {
 
     println!("generating '{}' at repro scale...", dataset.name);
     let a = dataset.generate::<f32>(matgen::Scale::Repro);
-    println!("  {} rows, {} non-zeros ({:.1} nnz/row)", a.rows(), a.nnz(), a.nnz() as f64 / a.rows() as f64);
+    println!(
+        "  {} rows, {} non-zeros ({:.1} nnz/row)",
+        a.rows(),
+        a.nnz(),
+        a.nnz() as f64 / a.rows() as f64
+    );
 
     // Run the paper's grouped hash SpGEMM on a virtual Tesla P100.
     let mut gpu = Gpu::new(DeviceConfig::p100());

@@ -30,13 +30,8 @@ fn main() {
     let mut gpu = Gpu::new(DeviceConfig::p100());
     let tri = triangles::count_triangles(&mut gpu, &adj).expect("triangles");
     println!("\ntriangles: {}", tri.triangles);
-    let busiest = tri
-        .per_vertex
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &c)| c)
-        .map(|(v, &c)| (v, c))
-        .unwrap();
+    let busiest =
+        tri.per_vertex.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(v, &c)| (v, c)).unwrap();
     println!("  busiest vertex {} sits in {} triangles", busiest.0, busiest.1);
     println!("  A*A SpGEMM time: {}", apps::total_spgemm_time(&tri.reports));
 
@@ -46,10 +41,7 @@ fn main() {
     for (s, lv) in res.levels.iter().enumerate() {
         let reached = lv.iter().filter(|&&l| l != u32::MAX).count();
         let ecc = lv.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
-        println!(
-            "  source {:>8}: reached {:>7} pages, eccentricity {}",
-            sources[s], reached, ecc
-        );
+        println!("  source {:>8}: reached {:>7} pages, eccentricity {}", sources[s], reached, ecc);
     }
     println!("  frontier SpGEMM time: {}", apps::total_spgemm_time(&res.reports));
 }

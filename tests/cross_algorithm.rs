@@ -1,15 +1,34 @@
 //! Cross-crate integration: all four SpGEMM implementations must agree
 //! with the CPU reference (exact pattern, fp-tolerant values) on every
 //! dataset family, in both precisions.
+//!
+//! The default run checks a structurally diverse smoke subset so tier-1
+//! stays fast; the exhaustive per-dataset sweeps are `#[ignore]`d and
+//! run with `cargo test --test cross_algorithm -- --ignored` (ci/check.sh
+//! documents the escape hatch).
 
 use nsparse_repro::prelude::*;
 use sparse::spgemm_ref::spgemm_gustavson;
+
+/// One dataset per structural family: regular FEM band, irregular
+/// low-nnz, power-law circuit, near-diagonal. Covers every kernel
+/// grouping path (PWARP, shared TB/ROW, global fallback) without
+/// sweeping all 12 standard matrices.
+const SMOKE_F32: &[&str] = &["FEM/Cantilever", "Economics", "Circuit", "Epidemiology"];
+
+/// Complementary subset for double precision, so between the two
+/// precisions eight of the twelve standard matrices are exercised.
+/// (webbase is left to the ignored sweep: its CPU reference alone costs
+/// ~20s in debug, and the power-law family is already covered by
+/// Circuit above and cage15 below.)
+const SMOKE_F64: &[&str] = &["Protein", "QCD", "Wind Tunnel", "FEM/Harbor"];
 
 fn check_all<T: Scalar>(a: &Csr<T>, dataset: &str) {
     let c_ref = spgemm_gustavson(a, a).expect("reference");
     for alg in Algorithm::ALL {
         let mut gpu = Gpu::new(DeviceConfig::p100());
-        let (c, report) = alg.run::<T>(&mut gpu, a, a)
+        let (c, report) = alg
+            .run::<T>(&mut gpu, a, a)
             .unwrap_or_else(|e| panic!("{} on {dataset}: {e}", alg.name()));
         assert_eq!(c.rpt(), c_ref.rpt(), "{} on {dataset}: row pointers", alg.name());
         assert_eq!(c.col(), c_ref.col(), "{} on {dataset}: columns", alg.name());
@@ -25,6 +44,32 @@ fn check_all<T: Scalar>(a: &Csr<T>, dataset: &str) {
 }
 
 #[test]
+fn all_algorithms_agree_on_smoke_subset_f32() {
+    for name in SMOKE_F32 {
+        let d = matgen::by_name(name).unwrap();
+        let a = d.generate::<f32>(matgen::Scale::Tiny);
+        check_all(&a, d.name);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_smoke_subset_f64() {
+    for name in SMOKE_F64 {
+        let d = matgen::by_name(name).unwrap();
+        let a = d.generate::<f64>(matgen::Scale::Tiny);
+        check_all(&a, d.name);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_one_large_graph() {
+    let d = matgen::by_name("cage15").unwrap();
+    let a = d.generate::<f64>(matgen::Scale::Tiny);
+    check_all(&a, d.name);
+}
+
+#[test]
+#[ignore = "exhaustive sweep (~30s debug); run with -- --ignored"]
 fn all_algorithms_agree_on_standard_tiny_f32() {
     for d in matgen::standard_datasets() {
         let a = d.generate::<f32>(matgen::Scale::Tiny);
@@ -33,6 +78,7 @@ fn all_algorithms_agree_on_standard_tiny_f32() {
 }
 
 #[test]
+#[ignore = "exhaustive sweep (~30s debug); run with -- --ignored"]
 fn all_algorithms_agree_on_standard_tiny_f64() {
     for d in matgen::standard_datasets() {
         let a = d.generate::<f64>(matgen::Scale::Tiny);
@@ -41,6 +87,7 @@ fn all_algorithms_agree_on_standard_tiny_f64() {
 }
 
 #[test]
+#[ignore = "exhaustive sweep (~10s debug); run with -- --ignored"]
 fn all_algorithms_agree_on_large_graph_tiny() {
     for d in matgen::large_datasets() {
         let a = d.generate::<f64>(matgen::Scale::Tiny);

@@ -53,12 +53,8 @@ fn phase_times_sum_to_total() {
     for alg in Algorithm::ALL {
         let mut gpu = Gpu::new(DeviceConfig::p100());
         let (_, r) = alg.run::<f64>(&mut gpu, &a, &a).unwrap();
-        let sum: SimTime = r
-            .phase_times
-            .iter()
-            .filter(|(p, _)| *p != Phase::Other)
-            .map(|&(_, t)| t)
-            .sum();
+        let sum: SimTime =
+            r.phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
         assert!(
             (sum.secs() - r.total_time.secs()).abs() <= 1e-12 * r.total_time.secs().max(1e-30),
             "{}: phases {} vs total {}",

@@ -23,11 +23,7 @@ fn proposal_uses_least_memory_on_high_throughput_sets() {
         let prop = peak::<f32>(Algorithm::Proposal, &a, full).unwrap();
         for other in [Algorithm::Cusp, Algorithm::Cusparse, Algorithm::Bhsparse] {
             let o = peak::<f32>(other, &a, full).unwrap();
-            assert!(
-                prop <= o,
-                "{name}: proposal {prop} B vs {} {o} B",
-                other.name()
-            );
+            assert!(prop <= o, "{name}: proposal {prop} B vs {} {o} B", other.name());
         }
     }
 }
@@ -39,8 +35,8 @@ fn cusp_and_bhsparse_oom_where_proposal_fits() {
     let d = matgen::by_name("cage15").unwrap();
     let a = d.generate::<f64>(matgen::Scale::Tiny);
     // Shrink the device by the tiny-scale factor too.
-    let mem = (d.device_mem_bytes() as f64 * a.rows() as f64 / d.rows_at(matgen::Scale::Repro) as f64)
-        as u64;
+    let mem = (d.device_mem_bytes() as f64 * a.rows() as f64
+        / d.rows_at(matgen::Scale::Repro) as f64) as u64;
     assert!(peak::<f64>(Algorithm::Cusp, &a, mem).is_none(), "CUSP must OOM");
     assert!(peak::<f64>(Algorithm::Bhsparse, &a, mem).is_none(), "BHSPARSE must OOM");
     assert!(peak::<f64>(Algorithm::Proposal, &a, mem).is_some(), "proposal must fit");

@@ -1,45 +1,21 @@
-//! Property-based tests (proptest): the virtual-GPU SpGEMM must agree
+//! Property-based tests (quickprop): the virtual-GPU SpGEMM must agree
 //! with the CPU reference on *arbitrary* sparse matrices, and the core
 //! data structures must uphold their invariants under arbitrary inputs.
+//!
+//! Strategies come from `quickprop::sparse_gen`, so failing matrices are
+//! greedily shrunk (triplets dropped, shapes halved) and every failure
+//! prints a replayable seed.
 
 use nsparse_repro::prelude::*;
-use proptest::prelude::*;
+use quickprop::prelude::*;
 use sparse::spgemm_ref::{spgemm_gustavson, spgemm_heap};
 use sparse::Coo;
 
-/// Strategy: a random sparse matrix with the given shape bounds.
-fn arb_csr(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
-    (2..max_n, 2..max_n).prop_flat_map(move |(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows, 0..cols, -4.0f64..4.0),
-            0..max_nnz,
-        )
-        .prop_map(move |trip| {
-            let t: Vec<(usize, u32, f64)> =
-                trip.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
-            Csr::from_triplets(rows, cols, &t).unwrap()
-        })
-    })
-}
-
-/// Square random matrix.
-fn arb_square(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(
-            move |trip| {
-                let t: Vec<(usize, u32, f64)> =
-                    trip.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
-                Csr::from_triplets(n, n, &t).unwrap()
-            },
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+quickprop! {
+    #![config(cases = 48)]
 
     #[test]
-    fn proposal_matches_reference_on_random_matrices(a in arb_square(120, 800)) {
+    fn proposal_matches_reference_on_random_matrices(a in sparse_gen::csr_square(120, 800)) {
         let c_ref = spgemm_gustavson(&a, &a).unwrap();
         let mut gpu = Gpu::new(DeviceConfig::p100());
         let (c, _) = nsparse_core::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
@@ -49,7 +25,7 @@ proptest! {
     }
 
     #[test]
-    fn baselines_match_reference_on_random_matrices(a in arb_square(80, 400)) {
+    fn baselines_match_reference_on_random_matrices(a in sparse_gen::csr_square(80, 400)) {
         let c_ref = spgemm_gustavson(&a, &a).unwrap();
         for alg in [Algorithm::Cusparse, Algorithm::Cusp, Algorithm::Bhsparse] {
             let mut gpu = Gpu::new(DeviceConfig::p100());
@@ -61,23 +37,7 @@ proptest! {
     }
 
     #[test]
-    fn rectangular_products_match(
-        (a, b) in (2usize..60, 2usize..60, 2usize..60).prop_flat_map(|(m, k, n)| {
-            let ta = proptest::collection::vec((0..m, 0..k, -4.0f64..4.0), 0..300)
-                .prop_map(move |t| {
-                    let t: Vec<(usize, u32, f64)> =
-                        t.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
-                    Csr::from_triplets(m, k, &t).unwrap()
-                });
-            let tb = proptest::collection::vec((0..k, 0..n, -4.0f64..4.0), 0..300)
-                .prop_map(move |t| {
-                    let t: Vec<(usize, u32, f64)> =
-                        t.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
-                    Csr::from_triplets(k, n, &t).unwrap()
-                });
-            (ta, tb)
-        })
-    ) {
+    fn rectangular_products_match((a, b) in sparse_gen::csr_chain(60, 300)) {
         let c_ref = spgemm_gustavson(&a, &b).unwrap();
         let mut gpu = Gpu::new(DeviceConfig::p100());
         let (c, _) = nsparse_core::multiply(&mut gpu, &a, &b, &Options::default()).unwrap();
@@ -85,7 +45,7 @@ proptest! {
     }
 
     #[test]
-    fn reference_implementations_agree(a in arb_square(100, 600)) {
+    fn reference_implementations_agree(a in sparse_gen::csr_square(100, 600)) {
         let g = spgemm_gustavson(&a, &a).unwrap();
         let h = spgemm_heap(&a, &a).unwrap();
         prop_assert_eq!(g.rpt(), h.rpt());
@@ -94,26 +54,13 @@ proptest! {
     }
 
     #[test]
-    fn transpose_is_involution(a in arb_csr(100, 600)) {
+    fn transpose_is_involution(a in sparse_gen::csr(100, 600)) {
         prop_assert_eq!(a.transpose().transpose(), a.clone());
         prop_assert!(a.transpose().validate().is_ok());
     }
 
     #[test]
-    fn spmv_distributes_over_add(
-        (a, b) in (2usize..60, 2usize..60).prop_flat_map(|(m, n)| {
-            let gen = move || {
-                proptest::collection::vec((0..m, 0..n, -4.0f64..4.0), 0..300).prop_map(
-                    move |t| {
-                        let t: Vec<(usize, u32, f64)> =
-                            t.into_iter().map(|(r, c, v)| (r, c as u32, v)).collect();
-                        Csr::from_triplets(m, n, &t).unwrap()
-                    },
-                )
-            };
-            (gen(), gen())
-        })
-    ) {
+    fn spmv_distributes_over_add((a, b) in sparse_gen::csr_pair(60, 300)) {
         let x: Vec<f64> = (0..a.cols()).map(|i| (i % 7) as f64 - 3.0).collect();
         let lhs = a.add(&b).unwrap().spmv(&x).unwrap();
         let ya = a.spmv(&x).unwrap();
@@ -124,12 +71,12 @@ proptest! {
     }
 
     #[test]
-    fn coo_roundtrip_preserves_matrix(a in arb_csr(100, 500)) {
+    fn coo_roundtrip_preserves_matrix(a in sparse_gen::csr(100, 500)) {
         prop_assert_eq!(Coo::from_csr(&a).to_csr(), a);
     }
 
     #[test]
-    fn matrix_market_roundtrip(a in arb_csr(50, 200)) {
+    fn matrix_market_roundtrip(a in sparse_gen::csr(50, 200)) {
         let mut buf = Vec::new();
         sparse::io::write_matrix_market(&a, &mut buf).unwrap();
         let back: Csr<f64> = sparse::io::read_matrix_market(&buf[..]).unwrap();
@@ -139,7 +86,7 @@ proptest! {
     }
 
     #[test]
-    fn hash_table_behaves_like_a_map(keys in proptest::collection::vec(0u32..10_000, 1..300)) {
+    fn hash_table_behaves_like_a_map(keys in collection::vec(0u32..10_000, 1..300)) {
         let cap = (2 * keys.len()).next_power_of_two().max(16);
         let mut table = nsparse_repro::nsparse_core::HashTable::<f64>::new(cap, true);
         table.reset(cap);
@@ -158,7 +105,7 @@ proptest! {
     }
 
     #[test]
-    fn intermediate_products_upper_bound_nnz(a in arb_square(100, 600)) {
+    fn intermediate_products_upper_bound_nnz(a in sparse_gen::csr_square(100, 600)) {
         // Alg. 2's count is an upper bound on the output nnz, row by row.
         let prod = sparse::spgemm_ref::row_intermediate_products(&a, &a).unwrap();
         let nnz = sparse::spgemm_ref::symbolic_row_nnz(&a, &a).unwrap();
@@ -168,7 +115,7 @@ proptest! {
     }
 
     #[test]
-    fn simulated_time_positive_and_memory_bounded(a in arb_square(80, 400)) {
+    fn simulated_time_positive_and_memory_bounded(a in sparse_gen::csr_square(80, 400)) {
         let mut gpu = Gpu::new(DeviceConfig::p100());
         let (_, r) = nsparse_core::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
         prop_assert!(r.total_time > SimTime::ZERO);
