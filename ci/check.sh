@@ -21,4 +21,18 @@ cargo build --release --offline
 echo "== tier-1 tests (offline) ==" >&2
 cargo test -q --offline
 
+echo "== trace smoke (telemetry exports valid + deterministic) ==" >&2
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+for i in 1 2; do
+  cargo run -q --release --offline -p bench --bin trace -- \
+    --dataset QCD --tiny --check \
+    --jsonl "$smoke/run$i.jsonl" --chrome-trace "$smoke/run$i.json" \
+    > "$smoke/stdout$i" 2>/dev/null
+done
+grep -q "^check jsonl: ok$" "$smoke/stdout1"
+grep -q "^check chrome-trace: ok$" "$smoke/stdout1"
+cmp "$smoke/run1.jsonl" "$smoke/run2.jsonl"
+cmp "$smoke/run1.json" "$smoke/run2.json"
+
 echo "ci/check.sh: all checks passed" >&2

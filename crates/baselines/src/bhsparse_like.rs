@@ -188,7 +188,8 @@ fn multiply_inner<T: Scalar>(
     primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64 + 1, 4)?;
     primitives::gather(gpu, DEFAULT_STREAM, nnz_c, entry as u32)?;
 
-    let report = finish_report(gpu, &before, "bhsparse", T::PRECISION, ip, nnz_c);
+    // Merge-based numeric stage: no hash tables, so no probes.
+    let report = finish_report(gpu, &before, "bhsparse", T::PRECISION, ip, nnz_c, 0);
     Ok((c, report))
 }
 

@@ -55,6 +55,8 @@ pub(crate) fn phase_snapshot(gpu: &Gpu) -> Vec<(Phase, SimTime)> {
 }
 
 /// Build the report from the phase-time delta of this run.
+/// `hash_probes` is the run's observed probe total (0 for algorithms
+/// without hash tables, e.g. ESC-based CUSP).
 pub(crate) fn finish_report(
     gpu: &mut Gpu,
     before: &[(Phase, SimTime)],
@@ -62,6 +64,7 @@ pub(crate) fn finish_report(
     precision: &'static str,
     intermediate_products: u64,
     output_nnz: u64,
+    hash_probes: u64,
 ) -> SpgemmReport {
     gpu.set_phase(Phase::Other);
     let after = gpu.profiler().phase_times();
@@ -76,5 +79,7 @@ pub(crate) fn finish_report(
         peak_mem_bytes: gpu.peak_mem_bytes(),
         intermediate_products,
         output_nnz,
+        hash_probes,
+        telemetry: gpu.telemetry_summary(),
     }
 }

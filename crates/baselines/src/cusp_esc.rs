@@ -133,7 +133,8 @@ fn multiply_inner<T: Scalar>(
     gpu.set_phase(Phase::Calc);
     primitives::gather(gpu, DEFAULT_STREAM, nnz_c, (4 + T::BYTES) as u32)?;
 
-    let report = finish_report(gpu, &before, "cusp", T::PRECISION, ip, nnz_c);
+    // ESC sorts instead of hashing: no probes to report.
+    let report = finish_report(gpu, &before, "cusp", T::PRECISION, ip, nnz_c, 0);
     Ok((c, report))
 }
 

@@ -225,6 +225,7 @@ fn multiply_inner<T: Scalar>(
     let mut shared = HashTable::<T>::new(SHARED_TABLE_SIZE, true);
     let mut global = HashTable::<T>::new(SHARED_TABLE_SIZE, true);
     let mut nnz_row = vec![0u32; m];
+    let mut total_probes = 0u64;
     {
         let mut blocks = Vec::with_capacity(m.div_ceil(WARPS_PER_BLOCK));
         let mut acc = BlockCost::default();
@@ -240,6 +241,7 @@ fn multiply_inner<T: Scalar>(
                 None,
             );
             nnz_row[row] = w.nnz;
+            total_probes += w.shared_probes + w.global_probes;
             let c = charge_row(gpu, &w, None);
             acc.slots += c.slots;
             acc.dram_bytes += c.dram_bytes;
@@ -305,6 +307,7 @@ fn multiply_inner<T: Scalar>(
                 true,
                 Some((oc, ov)),
             );
+            total_probes += w.shared_probes + w.global_probes;
             let c = charge_row(gpu, &w, Some(T::BYTES));
             acc.slots += c.slots;
             acc.dram_bytes += c.dram_bytes;
@@ -324,7 +327,8 @@ fn multiply_inner<T: Scalar>(
         )?;
     }
 
-    let report = finish_report(gpu, &before, "cusparse", T::PRECISION, ip, nnz_c as u64);
+    let report =
+        finish_report(gpu, &before, "cusparse", T::PRECISION, ip, nnz_c as u64, total_probes);
     let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c);
     Ok((c, report))
 }

@@ -12,16 +12,18 @@ use vgpu::Phase;
 fn run<T: bench::CachedMatrix>(g: &mut harness::Group, fig: &str) {
     for d in matgen::standard_datasets() {
         for alg in [Algorithm::Cusparse, Algorithm::Proposal] {
-            let rep = bench::run_one::<T>(alg, &d).report.expect("standard set fits");
+            let (res, telemetry) = bench::run_one_traced::<T>(alg, &d);
+            let rep = res.report.expect("standard set fits");
+            let run_id = format!("{fig}/{}/{}", d.name.replace('/', "_"), alg.name());
             for phase in [Phase::Setup, Phase::Count, Phase::Calc, Phase::Malloc] {
                 let t = rep.phase_time(phase);
                 if t <= vgpu::SimTime::ZERO {
                     continue;
                 }
-                g.bench_sim(
-                    &format!("{fig}/{}/{}/{}", d.name.replace('/', "_"), alg.name(), phase.label()),
-                    t,
-                );
+                g.bench_sim(&format!("{run_id}/{}", phase.label()), t);
+            }
+            if let Some(t) = &telemetry {
+                g.record_telemetry(&run_id, t);
             }
         }
     }

@@ -34,6 +34,7 @@ fn usage() -> ! {
          [--algorithm proposal|cusparse|cusp|bhsparse] [--precision f32|f64] \
          [--device p100|v100|vega64] [--trace OUT.json] [--output OUT.mtx] \
          [--include-transfers] [--tiny]\n\
+       spgemm trace ...  (telemetry inspection; `spgemm trace --help`)\n\
          datasets: {}",
         matgen::standard_datasets()
             .iter()
@@ -196,6 +197,12 @@ fn run<T: Scalar>(args: &Args) {
 }
 
 fn main() {
+    // `spgemm trace ...` delegates to the telemetry inspection CLI
+    // (also available as the standalone `trace` binary).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        std::process::exit(bench::tracecli::run_trace(&argv[1..]));
+    }
     let args = parse_args();
     if args.precision == "f64" {
         run::<f64>(&args);

@@ -1,0 +1,14 @@
+//! `trace` — run one SpGEMM with telemetry and inspect the run.
+//!
+//! ```text
+//! trace --dataset QCD --tiny
+//! trace --dataset Protein --algorithm cusparse --jsonl run.jsonl --check
+//! trace --matrix m.mtx --chrome-trace trace.json
+//! ```
+//!
+//! See [`bench::tracecli`] for the full flag list and output format.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(bench::tracecli::run_trace(&argv));
+}

@@ -39,11 +39,17 @@ pub struct Group {
     name: String,
     samples: usize,
     records: Vec<Record>,
+    telemetry_lines: Vec<String>,
 }
 
 /// Open a benchmark group; call [`Group::finish`] to write its CSV.
 pub fn group(name: &str) -> Group {
-    Group { name: name.to_string(), samples: DEFAULT_SAMPLES, records: Vec::new() }
+    Group {
+        name: name.to_string(),
+        samples: DEFAULT_SAMPLES,
+        records: Vec::new(),
+        telemetry_lines: Vec::new(),
+    }
 }
 
 impl Group {
@@ -104,6 +110,22 @@ impl Group {
         });
     }
 
+    /// Attach a run's telemetry event log under `id`. Each JSONL line
+    /// gains a leading `"bench_id"` field so several runs can share one
+    /// file; [`Group::finish`] writes them all to
+    /// `results/bench_<group>_telemetry.jsonl`.
+    pub fn record_telemetry(&mut self, id: &str, telemetry: &obs::Telemetry) {
+        for line in telemetry.to_jsonl().lines() {
+            // Every event line starts with `{"kind":...`, so splicing a
+            // bench_id field after the opening brace keeps it valid JSON.
+            self.telemetry_lines.push(format!(
+                "{{\"bench_id\":{},{}",
+                obs::json::quote(id),
+                &line[1..]
+            ));
+        }
+    }
+
     /// Write `results/bench_<group>.csv` and return its path.
     pub fn finish(self) -> std::path::PathBuf {
         let rows: Vec<String> = self
@@ -121,6 +143,13 @@ impl Group {
             "id,kind,median_s,min_s,max_s,samples",
             &rows,
         );
+        if !self.telemetry_lines.is_empty() {
+            let tpath = crate::results_dir().join(format!("bench_{}_telemetry.jsonl", self.name));
+            let mut body = self.telemetry_lines.join("\n");
+            body.push('\n');
+            std::fs::write(&tpath, body).expect("write telemetry jsonl");
+            println!("{} telemetry -> {}", self.name, tpath.display());
+        }
         println!("{} -> {}", self.name, path.display());
         path
     }
@@ -162,6 +191,20 @@ mod tests {
         assert!(r.min_s <= r.median_s && r.median_s <= r.max_s);
         assert!(r.median_s > 0.0);
         assert_eq!(r.samples, 5);
+    }
+
+    #[test]
+    fn record_telemetry_tags_lines_with_bench_id() {
+        let mut g = group("harness_selftest_telemetry");
+        let mut t = obs::Telemetry::default();
+        t.emit(obs::Event::new("kernel").str("name", "k0").u64("blocks", 4));
+        t.emit(obs::Event::new("alloc").u64("bytes", 128));
+        g.record_telemetry("fig5/QCD", &t);
+        assert_eq!(g.telemetry_lines.len(), 2);
+        for line in &g.telemetry_lines {
+            assert!(line.starts_with("{\"bench_id\":\"fig5/QCD\",\"kind\":"));
+            obs::json::validate(line).expect("tagged line stays valid JSON");
+        }
     }
 
     #[test]

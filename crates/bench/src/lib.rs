@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod harness;
 pub mod report;
 pub mod table;
+pub mod tracecli;
 
 use baselines::Algorithm;
 use matgen::{Dataset, Scale};
@@ -110,6 +111,28 @@ pub fn run_one<T: CachedMatrix>(alg: Algorithm, d: &Dataset) -> EvalResult {
         Err(e) => panic!("{} on {} failed: {e}", alg.name(), d.name),
     };
     EvalResult { dataset: d.name.to_string(), algorithm: alg, precision: T::PRECISION, report }
+}
+
+/// Like [`run_one`], but with device telemetry enabled; returns the
+/// detached [`obs::Telemetry`] alongside the result (still `Some` on
+/// OOM — the events up to the failure are often the interesting part).
+pub fn run_one_traced<T: CachedMatrix>(
+    alg: Algorithm,
+    d: &Dataset,
+) -> (EvalResult, Option<obs::Telemetry>) {
+    let a = T::matrix(d);
+    let mut gpu = device_for(d);
+    gpu.enable_telemetry();
+    let report = match alg.run::<T>(&mut gpu, &a, &a) {
+        Ok((_, r)) => Some(r),
+        Err(nsparse_core::pipeline::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => None,
+        Err(e) => panic!("{} on {} failed: {e}", alg.name(), d.name),
+    };
+    let telemetry = gpu.take_telemetry();
+    (
+        EvalResult { dataset: d.name.to_string(), algorithm: alg, precision: T::PRECISION, report },
+        telemetry,
+    )
 }
 
 /// Evaluate all four algorithms over the given datasets.

@@ -1,0 +1,306 @@
+//! The `trace` inspection CLI: run one SpGEMM with full telemetry on
+//! the virtual device and print what the paper's analyses are built
+//! from — phase × kernel × stream tables, per-stream utilization, hash
+//! probe-length histograms, per-group row populations and peak-memory
+//! attribution — plus machine-readable exports (`--jsonl`,
+//! `--chrome-trace`).
+//!
+//! Reachable both as `cargo run --bin trace -- ...` and as
+//! `cargo run --bin spgemm -- trace ...` (the `spgemm` binary delegates
+//! its `trace` subcommand here). The run is fully deterministic:
+//! identical arguments produce byte-identical exports.
+
+use baselines::Algorithm;
+use sparse::{Csr, Scalar};
+use vgpu::{DeviceConfig, Gpu, Phase, SimTime};
+
+/// Parsed command line of the trace subcommand.
+struct Args {
+    dataset: Option<String>,
+    matrix: Option<String>,
+    algorithm: Algorithm,
+    precision: String,
+    device: String,
+    tiny: bool,
+    jsonl: Option<String>,
+    chrome_trace: Option<String>,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace (--dataset NAME | --matrix FILE.mtx) \
+         [--algorithm proposal|cusparse|cusp|bhsparse] [--precision f32|f64] \
+         [--device p100|v100|vega64] [--tiny] \
+         [--jsonl OUT.jsonl] [--chrome-trace OUT.json] [--check]\n\
+         datasets: {}",
+        matgen::standard_datasets()
+            .iter()
+            .chain(matgen::large_datasets().iter())
+            .map(|d| d.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        dataset: None,
+        matrix: None,
+        algorithm: Algorithm::Proposal,
+        precision: "f32".into(),
+        device: "p100".into(),
+        tiny: false,
+        jsonl: None,
+        chrome_trace: None,
+        check: false,
+    };
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--dataset" => args.dataset = Some(value(&mut it)),
+            "--matrix" => args.matrix = Some(value(&mut it)),
+            "--algorithm" => {
+                args.algorithm = match value(&mut it).to_ascii_lowercase().as_str() {
+                    "proposal" | "nsparse" => Algorithm::Proposal,
+                    "cusparse" => Algorithm::Cusparse,
+                    "cusp" | "esc" => Algorithm::Cusp,
+                    "bhsparse" => Algorithm::Bhsparse,
+                    other => {
+                        eprintln!("unknown algorithm '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--precision" => args.precision = value(&mut it).to_ascii_lowercase(),
+            "--device" => args.device = value(&mut it).to_ascii_lowercase(),
+            "--tiny" => args.tiny = true,
+            "--jsonl" => args.jsonl = Some(value(&mut it)),
+            "--chrome-trace" => args.chrome_trace = Some(value(&mut it)),
+            "--check" => args.check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.dataset.is_none() == args.matrix.is_none() {
+        eprintln!("exactly one of --dataset / --matrix is required");
+        usage();
+    }
+    if !matches!(args.precision.as_str(), "f32" | "f64") {
+        eprintln!("precision must be f32 or f64");
+        usage();
+    }
+    args
+}
+
+fn device_config(name: &str) -> DeviceConfig {
+    match name {
+        "p100" => DeviceConfig::p100(),
+        "v100" => DeviceConfig::v100(),
+        "vega64" => DeviceConfig::vega64(),
+        other => {
+            eprintln!("unknown device '{other}' (p100, v100, vega64)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load<T: Scalar>(args: &Args) -> Csr<T> {
+    if let Some(name) = &args.dataset {
+        let d = matgen::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown dataset '{name}'");
+            usage()
+        });
+        let scale = if args.tiny { matgen::Scale::Tiny } else { matgen::Scale::Repro };
+        eprintln!("generating '{}' ({:?} scale)...", d.name, scale);
+        d.generate::<T>(scale)
+    } else {
+        let path = args.matrix.as_ref().unwrap();
+        match sparse::io::read_matrix_market_file::<T>(path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Scaled ASCII bar for histogram rendering.
+fn bar(count: u64, max: u64, width: usize) -> String {
+    let n = if max == 0 { 0 } else { (count as usize * width).div_ceil(max as usize) };
+    "#".repeat(n)
+}
+
+fn print_histogram(name: &str, h: &obs::Log2Histogram) {
+    let nz = h.nonzero_buckets();
+    if nz.is_empty() {
+        return;
+    }
+    println!(
+        "  {name}: n={} sum={} min={} max={} mean={:.2}",
+        h.count(),
+        h.sum(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        h.mean()
+    );
+    let peak = nz.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    for (lower, count) in nz {
+        println!("    >= {lower:>10}  {count:>10}  {}", bar(count, peak, 40));
+    }
+}
+
+/// Execute the traced run and print every table. Returns the process
+/// exit code (non-zero when `--check` finds invalid output).
+pub fn run_trace(argv: &[String]) -> i32 {
+    let args = parse_args(argv);
+    if args.precision == "f64" {
+        run::<f64>(&args)
+    } else {
+        run::<f32>(&args)
+    }
+}
+
+fn run<T: Scalar>(args: &Args) -> i32 {
+    let a = load::<T>(args);
+    if a.rows() != a.cols() {
+        eprintln!("matrix must be square to compute A^2 ({}x{})", a.rows(), a.cols());
+        return 1;
+    }
+    let mut gpu = Gpu::new(device_config(&args.device));
+    gpu.enable_telemetry();
+    let (c, report) = match args.algorithm.run::<T>(&mut gpu, &a, &a) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{} failed: {e}", args.algorithm.name());
+            return 1;
+        }
+    };
+
+    println!("== run ==");
+    println!("device      : {}", gpu.config().name);
+    println!("algorithm   : {} ({})", args.algorithm.name(), report.precision);
+    println!("matrix      : {} rows, {} nnz", a.rows(), a.nnz());
+    println!("output nnz  : {}", c.nnz());
+    println!("kernel time : {}", report.total_time);
+    println!("performance : {:.3} GFLOPS", report.gflops());
+    println!("peak memory : {:.1} MB", report.peak_mem_bytes as f64 / (1 << 20) as f64);
+    println!("hash probes : {}", report.hash_probes);
+
+    println!("\n== phases ==");
+    for (phase, t) in &report.phase_times {
+        if *phase != Phase::Other && t.secs() > 0.0 {
+            println!(
+                "  {:10} {:>14}  {:5.1}%",
+                phase.label(),
+                t.to_string(),
+                100.0 * report.phase_fraction(*phase)
+            );
+        }
+    }
+
+    println!("\n== kernels (phase x kernel x stream) ==");
+    println!(
+        "  {:10} {:24} {:>6} {:>8} {:>8} {:>14}",
+        "phase", "kernel", "stream", "launches", "blocks", "time"
+    );
+    for k in gpu.profiler().kernel_table() {
+        println!(
+            "  {:10} {:24} {:>6} {:>8} {:>8} {:>14}",
+            k.phase.label(),
+            k.name,
+            k.stream,
+            k.launches,
+            k.blocks,
+            k.time.to_string()
+        );
+    }
+
+    println!("\n== streams ==");
+    let wall = match gpu.profiler().wall_span() {
+        Some((t0, t1)) => t1 - t0,
+        None => SimTime::ZERO,
+    };
+    println!("  {:>6} {:>8} {:>14} {:>6}", "stream", "kernels", "busy", "util");
+    for s in gpu.profiler().stream_utilization() {
+        println!(
+            "  {:>6} {:>8} {:>14} {:>5.1}%",
+            s.stream,
+            s.kernels,
+            s.busy.to_string(),
+            100.0 * s.utilization(wall)
+        );
+    }
+
+    let summary = gpu.telemetry_summary().expect("telemetry enabled");
+    println!("\n== group populations ==");
+    println!("  {:24} {:>10}", "group", "rows");
+    for (name, v) in &summary.counters {
+        if name.ends_with(".rows") {
+            println!("  {:24} {:>10}", name.trim_end_matches(".rows"), v);
+        }
+    }
+
+    println!("\n== histograms ==");
+    for (name, h) in &summary.hists {
+        if name.ends_with(".probe_len") || name.ends_with(".row_metric") {
+            print_histogram(name, h);
+        }
+    }
+
+    println!("\n== peak memory attribution ==");
+    let peak_holders: Vec<(String, u64)> = gpu.memory().peak_breakdown().to_vec();
+    for (tag, bytes) in &peak_holders {
+        println!(
+            "  {:24} {:>14} B  {:5.1}%",
+            tag,
+            bytes,
+            100.0 * *bytes as f64 / report.peak_mem_bytes.max(1) as f64
+        );
+    }
+    if let Some(t) = gpu.telemetry_mut() {
+        for (tag, bytes) in &peak_holders {
+            t.emit(obs::Event::new("peak_holder").str("tag", tag).u64("bytes", *bytes));
+        }
+    }
+
+    // Exports (deterministic: identical runs produce identical bytes).
+    let mut ok = true;
+    let jsonl = gpu.telemetry().expect("telemetry enabled").to_jsonl();
+    let chrome = gpu.profiler().chrome_trace();
+    if args.check {
+        for (what, text) in [("jsonl", &jsonl), ("chrome-trace", &chrome)] {
+            let result = if what == "jsonl" {
+                jsonl.lines().try_for_each(obs::json::validate)
+            } else {
+                obs::json::validate(text)
+            };
+            match result {
+                Ok(()) => println!("check {what}: ok"),
+                Err(pos) => {
+                    eprintln!("check {what}: INVALID JSON at byte {pos}");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.jsonl {
+        std::fs::write(path, &jsonl).expect("write jsonl");
+        println!("jsonl       : {path} ({} events)", jsonl.lines().count());
+    }
+    if let Some(path) = &args.chrome_trace {
+        std::fs::write(path, &chrome).expect("write chrome trace");
+        println!("chrome trace: {path} (open at chrome://tracing or ui.perfetto.dev)");
+    }
+    if ok {
+        0
+    } else {
+        1
+    }
+}

@@ -206,7 +206,44 @@ pub fn build_groups(
     GroupTable { groups, phase }
 }
 
+/// Per-group occupancy of one grouping pass (telemetry): how many rows
+/// landed in each group and how their metric is distributed — the data
+/// behind Table I's row-population analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupOccupancy {
+    /// Group id (Table I order; equals the group's index).
+    pub id: usize,
+    /// Rows assigned to the group.
+    pub rows: u64,
+    /// Sum of the grouping metric over those rows.
+    pub metric_total: u64,
+    /// Log2 histogram of the per-row metric.
+    pub metric_hist: obs::Log2Histogram,
+}
+
 impl GroupTable {
+    /// Bucket `metric` (one entry per row) into the groups and summarize
+    /// each group's row population. Entries align with `self.groups`.
+    pub fn summarize(&self, metric: &[usize]) -> Vec<GroupOccupancy> {
+        let mut out: Vec<GroupOccupancy> = self
+            .groups
+            .iter()
+            .map(|g| GroupOccupancy {
+                id: g.id,
+                rows: 0,
+                metric_total: 0,
+                metric_hist: obs::Log2Histogram::new(),
+            })
+            .collect();
+        for &v in metric {
+            let o = &mut out[self.group_of(v)];
+            o.rows += 1;
+            o.metric_total += v as u64;
+            o.metric_hist.record(v as u64);
+        }
+        out
+    }
+
     /// Index of the group a row with the given metric belongs to.
     pub fn group_of(&self, metric: usize) -> usize {
         for (i, g) in self.groups.iter().enumerate() {
@@ -367,6 +404,24 @@ mod tests {
             }
             assert_eq!(gs.last().unwrap().upper, usize::MAX);
         }
+    }
+
+    #[test]
+    fn summarize_partitions_rows() {
+        let t = build_groups(&p100(), 8, GroupPhase::Numeric, 4, true);
+        let metric = [0usize, 5, 16, 17, 300, 5000];
+        let occ = t.summarize(&metric);
+        assert_eq!(occ.len(), t.len());
+        assert_eq!(occ.iter().map(|o| o.rows).sum::<u64>(), metric.len() as u64);
+        assert_eq!(
+            occ.iter().map(|o| o.metric_total).sum::<u64>(),
+            metric.iter().map(|&v| v as u64).sum::<u64>()
+        );
+        // Rows land where group_of sends them.
+        assert_eq!(occ[0].rows, 1); // 5000 → group 0
+        assert_eq!(occ[6].rows, 3); // 0, 5, 16 → PWARP
+        assert_eq!(occ[6].metric_hist.count(), 3);
+        assert_eq!(occ[6].metric_hist.max(), Some(16));
     }
 
     #[test]

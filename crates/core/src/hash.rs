@@ -31,6 +31,19 @@ pub enum Insert {
     Overflow,
 }
 
+/// Aggregated hash-table observations, collected only when
+/// [`HashTable::observe_probes`] turned the observer on (telemetry).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Slot inspections per insert/lookup chain (1 = no collision).
+    pub probe_len: obs::Log2Histogram,
+    /// Distinct keys per row, sampled at [`HashTable::take_probes`].
+    pub row_occupancy: obs::Log2Histogram,
+    /// Row load factor in permille (`occupied × 1000 / capacity`),
+    /// sampled at [`HashTable::take_probes`].
+    pub load_permille: obs::Log2Histogram,
+}
+
 /// A reusable hash table with observed probe counts.
 #[derive(Debug, Clone)]
 pub struct HashTable<T> {
@@ -45,6 +58,9 @@ pub struct HashTable<T> {
     probes: u64,
     /// Whether the multiplicative hash is applied (ablation switch).
     scramble: bool,
+    /// Probe-distribution observer; `None` (the default) keeps the
+    /// non-telemetry path free of histogram work.
+    observer: Option<Box<ProbeStats>>,
 }
 
 impl<T: Scalar> HashTable<T> {
@@ -60,6 +76,35 @@ impl<T: Scalar> HashTable<T> {
             occupied: 0,
             probes: 0,
             scramble,
+            observer: None,
+        }
+    }
+
+    /// Turn the probe-distribution observer on or off. Observations
+    /// accumulate across rows until [`HashTable::take_probe_stats`].
+    pub fn observe_probes(&mut self, on: bool) {
+        if on {
+            if self.observer.is_none() {
+                self.observer = Some(Box::default());
+            }
+        } else {
+            self.observer = None;
+        }
+    }
+
+    /// Take the accumulated observations, leaving a fresh observer in
+    /// place (so per-group draining keeps observing). `None` when the
+    /// observer was never enabled.
+    pub fn take_probe_stats(&mut self) -> Option<ProbeStats> {
+        self.observer.as_mut().map(|o| std::mem::take(&mut **o))
+    }
+
+    /// Record the chain length of the access that started at probe
+    /// count `p0` (observer only).
+    #[inline]
+    fn note_chain(&mut self, p0: u64) {
+        if let Some(o) = self.observer.as_deref_mut() {
+            o.probe_len.record(self.probes - p0);
         }
     }
 
@@ -114,6 +159,7 @@ impl<T: Scalar> HashTable<T> {
     /// shared table after a short probe budget and spill to global.
     #[inline]
     pub fn insert_bounded_symbolic(&mut self, key: u32, max_probes: usize) -> Insert {
+        let p0 = self.probes;
         let mut slot = self.slot_of(key);
         for _ in 0..max_probes {
             self.probes += 1;
@@ -122,13 +168,16 @@ impl<T: Scalar> HashTable<T> {
                 self.stamp[slot] = self.epoch;
                 self.keys[slot] = key;
                 self.occupied += 1;
+                self.note_chain(p0);
                 return Insert::New;
             }
             if self.keys[slot] == key {
+                self.note_chain(p0);
                 return Insert::Duplicate;
             }
             slot = (slot + 1) & self.mask;
         }
+        self.note_chain(p0);
         Insert::Overflow
     }
 
@@ -143,6 +192,7 @@ impl<T: Scalar> HashTable<T> {
     /// accumulated — the caller routes the product to its global table.
     #[inline]
     pub fn insert_bounded_numeric(&mut self, key: u32, value: T, max_probes: usize) -> Insert {
+        let p0 = self.probes;
         let mut slot = self.slot_of(key);
         for _ in 0..max_probes {
             self.probes += 1;
@@ -151,14 +201,17 @@ impl<T: Scalar> HashTable<T> {
                 self.keys[slot] = key;
                 self.vals[slot] = value;
                 self.occupied += 1;
+                self.note_chain(p0);
                 return Insert::New;
             }
             if self.keys[slot] == key {
                 self.vals[slot] += value; // the device's atomicAdd
+                self.note_chain(p0);
                 return Insert::Duplicate;
             }
             slot = (slot + 1) & self.mask;
         }
+        self.note_chain(p0);
         Insert::Overflow
     }
 
@@ -168,18 +221,22 @@ impl<T: Scalar> HashTable<T> {
     /// counted like any other access.
     #[inline]
     pub fn lookup_accumulate(&mut self, key: u32, value: T) -> bool {
+        let p0 = self.probes;
         let mut slot = self.slot_of(key);
         for _ in 0..=self.mask {
             self.probes += 1;
             if self.stamp[slot] != self.epoch {
+                self.note_chain(p0);
                 return false; // empty slot: key not in the mask
             }
             if self.keys[slot] == key {
                 self.vals[slot] += value;
+                self.note_chain(p0);
                 return true;
             }
             slot = (slot + 1) & self.mask;
         }
+        self.note_chain(p0);
         false
     }
 
@@ -188,8 +245,17 @@ impl<T: Scalar> HashTable<T> {
         self.occupied
     }
 
-    /// Take and clear the probe counter.
+    /// Take and clear the probe counter. Called once per row by the
+    /// kernels, so the observer samples row occupancy and load factor
+    /// here.
     pub fn take_probes(&mut self) -> u64 {
+        if self.observer.is_some() {
+            let occupied = self.occupied as u64;
+            let load = occupied * 1000 / (self.mask as u64 + 1);
+            let o = self.observer.as_deref_mut().expect("checked above");
+            o.row_occupancy.record(occupied);
+            o.load_permille.record(load);
+        }
         std::mem::take(&mut self.probes)
     }
 
@@ -314,6 +380,30 @@ mod tests {
         }
         assert_eq!(ident.extract_sorted(), scram.extract_sorted());
         assert_eq!(ident.occupied(), scram.occupied());
+    }
+
+    #[test]
+    fn observer_collects_chain_and_row_stats() {
+        let mut t = HashTable::<f64>::new(8, false);
+        assert!(t.take_probe_stats().is_none()); // off by default
+        t.observe_probes(true);
+        t.reset(8);
+        t.insert_symbolic(0); // chain length 1
+        t.insert_symbolic(8); // collides with slot 0: chain length 2
+        let probes = t.take_probes();
+        let s = t.take_probe_stats().unwrap();
+        assert_eq!(s.probe_len.count(), 2);
+        assert_eq!(s.probe_len.sum(), probes); // chains partition the probes
+        assert_eq!(s.row_occupancy.count(), 1);
+        assert_eq!(s.row_occupancy.sum(), 2);
+        assert_eq!(s.load_permille.sum(), 250); // 2 of 8 slots
+                                                // Taking leaves a fresh observer in place.
+        t.insert_symbolic(1);
+        t.take_probes();
+        let s2 = t.take_probe_stats().unwrap();
+        assert_eq!(s2.probe_len.count(), 1);
+        t.observe_probes(false);
+        assert!(t.take_probe_stats().is_none());
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod pipeline;
 pub mod plan;
 pub mod spmv;
 
-pub use groups::{build_groups, Assignment, GroupPhase, GroupSpec, GroupTable};
-pub use hash::{HashTable, HASH_SCAL};
+pub use groups::{build_groups, Assignment, GroupOccupancy, GroupPhase, GroupSpec, GroupTable};
+pub use hash::{HashTable, ProbeStats, HASH_SCAL};
 pub use masked::multiply_masked;
 pub use pipeline::{estimate_memory, multiply, Error, MemoryEstimate, Options};
 pub use plan::SpgemmPlan;

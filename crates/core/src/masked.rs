@@ -62,6 +62,8 @@ pub fn multiply_masked<T: Scalar>(
     // One numeric pass: per row, build the mask's column set in the hash
     // table, then accumulate only products that hit it.
     let mut table = HashTable::<T>::new(1024, opts.use_mul_hash);
+    table.observe_probes(gpu.telemetry_enabled());
+    let mut total_probes = 0u64;
     let mut val_c = vec![T::ZERO; mask.nnz()];
     let mut blocks = Vec::with_capacity(m);
     for i in 0..m {
@@ -84,6 +86,7 @@ pub fn multiply_masked<T: Scalar>(
             }
         }
         let probes = table.take_probes();
+        total_probes += probes;
         // Write the row's values in mask order.
         let span = mask.rpt()[i]..mask.rpt()[i + 1];
         let (cols, vals) = table.extract_sorted();
@@ -103,6 +106,13 @@ pub fn multiply_masked<T: Scalar>(
     }
     gpu.launch(KernelDesc::new("masked_numeric", DEFAULT_STREAM, 256, 16 * 1024), blocks)?;
     gpu.set_phase(Phase::Other);
+    if let Some(stats) = table.take_probe_stats() {
+        if let Some(t) = gpu.telemetry_mut() {
+            t.registry.hist_merge("masked.probe_len", &stats.probe_len);
+            t.registry.hist_merge("masked.row_occupancy", &stats.row_occupancy);
+            t.registry.hist_merge("masked.load_permille", &stats.load_permille);
+        }
+    }
 
     for id in [a_buf, b_buf, m_buf, c_buf] {
         gpu.free(id);
@@ -120,6 +130,8 @@ pub fn multiply_masked<T: Scalar>(
         peak_mem_bytes: gpu.peak_mem_bytes(),
         intermediate_products: ip,
         output_nnz: mask.nnz() as u64,
+        hash_probes: total_probes,
+        telemetry: gpu.telemetry_summary(),
     };
     let c = Csr::from_parts_unchecked(m, b.cols(), mask.rpt().to_vec(), mask.col().to_vec(), val_c);
     Ok((c, report))

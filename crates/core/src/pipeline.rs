@@ -146,6 +146,8 @@ fn multiply_inner<T: Scalar>(
 ) -> Result<(Csr<T>, SpgemmReport)> {
     let m = a.rows();
     let phase_before = gpu.profiler().phase_times();
+    let t_run0 = gpu.elapsed().us();
+    let run_span = gpu.telemetry_mut().map(|t| t.span_begin("spgemm", t_run0));
 
     // Host ground work (charged below as the setup kernel).
     let nprod = row_intermediate_products(a, b)?;
@@ -174,7 +176,7 @@ fn multiply_inner<T: Scalar>(
 
     // ---------------- Count: (3) symbolic hash per group ----------------
     gpu.set_phase(Phase::Count);
-    let nnz_row = run_count(gpu, a, b, opts, &nprod)?;
+    let (nnz_row, count_probes) = run_count(gpu, a, b, opts, &nprod)?;
     // (4) scan row counts into the output row pointer.
     primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64 + 1, 4)?;
     let rpt_c = prefix_sum(&nnz_row);
@@ -186,8 +188,14 @@ fn multiply_inner<T: Scalar>(
 
     // ---------------- Calc: (6) regroup, (7) numeric ----------------
     gpu.set_phase(Phase::Calc);
-    let (col_c, val_c) = run_numeric(gpu, a, b, opts, &nnz_row, &rpt_c)?;
+    let (col_c, val_c, calc_probes) = run_numeric(gpu, a, b, opts, &nnz_row, &rpt_c)?;
     gpu.set_phase(Phase::Other);
+    if let Some(span) = run_span {
+        let t_run1 = gpu.elapsed().us();
+        if let Some(t) = gpu.telemetry_mut() {
+            t.span_end(span, t_run1);
+        }
+    }
     // Assemble the report from the profiler delta of this call.
     let phase_after = gpu.profiler().phase_times();
     let phase_times: Vec<(Phase, SimTime)> =
@@ -201,6 +209,8 @@ fn multiply_inner<T: Scalar>(
         peak_mem_bytes: gpu.peak_mem_bytes(),
         intermediate_products: total_products,
         output_nnz: nnz_c as u64,
+        hash_probes: count_probes + calc_probes,
+        telemetry: gpu.telemetry_summary(),
     };
     let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c);
     Ok((c, report))
@@ -218,14 +228,15 @@ pub(crate) fn prefix_sum(nnz_row: &[u32]) -> Vec<usize> {
 
 /// The symbolic (count) phase: group by intermediate products, run the
 /// per-group hash kernels, handle global-table overflow rows. Returns
-/// the exact nnz of every output row. The caller sets the device phase.
+/// the exact nnz of every output row plus the total hash-probe steps
+/// observed. The caller sets the device phase.
 pub(crate) fn run_count<T: Scalar>(
     gpu: &mut Gpu,
     a: &Csr<T>,
     b: &Csr<T>,
     opts: &Options,
     nprod: &[usize],
-) -> Result<Vec<u32>> {
+) -> Result<(Vec<u32>, u64)> {
     let stream_for = |gi: usize| {
         if opts.use_streams {
             StreamId(gi + 1)
@@ -236,9 +247,12 @@ pub(crate) fn run_count<T: Scalar>(
     let count_groups =
         build_groups(gpu.config(), T::BYTES, GroupPhase::Count, opts.pwarp_width, opts.use_pwarp);
     let rows_by_count_group = bucket_rows(&count_groups, nprod);
+    emit_group_summary(gpu, &count_groups, nprod, "count");
     let m = a.rows();
     let mut nnz_row = vec![0u32; m];
     let mut table = HashTable::<T>::new(1024, opts.use_mul_hash);
+    table.observe_probes(gpu.telemetry_enabled());
+    let mut total_probes = 0u64;
     let mut count_overflow: Vec<u32> = Vec::new();
     for (gi, spec) in count_groups.groups.iter().enumerate() {
         let rows = &rows_by_count_group[gi];
@@ -251,6 +265,7 @@ pub(crate) fn run_count<T: Scalar>(
                 let mut blocks = Vec::with_capacity(rows.len());
                 for &r in rows {
                     let s = tb_symbolic_row(a, b, r as usize, spec.table_size, &mut table);
+                    total_probes += s.probes;
                     if s.overflowed {
                         count_overflow.push(r);
                     } else {
@@ -289,6 +304,7 @@ pub(crate) fn run_count<T: Scalar>(
                             s
                         })
                         .collect();
+                    total_probes += stats.iter().map(|s| s.probes).sum::<u64>();
                     blocks.push(pwarp_block_cost(gpu, spec, width, &stats, None));
                 }
                 gpu.launch(
@@ -302,6 +318,7 @@ pub(crate) fn run_count<T: Scalar>(
                 )?;
             }
         }
+        drain_probe_stats(gpu, &mut table, "count", gi);
     }
     // Second pass for rows whose table overflowed shared memory:
     // per-row global tables sized from their intermediate products.
@@ -314,6 +331,7 @@ pub(crate) fn run_count<T: Scalar>(
         for &r in &count_overflow {
             let cap = global_table_size(nprod[r as usize]);
             let s = tb_symbolic_row(a, b, r as usize, cap, &mut table);
+            total_probes += s.probes;
             debug_assert!(!s.overflowed);
             nnz_row[r as usize] = s.nnz;
             blocks.push(tb_global_block_cost(gpu, &s, cap, None));
@@ -328,13 +346,16 @@ pub(crate) fn run_count<T: Scalar>(
             blocks,
         )?;
         gpu.free(gt); // synchronizes; table only lives through the pass
+                      // The second pass re-runs group-0 rows with global tables.
+        drain_probe_stats(gpu, &mut table, "count", 0);
     }
-    Ok(nnz_row)
+    Ok((nnz_row, total_probes))
 }
 
 /// The numeric (calc) phase: group by output nnz, run the per-group
 /// value kernels (shared, global and PWARP variants), producing the
-/// output column/value arrays. The caller sets the device phase.
+/// output column/value arrays plus the total hash-probe steps observed.
+/// The caller sets the device phase.
 pub(crate) fn run_numeric<T: Scalar>(
     gpu: &mut Gpu,
     a: &Csr<T>,
@@ -342,10 +363,12 @@ pub(crate) fn run_numeric<T: Scalar>(
     opts: &Options,
     nnz_row: &[u32],
     rpt_c: &[usize],
-) -> Result<(Vec<u32>, Vec<T>)> {
+) -> Result<(Vec<u32>, Vec<T>, u64)> {
     let m = a.rows();
     let nnz_c = *rpt_c.last().unwrap();
     let mut table = HashTable::<T>::new(1024, opts.use_mul_hash);
+    table.observe_probes(gpu.telemetry_enabled());
+    let mut total_probes = 0u64;
     let stream_for = |gi: usize| {
         if opts.use_streams {
             StreamId(gi + 1)
@@ -357,6 +380,7 @@ pub(crate) fn run_numeric<T: Scalar>(
         build_groups(gpu.config(), T::BYTES, GroupPhase::Numeric, opts.pwarp_width, opts.use_pwarp);
     let nnz_metric: Vec<usize> = nnz_row.iter().map(|&n| n as usize).collect();
     let rows_by_numeric_group = bucket_rows(&numeric_groups, &nnz_metric);
+    emit_group_summary(gpu, &numeric_groups, &nnz_metric, "calc");
     grouping_kernel(gpu, m)?;
 
     let mut col_c = vec![0u32; nnz_c];
@@ -381,6 +405,7 @@ pub(crate) fn run_numeric<T: Scalar>(
                         &mut col_c[span.clone()],
                         &mut val_c[span],
                     );
+                    total_probes += s.probes;
                     blocks.push(tb_block_cost(gpu, spec, &s, Some(T::BYTES)));
                 }
                 gpu.launch(
@@ -416,6 +441,7 @@ pub(crate) fn run_numeric<T: Scalar>(
                         &mut col_c[span.clone()],
                         &mut val_c[span],
                     );
+                    total_probes += s.probes;
                     blocks.push(tb_global_block_cost(gpu, &s, cap, Some(T::BYTES)));
                 }
                 gpu.launch(
@@ -450,6 +476,7 @@ pub(crate) fn run_numeric<T: Scalar>(
                             )
                         })
                         .collect();
+                    total_probes += stats.iter().map(|s| s.probes).sum::<u64>();
                     blocks.push(pwarp_block_cost(gpu, spec, width, &stats, Some(T::BYTES)));
                 }
                 gpu.launch(
@@ -463,8 +490,44 @@ pub(crate) fn run_numeric<T: Scalar>(
                 )?;
             }
         }
+        drain_probe_stats(gpu, &mut table, "calc", gi);
     }
-    Ok((col_c, val_c))
+    Ok((col_c, val_c, total_probes))
+}
+
+/// Drain the hash table's probe observer into the device telemetry
+/// under `{phase}.g{gi}.*` histogram names (no-op when telemetry and
+/// hence the observer are off).
+fn drain_probe_stats<T: Scalar>(gpu: &mut Gpu, table: &mut HashTable<T>, phase: &str, gi: usize) {
+    if let Some(stats) = table.take_probe_stats() {
+        if let Some(t) = gpu.telemetry_mut() {
+            t.registry.hist_merge(&format!("{phase}.g{gi}.probe_len"), &stats.probe_len);
+            t.registry.hist_merge(&format!("{phase}.g{gi}.row_occupancy"), &stats.row_occupancy);
+            t.registry.hist_merge(&format!("{phase}.g{gi}.load_permille"), &stats.load_permille);
+        }
+    }
+}
+
+/// Emit one `group` event per group plus per-group row-metric
+/// histograms (no-op when telemetry is off).
+fn emit_group_summary(gpu: &mut Gpu, groups: &GroupTable, metric: &[usize], phase: &str) {
+    if !gpu.telemetry_enabled() {
+        return;
+    }
+    let occ = groups.summarize(metric);
+    if let Some(t) = gpu.telemetry_mut() {
+        for o in &occ {
+            t.emit(
+                obs::Event::new("group")
+                    .str("phase", phase)
+                    .u64("group", o.id as u64)
+                    .u64("rows", o.rows)
+                    .u64("metric_total", o.metric_total),
+            );
+            t.registry.counter_add(&format!("{phase}.g{}.rows", o.id), o.rows);
+            t.registry.hist_merge(&format!("{phase}.g{}.row_metric", o.id), &o.metric_hist);
+        }
+    }
 }
 
 /// Bucket rows into groups by their metric (host mirror of the grouping

@@ -49,6 +49,8 @@ pub struct SpgemmPlan<T> {
     opts: Options,
     /// Simulated time spent building the plan (setup + count phases).
     pub plan_time: SimTime,
+    /// Hash-probe steps spent in the planning (count) phase.
+    pub plan_hash_probes: u64,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -63,7 +65,7 @@ impl<T: Scalar> SpgemmPlan<T> {
         let d_nprod = gpu.malloc(4 * (a.rows() as u64 + 1), "plan_nprod")?;
         let grp = gpu.malloc(4 * a.rows() as u64, "plan_group_rows")?;
         gpu.set_phase(Phase::Count);
-        let nnz_row = pipeline::run_count(gpu, a, b, opts, &nprod)?;
+        let (nnz_row, plan_hash_probes) = pipeline::run_count(gpu, a, b, opts, &nprod)?;
         let rpt_c = pipeline::prefix_sum(&nnz_row);
         gpu.set_phase(Phase::Other);
         gpu.free(d_nprod);
@@ -76,6 +78,7 @@ impl<T: Scalar> SpgemmPlan<T> {
             rpt_c,
             opts: opts.clone(),
             plan_time: gpu.elapsed() - t0,
+            plan_hash_probes,
             _marker: std::marker::PhantomData,
         })
     }
@@ -110,7 +113,7 @@ impl<T: Scalar> SpgemmPlan<T> {
         let res = pipeline::run_numeric(gpu, a, b, &self.opts, &self.nnz_row, &self.rpt_c);
         gpu.set_phase(Phase::Other);
         gpu.free(c_buf);
-        let (col_c, val_c) = res?;
+        let (col_c, val_c, calc_probes) = res?;
 
         let after = gpu.profiler().phase_times();
         let phase_times: Vec<(Phase, SimTime)> =
@@ -126,6 +129,8 @@ impl<T: Scalar> SpgemmPlan<T> {
             peak_mem_bytes: gpu.peak_mem_bytes(),
             intermediate_products: ip,
             output_nnz: nnz_c as u64,
+            hash_probes: calc_probes,
+            telemetry: gpu.telemetry_summary(),
         };
         Ok((Csr::from_parts_unchecked(m, self.cols_b, self.rpt_c.clone(), col_c, val_c), report))
     }

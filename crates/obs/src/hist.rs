@@ -1,0 +1,189 @@
+//! Fixed-bucket power-of-two histograms.
+//!
+//! Every distribution the telemetry layer records — probe-chain lengths,
+//! per-row intermediate products, output row sizes — is heavy-tailed, so
+//! log2 buckets capture the shape in a fixed, tiny footprint. Bucket `0`
+//! holds the value `0`; bucket `k` (for `k ≥ 1`) holds values in
+//! `[2^(k-1), 2^k)`; the last bucket absorbs everything at or above
+//! `2^(BUCKETS-2)`.
+
+/// Number of buckets: value 0, then 32 doubling ranges. Enough for any
+/// `u64` the simulator produces (row sizes and probe chains are bounded
+/// by matrix dimensions, far below 2^31).
+pub const BUCKETS: usize = 33;
+
+/// A log2-bucketed histogram with count/sum/min/max moments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket `value` falls into.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).clamp(1, BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+pub fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Log2Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts (index via [`bucket_of`] / [`bucket_lower`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(lower_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_lower(i)), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_of(bucket_lower(i + 1) - 1), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_total() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 3, 9, 1000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+        assert_eq!(h.sum(), 1014);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 1014.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_moments() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_concatenated_records() {
+        let (xs, ys) = ([1u64, 5, 0, 77], [3u64, 3, 900]);
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut both = Log2Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn nonzero_buckets_ascending() {
+        let mut h = Log2Histogram::new();
+        for v in [900u64, 1, 900, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.nonzero_buckets(), vec![(1, 1), (4, 1), (512, 2)]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Minimal JSON utilities: string escaping and a well-formedness
+//! validator.
+//!
+//! The workspace is hermetic (no serde), but the telemetry layer emits
+//! JSON Lines and Chrome trace-event files, and CI must verify those
+//! parse. This module provides exactly the two halves needed: a strict
+//! escaper used by every emitter, and a recursive-descent validator used
+//! by tests and the `trace --check` smoke step.
+
+/// Append `s` to `out` with JSON string escaping (`"`, `\`, control
+/// characters as `\u00XX`; the two-character forms for the common
+/// escapes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` escaped and quoted as a JSON string literal.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Check that `s` is exactly one well-formed JSON value (with optional
+/// surrounding whitespace). Returns the byte offset of the first error.
+pub fn validate(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i == b.len() {
+        Ok(())
+    } else {
+        Err(p.i)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), usize> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), usize> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn value(&mut self) -> Result<(), usize> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.i),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), usize> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), usize> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), usize> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.i),
+                                }
+                            }
+                        }
+                        _ => return Err(self.i),
+                    }
+                }
+                0x00..=0x1f => return Err(self.i),
+                _ => self.i += 1,
+            }
+        }
+        Err(self.i)
+    }
+
+    fn number(&mut self) -> Result<(), usize> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(start);
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(self.i);
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(self.i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quote("a\\b"), "\"a\\\\b\"");
+        assert_eq!(quote("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(quote("\u{01}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn escaped_strings_validate() {
+        for s in ["", "we\"ird\\name", "tabs\tand\nnewlines", "\u{0}\u{1f}", "日本語 🙂"] {
+            validate(&quote(s)).unwrap();
+        }
+    }
+
+    #[test]
+    fn accepts_wellformed_values() {
+        for s in [
+            "null",
+            "true",
+            "-12.5e-3",
+            "0",
+            "[]",
+            "{}",
+            "[1,2,3]",
+            "{\"a\":1,\"b\":[{\"c\":\"d\"}]}",
+            "  {\"x\" : [ 1 , null ] }  ",
+        ] {
+            validate(s).unwrap_or_else(|off| panic!("rejected {s:?} at {off}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "01a",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\x\"",
+            "[1] trailing",
+            "\"raw\ncontrol\"",
+        ] {
+            assert!(validate(s).is_err(), "accepted {s:?}");
+        }
+    }
+}

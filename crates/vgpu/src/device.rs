@@ -65,6 +65,9 @@ pub struct Gpu {
     phase: Phase,
     stream_ready: Vec<SimTime>,
     pending: Vec<PendingKernel>,
+    /// Structured telemetry session; `None` (the default) disables all
+    /// capture so the uninstrumented path pays only this null check.
+    telemetry: Option<Box<obs::Telemetry>>,
 }
 
 impl Gpu {
@@ -86,7 +89,48 @@ impl Gpu {
             phase: Phase::Other,
             stream_ready: Vec::new(),
             pending: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Opt into structured telemetry: device events (allocs, frees,
+    /// copies, kernels, phases) are logged, and the allocator records
+    /// its high-water timeline. Idempotent; off by default.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::default());
+        }
+        self.mem.enable_tracking();
+    }
+
+    /// Whether telemetry capture is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry session, when enabled.
+    pub fn telemetry(&self) -> Option<&obs::Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable telemetry session — algorithms use this to record their
+    /// own metrics (probe histograms, group stats) alongside the
+    /// device's events. `None` when telemetry is off, so callers write
+    /// `if let Some(t) = gpu.telemetry_mut() { ... }` and the disabled
+    /// path skips the block entirely.
+    pub fn telemetry_mut(&mut self) -> Option<&mut obs::Telemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Detach the telemetry session (capture stops; enable again for a
+    /// fresh one).
+    pub fn take_telemetry(&mut self) -> Option<obs::Telemetry> {
+        self.telemetry.take().map(|b| *b)
+    }
+
+    /// Snapshot of the metric registry for report embedding.
+    pub fn telemetry_summary(&self) -> Option<obs::Summary> {
+        self.telemetry.as_ref().map(|t| t.summary())
     }
 
     /// Device configuration.
@@ -137,6 +181,16 @@ impl Gpu {
         self.sync();
         let dt = self.now - self.phase_start;
         self.profiler.add_phase_time(self.phase, dt);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            if dt > SimTime::ZERO {
+                t.emit(
+                    obs::Event::new("phase")
+                        .str("name", self.phase.label())
+                        .f64("t_us", self.phase_start.us())
+                        .f64("dur_us", dt.us()),
+                );
+            }
+        }
         self.phase = phase;
         self.phase_start = self.now;
     }
@@ -164,6 +218,18 @@ impl Gpu {
             efficiency: 1.0,
         });
         self.now += dt;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.registry.counter_add("mem.allocs", 1);
+            t.registry.counter_add("mem.alloc_bytes", bytes);
+            t.registry.gauge_max("mem.peak_bytes", self.mem.peak_bytes() as f64);
+            t.emit(
+                obs::Event::new("alloc")
+                    .str("tag", tag)
+                    .u64("bytes", bytes)
+                    .u64("live", self.mem.live_bytes())
+                    .f64("t_us", self.now.us()),
+            );
+        }
         Ok(id)
     }
 
@@ -183,13 +249,32 @@ impl Gpu {
             efficiency: 1.0,
         });
         self.now += dt;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.registry.counter_add("mem.memcpys", 1);
+            t.registry.counter_add("mem.memcpy_bytes", bytes);
+            t.emit(
+                obs::Event::new("memcpy")
+                    .str("dir", if to_device { "h2d" } else { "d2h" })
+                    .u64("bytes", bytes)
+                    .f64("t_us", self.now.us()),
+            );
+        }
     }
 
     /// Free device memory (synchronizes, charges `cudaFree` latency).
     pub fn free(&mut self, id: AllocId) {
         self.sync();
-        self.mem.free(id);
+        let bytes = self.mem.free(id);
         self.now += self.cost.free_base;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.registry.counter_add("mem.frees", 1);
+            t.emit(
+                obs::Event::new("free")
+                    .u64("bytes", bytes)
+                    .u64("live", self.mem.live_bytes())
+                    .f64("t_us", self.now.us()),
+            );
+        }
     }
 
     /// Launch a kernel: one [`BlockCost`] per thread block, in grid
@@ -226,6 +311,19 @@ impl Gpu {
         let sched =
             schedule_region(&pending, &self.cfg, &self.cost, self.now, &mut self.stream_ready);
         for (k, span) in pending.iter().zip(&sched.spans) {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.registry.counter_add("kernel.launches", 1);
+                t.registry.counter_add("kernel.blocks", k.blocks.len() as u64);
+                t.emit(
+                    obs::Event::new("kernel")
+                        .str("name", &k.name)
+                        .str("phase", k.phase.label())
+                        .u64("stream", k.stream as u64)
+                        .u64("blocks", k.blocks.len() as u64)
+                        .f64("t_us", span.start.us())
+                        .f64("dur_us", (span.end - span.start).us()),
+                );
+            }
             self.profiler.record_kernel(KernelRecord {
                 name: k.name.clone(),
                 phase: k.phase,
@@ -359,6 +457,52 @@ mod tests {
         let mut g = gpu();
         g.sync();
         assert_eq!(g.elapsed(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn telemetry_off_by_default_on_when_enabled() {
+        let mut g = gpu();
+        assert!(!g.telemetry_enabled());
+        assert!(g.telemetry().is_none());
+        assert!(g.telemetry_summary().is_none());
+
+        g.enable_telemetry();
+        assert!(g.telemetry_enabled());
+        assert!(g.memory().tracking_enabled());
+        g.set_phase(Phase::Count);
+        let a = g.malloc(1 << 10, "buf").unwrap();
+        g.launch(
+            KernelDesc::new("count_k", DEFAULT_STREAM, 256, 0),
+            vec![BlockCost::raw(1e6, 0.0)],
+        )
+        .unwrap();
+        g.memcpy(4096, true);
+        g.free(a);
+        g.finish();
+
+        let t = g.telemetry().unwrap();
+        let s = t.summary();
+        assert_eq!(s.counter("mem.allocs"), Some(1));
+        assert_eq!(s.counter("mem.frees"), Some(1));
+        assert_eq!(s.counter("kernel.launches"), Some(1));
+        assert_eq!(s.counter("mem.memcpy_bytes"), Some(4096));
+        let jsonl = t.to_jsonl();
+        for kind in [
+            "\"kind\":\"alloc\"",
+            "\"kind\":\"kernel\"",
+            "\"kind\":\"free\"",
+            "\"kind\":\"memcpy\"",
+            "\"kind\":\"phase\"",
+        ] {
+            assert!(jsonl.contains(kind), "missing {kind} in {jsonl}");
+        }
+        for line in jsonl.lines() {
+            obs::json::validate(line).unwrap();
+        }
+        // Detach: capture stops.
+        let taken = g.take_telemetry().unwrap();
+        assert!(!taken.events.is_empty());
+        assert!(!g.telemetry_enabled());
     }
 
     #[test]

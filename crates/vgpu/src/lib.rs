@@ -42,8 +42,8 @@ pub mod simtime;
 pub use config::DeviceConfig;
 pub use cost::{BlockCost, BlockCostBuilder, CostModel};
 pub use device::{Gpu, KernelDesc, StreamId};
-pub use memory::{AllocId, DeviceMemory, OutOfDeviceMemory};
-pub use profiler::{Phase, Profiler};
+pub use memory::{AllocId, DeviceMemory, MemEvent, OutOfDeviceMemory};
+pub use profiler::{KernelAgg, Phase, Profiler, StreamUtil};
 pub use report::SpgemmReport;
 pub use simtime::SimTime;
 

@@ -116,24 +116,91 @@ impl Profiler {
         self.phase_acc.clear();
     }
 
+    /// Busy/idle utilization of every stream that ran a kernel, sorted
+    /// by stream id. Kernels on one stream serialize on the device, so a
+    /// stream's busy time is the plain sum of its span durations and can
+    /// never exceed the overall wall span.
+    pub fn stream_utilization(&self) -> Vec<StreamUtil> {
+        let mut by_stream: Vec<StreamUtil> = Vec::new();
+        for k in &self.records {
+            let pos = by_stream.iter().position(|u| u.stream == k.stream);
+            let u = match pos {
+                Some(p) => &mut by_stream[p],
+                None => {
+                    by_stream.push(StreamUtil {
+                        stream: k.stream,
+                        busy: SimTime::ZERO,
+                        kernels: 0,
+                        first_start: k.start,
+                        last_end: k.end,
+                    });
+                    by_stream.last_mut().expect("just pushed")
+                }
+            };
+            u.busy += k.end - k.start;
+            u.kernels += 1;
+            u.first_start = u.first_start.min(k.start);
+            u.last_end = u.last_end.max(k.end);
+        }
+        by_stream.sort_by_key(|u| u.stream);
+        by_stream
+    }
+
+    /// `(earliest start, latest end)` over all records, or `None` when
+    /// nothing ran.
+    pub fn wall_span(&self) -> Option<(SimTime, SimTime)> {
+        let first = self.records.iter().map(|k| k.start).reduce(SimTime::min)?;
+        let last = self.records.iter().map(|k| k.end).reduce(SimTime::max)?;
+        Some((first, last))
+    }
+
+    /// Kernel time aggregated by `(phase, kernel name, stream)`, in
+    /// first-appearance order — the rows of the trace CLI's
+    /// phase × group × stream table (group ids are encoded in kernel
+    /// names, e.g. `numeric_tb_g3`).
+    pub fn kernel_table(&self) -> Vec<KernelAgg> {
+        let mut rows: Vec<KernelAgg> = Vec::new();
+        for k in &self.records {
+            let key = (k.phase, k.name.as_str(), k.stream);
+            match rows.iter_mut().find(|r| (r.phase, r.name.as_str(), r.stream) == key) {
+                Some(r) => {
+                    r.launches += 1;
+                    r.blocks += k.blocks;
+                    r.time += k.end - k.start;
+                    r.dram_bytes += k.dram_bytes;
+                }
+                None => rows.push(KernelAgg {
+                    phase: k.phase,
+                    name: k.name.clone(),
+                    stream: k.stream,
+                    launches: 1,
+                    blocks: k.blocks,
+                    time: k.end - k.start,
+                    dram_bytes: k.dram_bytes,
+                }),
+            }
+        }
+        rows
+    }
+
     /// Export the kernel timeline as Chrome trace-event JSON (load it at
     /// `chrome://tracing` or in Perfetto). One track per CUDA stream;
-    /// durations are the simulated device times in microseconds.
+    /// durations are the simulated device times in microseconds. Kernel
+    /// names are JSON-escaped verbatim (quotes, backslashes and control
+    /// characters included).
     pub fn chrome_trace(&self) -> String {
         let mut out = String::from("[");
         for (i, k) in self.records.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let name: String =
-                k.name.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect();
             out.push_str(&format!(
                 concat!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",",
+                    "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",",
                     "\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},",
                     "\"args\":{{\"blocks\":{},\"dram_bytes\":{:.0},\"efficiency\":{:.3}}}}}"
                 ),
-                name,
+                obs::json::quote(&k.name),
                 k.phase.label(),
                 k.start.us(),
                 (k.end - k.start).us(),
@@ -146,6 +213,53 @@ impl Profiler {
         out.push(']');
         out
     }
+}
+
+/// Busy/idle accounting of one CUDA stream (see
+/// [`Profiler::stream_utilization`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamUtil {
+    /// Stream id.
+    pub stream: usize,
+    /// Sum of kernel span durations on this stream.
+    pub busy: SimTime,
+    /// Number of kernel records.
+    pub kernels: usize,
+    /// Earliest span start.
+    pub first_start: SimTime,
+    /// Latest span end.
+    pub last_end: SimTime,
+}
+
+impl StreamUtil {
+    /// Busy fraction of the given wall span (0 when the span is empty).
+    pub fn utilization(&self, wall: SimTime) -> f64 {
+        if wall <= SimTime::ZERO {
+            0.0
+        } else {
+            self.busy / wall
+        }
+    }
+}
+
+/// One row of [`Profiler::kernel_table`]: kernel time aggregated by
+/// `(phase, name, stream)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelAgg {
+    /// Phase the kernel ran in.
+    pub phase: Phase,
+    /// Kernel name.
+    pub name: String,
+    /// Stream it ran on.
+    pub stream: usize,
+    /// Number of launches aggregated.
+    pub launches: usize,
+    /// Total thread blocks.
+    pub blocks: usize,
+    /// Total span time.
+    pub time: SimTime,
+    /// Total DRAM bytes.
+    pub dram_bytes: f64,
 }
 
 #[cfg(test)]
@@ -214,7 +328,7 @@ mod tests {
             efficiency: 0.8,
         });
         p.record_kernel(KernelRecord {
-            name: "we\"ird\\name".into(),
+            name: "we\"ird\\name\twith\ncontrol\u{1}chars".into(),
             phase: Phase::Calc,
             stream: 0,
             start: SimTime::ZERO,
@@ -227,8 +341,66 @@ mod tests {
         assert!(t.starts_with('[') && t.ends_with(']'));
         assert!(t.contains("\"tid\":2"));
         assert!(t.contains("\"dur\":2.500"));
-        assert!(t.contains("we_ird_name")); // quotes/backslashes scrubbed
-                                            // Exactly two events.
+        // Names survive verbatim, properly escaped — no scrubbing.
+        assert!(t.contains("we\\\"ird\\\\name\\twith\\ncontrol\\u0001chars"));
+        obs::json::validate(&t).expect("trace parses as JSON");
+        // Exactly two events.
         assert_eq!(t.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    fn span(name: &str, stream: usize, start: f64, end: f64) -> KernelRecord {
+        KernelRecord {
+            name: name.into(),
+            phase: Phase::Calc,
+            stream,
+            start: SimTime::from_us(start),
+            end: SimTime::from_us(end),
+            blocks: 1,
+            dram_bytes: 100.0,
+            efficiency: 1.0,
+        }
+    }
+
+    #[test]
+    fn stream_utilization_sums_per_stream() {
+        let mut p = Profiler::new();
+        assert!(p.stream_utilization().is_empty());
+        assert_eq!(p.wall_span(), None);
+        p.record_kernel(span("a", 1, 0.0, 2.0));
+        p.record_kernel(span("b", 0, 1.0, 2.0));
+        p.record_kernel(span("c", 1, 3.0, 4.0));
+        let u = p.stream_utilization();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].stream, 0);
+        assert_eq!(u[0].kernels, 1);
+        assert!((u[0].busy.us() - 1.0).abs() < 1e-9);
+        assert_eq!(u[1].stream, 1);
+        assert_eq!(u[1].kernels, 2);
+        assert!((u[1].busy.us() - 3.0).abs() < 1e-9);
+        let (w0, w1) = p.wall_span().unwrap();
+        assert_eq!(w0, SimTime::ZERO);
+        assert!((w1.us() - 4.0).abs() < 1e-12);
+        // Busy never exceeds wall; utilization is the busy fraction.
+        let wall = w1 - w0;
+        for s in &u {
+            assert!(s.busy <= wall);
+        }
+        assert!((u[1].utilization(wall) - 0.75).abs() < 1e-9);
+        assert_eq!(u[1].utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn kernel_table_aggregates_by_phase_name_stream() {
+        let mut p = Profiler::new();
+        p.record_kernel(span("k", 1, 0.0, 1.0));
+        p.record_kernel(span("k", 1, 2.0, 4.0));
+        p.record_kernel(span("k", 2, 0.0, 1.0));
+        let t = p.kernel_table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].launches, 2);
+        assert_eq!(t[0].blocks, 2);
+        assert!((t[0].time.us() - 3.0).abs() < 1e-9);
+        assert_eq!(t[0].dram_bytes, 200.0);
+        assert_eq!(t[1].stream, 2);
     }
 }

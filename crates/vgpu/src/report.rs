@@ -22,6 +22,12 @@ pub struct SpgemmReport {
     pub intermediate_products: u64,
     /// Non-zeros of the output matrix.
     pub output_nnz: u64,
+    /// Total hash-table probe steps observed during the run (0 for
+    /// algorithms that use no hash tables, e.g. ESC-based CUSP).
+    pub hash_probes: u64,
+    /// Metrics snapshot when the device ran with telemetry enabled;
+    /// `None` for uninstrumented runs (the default).
+    pub telemetry: Option<obs::Summary>,
 }
 
 impl SpgemmReport {
@@ -65,6 +71,8 @@ mod tests {
             peak_mem_bytes: 1024,
             intermediate_products: 500_000,
             output_nnz: 100_000,
+            hash_probes: 0,
+            telemetry: None,
         }
     }
 

@@ -1,0 +1,133 @@
+//! Cross-crate telemetry invariants: the instrumented pipeline must
+//! account for its own time, probes and memory consistently, stay
+//! byte-deterministic, and cost nothing when disabled.
+
+use nsparse_repro::prelude::*;
+
+fn tiny(name: &str) -> Csr<f32> {
+    matgen::by_name(name).unwrap().generate::<f32>(matgen::Scale::Tiny)
+}
+
+/// Run one algorithm with telemetry on; return the gpu and report.
+fn traced_run(alg: Algorithm, a: &Csr<f32>) -> (Gpu, SpgemmReport) {
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    gpu.enable_telemetry();
+    let (_, report) = alg.run::<f32>(&mut gpu, a, a).unwrap();
+    (gpu, report)
+}
+
+#[test]
+fn telemetry_is_none_when_disabled() {
+    let a = tiny("QCD");
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let (_, report) = Algorithm::Proposal.run::<f32>(&mut gpu, &a, &a).unwrap();
+    assert!(report.telemetry.is_none());
+    assert!(gpu.telemetry().is_none());
+    // Probe totals are collected regardless — they ride on data the
+    // kernels already produce.
+    assert!(report.hash_probes > 0);
+}
+
+#[test]
+fn probe_histograms_account_for_reported_probes() {
+    let a = tiny("QCD");
+    let (_, report) = traced_run(Algorithm::Proposal, &a);
+    let summary = report.telemetry.expect("telemetry enabled");
+    // Every probe counted in the report appears in exactly one
+    // phase/group probe-length histogram, and vice versa.
+    let hist_total: u64 = summary
+        .hists
+        .iter()
+        .filter(|(name, _)| name.ends_with(".probe_len"))
+        .map(|(_, h)| h.sum())
+        .sum();
+    assert_eq!(hist_total, report.hash_probes);
+    assert!(report.hash_probes > 0);
+}
+
+#[test]
+fn hash_probes_surface_for_every_algorithm() {
+    let a = tiny("QCD");
+    for alg in Algorithm::ALL {
+        let (_, report) = traced_run(alg, &a);
+        match alg {
+            // Hash-based algorithms must observe probes.
+            Algorithm::Proposal | Algorithm::Cusparse => {
+                assert!(report.hash_probes > 0, "{}", alg.name())
+            }
+            // ESC sorts and bhsparse merges: no hash tables at all.
+            Algorithm::Cusp | Algorithm::Bhsparse => {
+                assert_eq!(report.hash_probes, 0, "{}", alg.name())
+            }
+        }
+    }
+}
+
+#[test]
+fn per_stream_busy_never_exceeds_wall() {
+    let a = tiny("FEM/Cantilever");
+    let (gpu, _) = traced_run(Algorithm::Proposal, &a);
+    let (t0, t1) = gpu.profiler().wall_span().expect("kernels ran");
+    let wall = t1 - t0;
+    assert!(wall > SimTime::ZERO);
+    for s in gpu.profiler().stream_utilization() {
+        assert!(s.busy <= wall + SimTime::from_us(1e-6), "stream {}", s.stream);
+        let u = s.utilization(wall);
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "stream {} utilization {u}", s.stream);
+    }
+}
+
+#[test]
+fn phase_times_sum_to_total_within_epsilon() {
+    let a = tiny("Protein");
+    for alg in Algorithm::ALL {
+        let (_, report) = traced_run(alg, &a);
+        let phase_sum: f64 = report
+            .phase_times
+            .iter()
+            .filter(|(p, _)| *p != Phase::Other)
+            .map(|(_, t)| t.secs())
+            .sum();
+        let total = report.total_time.secs();
+        assert!(
+            (phase_sum - total).abs() <= 1e-12 * total.max(1e-30),
+            "{}: phases sum to {phase_sum}, total {total}",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn telemetry_exports_are_byte_deterministic() {
+    let run = || {
+        let a = tiny("QCD");
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        gpu.enable_telemetry();
+        let (_, _) = Algorithm::Proposal.run::<f32>(&mut gpu, &a, &a).unwrap();
+        let jsonl = gpu.telemetry().unwrap().to_jsonl();
+        let chrome = gpu.profiler().chrome_trace();
+        (jsonl, chrome)
+    };
+    let (j1, c1) = run();
+    let (j2, c2) = run();
+    assert_eq!(j1, j2, "telemetry JSONL must be byte-identical across runs");
+    assert_eq!(c1, c2, "chrome trace must be byte-identical across runs");
+    assert!(!j1.is_empty());
+    for line in j1.lines() {
+        obs::json::validate(line).expect("every JSONL line is valid JSON");
+    }
+    obs::json::validate(&c1).expect("chrome trace is valid JSON");
+}
+
+#[test]
+fn memory_timeline_peak_matches_report() {
+    let a = tiny("Epidemiology");
+    let (gpu, report) = traced_run(Algorithm::Proposal, &a);
+    let mem = gpu.memory();
+    // The tracked timeline's running maximum equals the reported peak,
+    // and the peak attribution sums to it exactly.
+    let timeline_peak = mem.timeline().iter().map(|e| e.live_after).max().unwrap_or(0);
+    assert_eq!(timeline_peak, report.peak_mem_bytes);
+    let breakdown_sum: u64 = mem.peak_breakdown().iter().map(|(_, b)| b).sum();
+    assert_eq!(breakdown_sum, report.peak_mem_bytes);
+}
