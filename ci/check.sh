@@ -35,4 +35,24 @@ grep -q "^check chrome-trace: ok$" "$smoke/stdout1"
 cmp "$smoke/run1.jsonl" "$smoke/run2.jsonl"
 cmp "$smoke/run1.json" "$smoke/run2.json"
 
+echo "== backend determinism (host output thread-count invariant) ==" >&2
+# The host backend must produce byte-identical Matrix Market output
+# regardless of worker thread count (DESIGN.md §12).
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  --dataset Economics --tiny --backend host:1 --output "$smoke/host1.mtx" \
+  >/dev/null 2>&1
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  --dataset Economics --tiny --backend host:3 --output "$smoke/host3.mtx" \
+  >/dev/null 2>&1
+cmp "$smoke/host1.mtx" "$smoke/host3.mtx"
+
+echo "== backend equivalence (sim vs host on a Table-3-class matrix) ==" >&2
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  --dataset wb-edu --tiny --backend sim --output "$smoke/sim.mtx" \
+  >/dev/null 2>&1
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  --dataset wb-edu --tiny --backend host:2 --output "$smoke/host.mtx" \
+  >/dev/null 2>&1
+cmp "$smoke/sim.mtx" "$smoke/host.mtx"
+
 echo "ci/check.sh: all checks passed" >&2

@@ -24,9 +24,11 @@ pub(crate) fn spgemm<T: Scalar>(
     b: &Csr<T>,
     reports: &mut Vec<SpgemmReport>,
 ) -> nsparse_core::pipeline::Result<Csr<T>> {
-    let (c, r) = nsparse_core::multiply(gpu, a, b, &nsparse_core::Options::default())?;
-    reports.push(r);
-    Ok(c)
+    use nsparse_core::Executor;
+    let mut exec = nsparse_core::SimExecutor::new(gpu);
+    let run = exec.multiply(a, b, &nsparse_core::Options::default())?;
+    reports.push(run.report);
+    Ok(run.matrix)
 }
 
 /// Total simulated SpGEMM time across a run's reports.

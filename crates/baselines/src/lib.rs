@@ -58,7 +58,12 @@ impl Algorithm {
     ) -> nsparse_core::pipeline::Result<(sparse::Csr<T>, vgpu::SpgemmReport)> {
         match self {
             Algorithm::Proposal => {
-                nsparse_core::multiply(gpu, a, b, &nsparse_core::Options::default())
+                // Through the executor split: the baseline comparison runs
+                // the proposal on the simulated backend explicitly.
+                use nsparse_core::Executor;
+                let mut exec = nsparse_core::SimExecutor::new(gpu);
+                let run = exec.multiply(a, b, &nsparse_core::Options::default())?;
+                Ok((run.matrix, run.report))
             }
             Algorithm::Cusparse => cusparse_multiply(gpu, a, b),
             Algorithm::Cusp => cusp_multiply(gpu, a, b),

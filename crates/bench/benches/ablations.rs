@@ -35,7 +35,7 @@ fn main() {
         let (_, full) =
             nsparse_core::multiply(&mut gpu, &a, &a, &nsparse_core::Options::default()).unwrap();
         let plan =
-            nsparse_core::SpgemmPlan::new(&mut gpu, &a, &a, &nsparse_core::Options::default())
+            nsparse_core::SymbolicPlan::new(&mut gpu, &a, &a, &nsparse_core::Options::default())
                 .unwrap();
         let (_, planned) = plan.execute(&mut gpu, &a, &a).unwrap();
         eprintln!(

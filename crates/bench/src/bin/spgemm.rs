@@ -13,6 +13,7 @@
 //! optionally writes the result and a chrome://tracing timeline.
 
 use baselines::Algorithm;
+use nsparse_core::{Backend, Executor, HostParallelExecutor};
 use sparse::{Csr, Scalar};
 use vgpu::{DeviceConfig, Gpu, Phase};
 
@@ -20,6 +21,7 @@ struct Args {
     dataset: Option<String>,
     matrix: Option<String>,
     algorithm: Algorithm,
+    backend: Backend,
     precision: String,
     device: String,
     trace: Option<String>,
@@ -31,7 +33,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: spgemm (--dataset NAME | --matrix FILE.mtx) \
-         [--algorithm proposal|cusparse|cusp|bhsparse] [--precision f32|f64] \
+         [--algorithm proposal|cusparse|cusp|bhsparse] [--backend sim|host|host:N] \
+         [--precision f32|f64] \
          [--device p100|v100|vega64] [--trace OUT.json] [--output OUT.mtx] \
          [--include-transfers] [--tiny]\n\
        spgemm trace ...  (telemetry inspection; `spgemm trace --help`)\n\
@@ -51,6 +54,7 @@ fn parse_args() -> Args {
         dataset: None,
         matrix: None,
         algorithm: Algorithm::Proposal,
+        backend: Backend::Sim,
         precision: "f32".into(),
         device: "p100".into(),
         trace: None,
@@ -76,6 +80,13 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--backend" => {
+                let spec = value(&mut it).to_ascii_lowercase();
+                args.backend = Backend::parse(&spec).unwrap_or_else(|| {
+                    eprintln!("unknown backend '{spec}' (sim, host, host:N)");
+                    usage()
+                });
+            }
             "--precision" => args.precision = value(&mut it).to_ascii_lowercase(),
             "--device" => args.device = value(&mut it).to_ascii_lowercase(),
             "--trace" => args.trace = Some(value(&mut it)),
@@ -96,6 +107,16 @@ fn parse_args() -> Args {
     if !matches!(args.precision.as_str(), "f32" | "f64") {
         eprintln!("precision must be f32 or f64");
         usage();
+    }
+    if matches!(args.backend, Backend::Host { .. }) {
+        if args.algorithm != Algorithm::Proposal {
+            eprintln!("--backend host runs the proposal only (baselines are simulation models)");
+            usage();
+        }
+        if args.trace.is_some() || args.include_transfers {
+            eprintln!("--trace / --include-transfers are sim-only (no device on the host backend)");
+            usage();
+        }
     }
     args
 }
@@ -147,6 +168,11 @@ fn run<T: Scalar>(args: &Args) {
         a.nnz() as f64 / a.rows().max(1) as f64
     );
 
+    if matches!(args.backend, Backend::Host { .. }) {
+        run_host::<T>(args, &a);
+        return;
+    }
+
     let mut gpu = Gpu::new(device_config(&args.device));
     if args.include_transfers {
         gpu.memcpy(2 * a.device_bytes(), true);
@@ -192,6 +218,46 @@ fn run<T: Scalar>(args: &Args) {
     }
     if let Some(path) = &args.output {
         sparse::io::write_matrix_market_file(&c, path).expect("write output");
+        println!("result      : {path}");
+    }
+}
+
+/// Run the proposal for real on host threads and print wall-clock times
+/// in the layout of the sim report (plus threads and real GFLOPS).
+fn run_host<T: Scalar>(args: &Args, a: &Csr<T>) {
+    let Backend::Host { threads } = args.backend else { unreachable!() };
+    let mut exec = HostParallelExecutor::with_config(threads, device_config(&args.device));
+    let run = match exec.multiply(a, a, &nsparse_core::Options::default()) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("host backend failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = run.wall.as_ref().expect("host backend reports wall time");
+    println!("backend     : host ({} threads)", exec.threads());
+    println!("algorithm   : {} ({})", args.algorithm.name(), run.report.precision);
+    println!("output nnz  : {}", run.matrix.nnz());
+    println!("intermediate: {}", run.report.intermediate_products);
+    println!("wall time   : {:.3} us", wall.total.as_secs_f64() * 1e6);
+    println!(
+        "performance : {:.3} GFLOPS (2*ip/wall-time)",
+        wall.gflops(run.report.intermediate_products)
+    );
+    println!(
+        "peak memory : {:.1} MB (host working set)",
+        run.report.peak_mem_bytes as f64 / (1 << 20) as f64
+    );
+    for (phase, t) in &wall.phases {
+        println!(
+            "  {:10} {:.3} us ({:.1}%)",
+            phase.label(),
+            t.as_secs_f64() * 1e6,
+            100.0 * t.as_secs_f64() / wall.total.as_secs_f64().max(f64::MIN_POSITIVE)
+        );
+    }
+    if let Some(path) = &args.output {
+        sparse::io::write_matrix_market_file(&run.matrix, path).expect("write output");
         println!("result      : {path}");
     }
 }

@@ -135,6 +135,17 @@ pub fn run_one_traced<T: CachedMatrix>(
     )
 }
 
+/// Run the proposal for real on the host backend (squaring the dataset's
+/// matrix like [`run_one`]) and return the finished execution, including
+/// wall-clock phase times. `threads == 0` means all available cores.
+pub fn run_one_host<T: CachedMatrix>(d: &Dataset, threads: usize) -> nsparse_core::Execution<T> {
+    use nsparse_core::Executor;
+    let a = T::matrix(d);
+    let mut exec = nsparse_core::HostParallelExecutor::new(threads);
+    exec.multiply(&a, &a, &nsparse_core::Options::default())
+        .unwrap_or_else(|e| panic!("host backend on {} failed: {e}", d.name))
+}
+
 /// Evaluate all four algorithms over the given datasets.
 pub fn eval_matrix_set<T: CachedMatrix>(datasets: &[Dataset]) -> Vec<EvalResult> {
     let mut out = Vec::new();

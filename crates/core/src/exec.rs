@@ -1,0 +1,232 @@
+//! The executor abstraction: one [`SpgemmPlan`], many backends.
+//!
+//! An [`Executor`] turns a plan into results. Two implementations ship:
+//!
+//! * [`crate::SimExecutor`] — the paper's virtual Pascal GPU; charges
+//!   every kernel to the cost model and reports simulated phase times.
+//! * [`crate::HostParallelExecutor`] — the same grouped hash algorithm
+//!   run for real across OS threads; reports wall-clock time.
+//!
+//! Both produce bitwise-identical CSR output for the same inputs
+//! (DESIGN.md §12 gives the determinism argument); what differs is the
+//! *report*: simulated time and device telemetry from the sim backend,
+//! wall-clock phase times from the host backend.
+
+use crate::pipeline::{Options, Result};
+use crate::plan::SpgemmPlan;
+use sparse::{Csr, Scalar};
+use std::time::Duration;
+use vgpu::{Phase, SpgemmReport};
+
+/// Which execution backend to run a multiply on. Parsed from the
+/// `--backend {sim,host,host:N}` CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The virtual-GPU simulation (cost model + telemetry).
+    Sim,
+    /// Real OS threads on the host; `threads == 0` means "use all
+    /// available cores".
+    Host {
+        /// Worker thread count (0 = auto).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// Parse a CLI backend spec: `sim`, `host`, or `host:N` (N ≥ 1).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "sim" => Some(Backend::Sim),
+            "host" => Some(Backend::Host { threads: 0 }),
+            _ => s
+                .strip_prefix("host:")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .map(|threads| Backend::Host { threads }),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Sim => write!(f, "sim"),
+            Backend::Host { threads: 0 } => write!(f, "host"),
+            Backend::Host { threads } => write!(f, "host:{threads}"),
+        }
+    }
+}
+
+/// What a backend can and cannot report (the DESIGN.md §12 capability
+/// matrix, queryable at runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Reports simulated device time (phase breakdown of Figures 5/6).
+    pub simulated_time: bool,
+    /// Reports real wall-clock time.
+    pub wall_clock: bool,
+    /// Models concurrent per-group streams (§IV-C overlap).
+    pub concurrent_streams: bool,
+    /// Worker threads that execute row kernels.
+    pub threads: usize,
+    /// Output is independent of scheduling (always true today; a future
+    /// backend with atomic accumulation would clear it).
+    pub deterministic_output: bool,
+}
+
+/// Result of the symbolic (count) phase: exact per-row output sizes.
+#[derive(Debug, Clone)]
+pub struct SymbolicOutput {
+    /// nnz of each output row.
+    pub nnz_row: Vec<u32>,
+    /// Exclusive scan of `nnz_row` — the output row pointer.
+    pub rpt: Vec<usize>,
+    /// Hash-probe steps observed during the phase.
+    pub hash_probes: u64,
+}
+
+impl SymbolicOutput {
+    pub(crate) fn from_nnz_row(nnz_row: Vec<u32>, hash_probes: u64) -> Self {
+        let rpt = prefix_sum(&nnz_row);
+        SymbolicOutput { nnz_row, rpt, hash_probes }
+    }
+
+    /// Total nnz of the output matrix.
+    pub fn output_nnz(&self) -> usize {
+        *self.rpt.last().unwrap_or(&0)
+    }
+}
+
+/// Real elapsed time of a host-side execution, reported alongside the
+/// simulated [`SpgemmReport`] so the bench harness can track a
+/// real-hardware trajectory next to the model's predictions.
+#[derive(Debug, Clone, Default)]
+pub struct WallClock {
+    /// End-to-end duration of the multiply.
+    pub total: Duration,
+    /// Per-phase durations (phases a backend does not time are absent).
+    pub phases: Vec<(Phase, Duration)>,
+}
+
+impl WallClock {
+    /// Duration of one phase (zero if the backend did not time it).
+    pub fn phase(&self, p: Phase) -> Duration {
+        self.phases.iter().find(|&&(q, _)| q == p).map(|&(_, d)| d).unwrap_or_default()
+    }
+
+    /// Real GFLOPS given the multiply's intermediate products (2 FLOPs
+    /// each, the paper's Figure 2/3 convention). Zero for zero time.
+    pub fn gflops(&self, intermediate_products: u64) -> f64 {
+        let s = self.total.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        2.0 * intermediate_products as f64 / s / 1e9
+    }
+}
+
+/// One finished multiply: the output matrix, the backend's report, and
+/// wall-clock timings when the backend measures real time.
+#[derive(Debug, Clone)]
+pub struct Execution<T> {
+    /// The product `C = A · B`.
+    pub matrix: Csr<T>,
+    /// The backend's execution report (simulated fields are zero on
+    /// backends without a device model).
+    pub report: SpgemmReport,
+    /// Real elapsed time (`None` on the simulated backend, whose time
+    /// is model time, not wall time).
+    pub wall: Option<WallClock>,
+}
+
+/// A backend that can execute an [`SpgemmPlan`].
+///
+/// The phase methods mirror Figure 1's split: `plan` does the
+/// backend-neutral setup, `execute_symbolic` the count phase,
+/// `execute_numeric` the malloc + calc phases. `multiply` runs the whole
+/// pipeline and assembles the report; it is a provided sequence on every
+/// backend but *not* a trait default, because each backend brackets the
+/// phases with its own instrumentation.
+pub trait Executor<T: Scalar> {
+    /// The backend this executor implements.
+    fn backend(&self) -> Backend;
+
+    /// What this backend can report.
+    fn capabilities(&self) -> BackendCaps;
+
+    /// Build the backend-neutral plan for `C = A · B` (validates
+    /// dimensions; pure host work on every backend).
+    fn plan(&self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<SpgemmPlan>;
+
+    /// Run the symbolic (count) phase of `plan`.
+    fn execute_symbolic(
+        &mut self,
+        plan: &SpgemmPlan,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<SymbolicOutput>;
+
+    /// Run the numeric (calc) phase of `plan` against a symbolic result.
+    fn execute_numeric(
+        &mut self,
+        plan: &SpgemmPlan,
+        symbolic: &SymbolicOutput,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<Execution<T>>;
+
+    /// Run the full pipeline: plan, count, malloc, calc, report.
+    fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>>;
+}
+
+/// Exclusive prefix sum of per-row counts into a CSR row pointer.
+pub(crate) fn prefix_sum(nnz_row: &[u32]) -> Vec<usize> {
+    std::iter::once(0usize)
+        .chain(nnz_row.iter().scan(0usize, |acc, &n| {
+            *acc += n as usize;
+            Some(*acc)
+        }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parse_roundtrip() {
+        assert_eq!(Backend::parse("sim"), Some(Backend::Sim));
+        assert_eq!(Backend::parse("host"), Some(Backend::Host { threads: 0 }));
+        assert_eq!(Backend::parse("host:1"), Some(Backend::Host { threads: 1 }));
+        assert_eq!(Backend::parse("host:8"), Some(Backend::Host { threads: 8 }));
+        assert_eq!(Backend::parse("host:0"), None);
+        assert_eq!(Backend::parse("host:"), None);
+        assert_eq!(Backend::parse("cuda"), None);
+        assert_eq!(Backend::Sim.to_string(), "sim");
+        assert_eq!(Backend::Host { threads: 0 }.to_string(), "host");
+        assert_eq!(Backend::Host { threads: 8 }.to_string(), "host:8");
+    }
+
+    #[test]
+    fn symbolic_output_scans_counts() {
+        let s = SymbolicOutput::from_nnz_row(vec![2, 0, 3], 7);
+        assert_eq!(s.rpt, vec![0, 2, 2, 5]);
+        assert_eq!(s.output_nnz(), 5);
+        assert_eq!(s.hash_probes, 7);
+        let empty = SymbolicOutput::from_nnz_row(vec![], 0);
+        assert_eq!(empty.output_nnz(), 0);
+    }
+
+    #[test]
+    fn wall_clock_helpers() {
+        let w = WallClock {
+            total: Duration::from_secs(1),
+            phases: vec![(Phase::Count, Duration::from_millis(400))],
+        };
+        assert_eq!(w.phase(Phase::Count), Duration::from_millis(400));
+        assert_eq!(w.phase(Phase::Calc), Duration::ZERO);
+        // 1e9 products in 1 s = 2 GFLOPS.
+        assert!((w.gflops(1_000_000_000) - 2.0).abs() < 1e-12);
+        assert_eq!(WallClock::default().gflops(100), 0.0);
+    }
+}

@@ -244,6 +244,20 @@ impl GroupTable {
         out
     }
 
+    /// Bucket rows into groups by their metric (one entry per row):
+    /// entry `i` of the result lists, in ascending row order, the rows
+    /// whose metric falls in `self.groups[i]`. This is the host mirror
+    /// of the grouping kernel; every backend shares it through
+    /// [`crate::SpgemmPlan`], which is what makes their group
+    /// assignments identical by construction.
+    pub fn bucket_rows(&self, metric: &[usize]) -> Vec<Vec<u32>> {
+        let mut buckets = vec![Vec::new(); self.len()];
+        for (r, &v) in metric.iter().enumerate() {
+            buckets[self.group_of(v)].push(r as u32);
+        }
+        buckets
+    }
+
     /// Index of the group a row with the given metric belongs to.
     pub fn group_of(&self, metric: usize) -> usize {
         for (i, g) in self.groups.iter().enumerate() {

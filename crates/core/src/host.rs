@@ -1,0 +1,325 @@
+//! The host-parallel backend: the paper's grouped hash algorithm run
+//! for real on OS threads.
+//!
+//! Nagasaka's follow-up work (KNL/multicore, PAPERS.md) shows the
+//! row-grouped hash design maps directly onto CPU threads, and this
+//! backend is that mapping: the same [`SpgemmPlan`] the simulation
+//! consumes drives per-row hash-table capacities and the work partition;
+//! `std::thread::scope` workers pull contiguous row ranges from a
+//! [`JobQueue`] and execute the *same row kernels*
+//! ([`tb_symbolic_row`]/[`tb_numeric_row`]) the simulation charges.
+//!
+//! # Determinism
+//!
+//! The output is bitwise identical for every thread count — and to the
+//! simulated backend — because each row is a pure function of `A`, `B`
+//! and its table capacity, accumulation within a row always follows the
+//! A-row traversal order, and every job writes only its own disjoint
+//! output slice (carved with `split_at_mut` at row-pointer boundaries).
+//! Scheduling decides *when* a row is computed, never *what* it
+//! computes. The only scheduling-sensitive quantity, the probe total, is
+//! a commutative sum accumulated through an atomic.
+//!
+//! Reported `hash_probes` can differ from the simulation on matrices
+//! with group-0 rows: the simulated count phase first *attempts* such
+//! rows in shared memory and counts the failed pass's probes, while this
+//! backend sizes their global tables up front.
+
+use crate::exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, WallClock};
+use crate::hash::HashTable;
+use crate::kernels::{tb_numeric_row, tb_symbolic_row};
+use crate::partition::JobQueue;
+use crate::pipeline::{Options, Result};
+use crate::plan::SpgemmPlan;
+use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use vgpu::{DeviceConfig, Phase, SimTime, SpgemmReport};
+
+/// Ranges cut per worker thread: small enough to rebalance skewed
+/// matrices through the pull queue, large enough to amortize locking.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Executes SpGEMM on host threads. The plan is still derived from a
+/// device class (Table I capacities transfer: they bound per-row scratch
+/// to cache-friendly sizes), defaulting to the paper's P100.
+pub struct HostParallelExecutor {
+    threads: usize,
+    cfg: DeviceConfig,
+}
+
+impl HostParallelExecutor {
+    /// Backend with `threads` workers; `0` means one per available core.
+    pub fn new(threads: usize) -> Self {
+        Self::with_config(threads, DeviceConfig::p100())
+    }
+
+    /// Backend planning against a specific device class.
+    pub fn with_config(threads: usize, cfg: DeviceConfig) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        HostParallelExecutor { threads, cfg }
+    }
+
+    /// Resolved worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl<T: Scalar> Executor<T> for HostParallelExecutor {
+    fn backend(&self) -> Backend {
+        Backend::Host { threads: self.threads }
+    }
+
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            simulated_time: false,
+            wall_clock: true,
+            concurrent_streams: false,
+            threads: self.threads,
+            deterministic_output: true,
+        }
+    }
+
+    fn plan(&self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<SpgemmPlan> {
+        SpgemmPlan::new(&self.cfg, a, b, opts)
+    }
+
+    fn execute_symbolic(
+        &mut self,
+        plan: &SpgemmPlan,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<SymbolicOutput> {
+        let mut nnz_row = vec![0u32; a.rows()];
+        let probes = AtomicU64::new(0);
+        // Carve the output into per-range slices so each job owns its
+        // rows' counters outright.
+        let mut jobs = Vec::new();
+        let mut rest: &mut [u32] = &mut nnz_row;
+        for range in plan.count.partition(self.threads * CHUNKS_PER_THREAD) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            jobs.push((range, chunk));
+        }
+        let workers = self.threads.min(jobs.len());
+        let queue = JobQueue::new(jobs);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
+                    let mut local = 0u64;
+                    while let Some((range, out)) = queue.next() {
+                        for (slot, r) in out.iter_mut().zip(range) {
+                            let stats =
+                                tb_symbolic_row(a, b, r, plan.count.table_size_for(r), &mut table);
+                            debug_assert!(!stats.overflowed, "plan-sized table cannot overflow");
+                            *slot = stats.nnz;
+                            local += stats.probes;
+                        }
+                    }
+                    probes.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(queue); // releases the borrows of `nnz_row`
+        Ok(SymbolicOutput::from_nnz_row(nnz_row, probes.into_inner()))
+    }
+
+    fn execute_numeric(
+        &mut self,
+        plan: &SpgemmPlan,
+        symbolic: &SymbolicOutput,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<Execution<T>> {
+        let t0 = Instant::now();
+        let numeric = plan.numeric_phase(&symbolic.nnz_row);
+        let nnz_c = symbolic.output_nnz();
+        let mut col_c = vec![0u32; nnz_c];
+        let mut val_c = vec![T::ZERO; nnz_c];
+        let probes = AtomicU64::new(0);
+        // Disjoint output slices per range, cut at row-pointer bounds.
+        let mut jobs = Vec::new();
+        let (mut crest, mut vrest): (&mut [u32], &mut [T]) = (&mut col_c, &mut val_c);
+        for range in plan.count.partition(self.threads * CHUNKS_PER_THREAD) {
+            let span = symbolic.rpt[range.end] - symbolic.rpt[range.start];
+            let (cchunk, ctail) = crest.split_at_mut(span);
+            let (vchunk, vtail) = vrest.split_at_mut(span);
+            crest = ctail;
+            vrest = vtail;
+            jobs.push((range, cchunk, vchunk));
+        }
+        let workers = self.threads.min(jobs.len());
+        let queue = JobQueue::new(jobs);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
+                    let mut local = 0u64;
+                    while let Some((range, cols, vals)) = queue.next() {
+                        let base = symbolic.rpt[range.start];
+                        for r in range {
+                            let lo = symbolic.rpt[r] - base;
+                            let hi = symbolic.rpt[r + 1] - base;
+                            let stats = tb_numeric_row(
+                                a,
+                                b,
+                                r,
+                                numeric.table_size_for(r),
+                                &mut table,
+                                &mut cols[lo..hi],
+                                &mut vals[lo..hi],
+                            );
+                            local += stats.probes;
+                        }
+                    }
+                    probes.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(queue); // releases the borrows of `col_c`/`val_c`
+        let calc = t0.elapsed();
+        let calc_probes = probes.into_inner();
+        let report = self.host_report::<T>(plan, symbolic, calc_probes, true);
+        let c = Csr::from_parts_unchecked(plan.rows, plan.cols, symbolic.rpt.clone(), col_c, val_c);
+        let wall = WallClock { total: calc, phases: vec![(Phase::Calc, calc)] };
+        Ok(Execution { matrix: c, report, wall: Some(wall) })
+    }
+
+    fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>> {
+        let t0 = Instant::now();
+        let plan = <Self as Executor<T>>::plan(self, a, b, opts)?;
+        let setup = t0.elapsed();
+
+        let t1 = Instant::now();
+        let symbolic = self.execute_symbolic(&plan, a, b)?;
+        let count = t1.elapsed();
+
+        let t2 = Instant::now();
+        let mut run = self.execute_numeric(&plan, &symbolic, a, b)?;
+        let calc = t2.elapsed();
+
+        run.report.algorithm = format!("proposal (host:{})", self.threads);
+        run.report.hash_probes += symbolic.hash_probes;
+        run.wall = Some(WallClock {
+            total: t0.elapsed(),
+            phases: vec![(Phase::Setup, setup), (Phase::Count, count), (Phase::Calc, calc)],
+        });
+        Ok(run)
+    }
+}
+
+impl HostParallelExecutor {
+    /// The host backend's report: simulated fields are zero (there is no
+    /// device model), counters are real, and `peak_mem_bytes` estimates
+    /// the host heap the multiply touched (device-layout equivalents of
+    /// the inputs and output plus the working arrays).
+    fn host_report<T: Scalar>(
+        &self,
+        plan: &SpgemmPlan,
+        symbolic: &SymbolicOutput,
+        hash_probes: u64,
+        numeric_only: bool,
+    ) -> SpgemmReport {
+        let m = plan.rows as u64;
+        let nnz_c = symbolic.output_nnz() as u64;
+        let inputs: u64 = 0; // inputs are borrowed, not copied
+        let working = 4 * m // nnz_row
+            + 8 * (m + 1) // rpt (usize)
+            + self.threads as u64 * 1024 * (DEVICE_INDEX_BYTES + T::BYTES as u64); // seed tables
+        let output = DEVICE_INDEX_BYTES * (m + 1) + (DEVICE_INDEX_BYTES + T::BYTES as u64) * nnz_c;
+        SpgemmReport {
+            algorithm: if numeric_only {
+                format!("proposal (host:{} numeric)", self.threads)
+            } else {
+                format!("proposal (host:{})", self.threads)
+            },
+            precision: T::PRECISION,
+            total_time: SimTime::ZERO,
+            phase_times: Vec::new(),
+            peak_mem_bytes: inputs + working + output,
+            intermediate_products: plan.total_products,
+            output_nnz: nnz_c,
+            hash_probes,
+            telemetry: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::spgemm_ref::spgemm_gustavson;
+
+    fn rand_mat(n: usize, deg: usize, seed: u64) -> Csr<f64> {
+        let mut s = seed;
+        let mut t = Vec::new();
+        for r in 0..n {
+            for _ in 0..deg {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t.push((r, ((s >> 33) as usize % n) as u32, 1.0 + (s % 5) as f64));
+            }
+        }
+        Csr::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn host_matches_reference() {
+        let a = rand_mat(400, 6, 3);
+        let c_ref = spgemm_gustavson(&a, &a).unwrap();
+        let mut ex = HostParallelExecutor::new(2);
+        let run = Executor::<f64>::multiply(&mut ex, &a, &a, &Options::default()).unwrap();
+        assert_eq!(run.matrix, c_ref);
+        assert_eq!(run.report.output_nnz, c_ref.nnz() as u64);
+        assert!(run.wall.is_some());
+        assert!(run.wall.unwrap().total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn output_is_thread_count_invariant() {
+        let a = rand_mat(500, 7, 11);
+        let runs: Vec<Csr<f64>> = [1usize, 2, 5]
+            .iter()
+            .map(|&t| {
+                let mut ex = HostParallelExecutor::new(t);
+                Executor::<f64>::multiply(&mut ex, &a, &a, &Options::default()).unwrap().matrix
+            })
+            .collect();
+        for c in &runs[1..] {
+            assert_eq!(c.rpt(), runs[0].rpt());
+            assert_eq!(c.col(), runs[0].col());
+            let bits = |m: &Csr<f64>| m.val().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(c), bits(&runs[0]), "values must be bitwise identical");
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_cores() {
+        let ex = HostParallelExecutor::new(0);
+        assert!(ex.threads() >= 1);
+        let caps = Executor::<f64>::capabilities(&ex);
+        assert!(caps.wall_clock && !caps.simulated_time);
+        assert_eq!(caps.threads, ex.threads());
+    }
+
+    #[test]
+    fn empty_matrix_works() {
+        let z = Csr::<f64>::zeros(64, 64);
+        let mut ex = HostParallelExecutor::new(4);
+        let run = Executor::<f64>::multiply(&mut ex, &z, &z, &Options::default()).unwrap();
+        assert_eq!(run.matrix.nnz(), 0);
+        assert_eq!(run.report.intermediate_products, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let a = Csr::<f64>::zeros(4, 5);
+        let mut ex = HostParallelExecutor::new(2);
+        assert!(Executor::<f64>::multiply(&mut ex, &a, &a, &Options::default()).is_err());
+    }
+}

@@ -19,6 +19,12 @@
 //!   gather pass over the table, the count-sort (each element compared
 //!   against the row's others → `nnz²` comparisons), and the coalesced
 //!   write of the finished row.
+//!
+//! Both execution backends run these functions: [`crate::sim`] consumes
+//! the functional result *and* the [`BlockCost`]; [`crate::host`] runs
+//! the same row walks on OS threads and ignores the cost half. Keeping
+//! one implementation is what makes sim-vs-host output bitwise equal
+//! (DESIGN.md §12).
 
 use crate::groups::GroupSpec;
 use crate::hash::{HashTable, Insert};

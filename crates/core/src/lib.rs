@@ -1,17 +1,26 @@
 //! `nsparse_core` — the paper's contribution: high-performance,
 //! memory-saving SpGEMM via grouped shared-memory hash tables.
 //!
-//! This crate implements, on the [`vgpu`] virtual Pascal GPU, the
-//! algorithm of Nagasaka, Nukada & Matsuoka (ICPP 2017):
+//! This crate implements the algorithm of Nagasaka, Nukada & Matsuoka
+//! (ICPP 2017) behind a plan/executor split (DESIGN.md §12):
 //!
 //! * [`groups`]: row grouping and Table I parameter derivation —
 //!   hash-table sizes (powers of two), thread-block sizes, PWARP/TB
 //!   assignment, the 32-blocks/SM stopping rule;
 //! * [`hash`]: the linear-probing `atomicCAS` hash table of Algorithm 5
 //!   with observed probe counts;
-//! * [`pipeline`]: the two-phase flow of Figure 1 (count → malloc →
-//!   calc) with per-group CUDA-stream launches and the global-memory
-//!   fallback for rows that exceed shared memory.
+//! * [`plan`]: the backend-neutral [`SpgemmPlan`] — per-row intermediate
+//!   products, group assignments, table sizes, stream mapping — built
+//!   once per multiply;
+//! * [`exec`]: the [`Executor`] trait an execution backend implements;
+//! * [`sim`]: [`SimExecutor`], the [`vgpu`] virtual Pascal GPU backend —
+//!   the two-phase flow of Figure 1 (count → malloc → calc) with
+//!   per-group CUDA-stream launches and the global-memory fallback for
+//!   rows that exceed shared memory;
+//! * [`host`]: [`HostParallelExecutor`], the same grouped hash algorithm
+//!   run for real across OS threads, with wall-clock reporting;
+//! * [`pipeline`]: [`Options`], errors, the classic [`multiply`] entry
+//!   point and the [`estimate_memory`] forecast.
 //!
 //! # Quick start
 //!
@@ -26,18 +35,40 @@
 //! assert_eq!(c, a);
 //! println!("{} GFLOPS, peak {} B", report.gflops(), report.peak_mem_bytes);
 //! ```
+//!
+//! Or run the same multiply on real host threads:
+//!
+//! ```
+//! use nsparse_core::{Executor, HostParallelExecutor, Options};
+//! use sparse::Csr;
+//!
+//! let a = Csr::<f64>::identity(64);
+//! let mut exec = HostParallelExecutor::new(2);
+//! let run = exec.multiply(&a, &a, &Options::default()).unwrap();
+//! assert_eq!(run.matrix, a);
+//! println!("wall {:?}", run.wall.unwrap().total);
+//! ```
 
+pub mod exec;
 pub mod groups;
 pub mod hash;
+pub mod host;
 mod kernels;
 pub mod masked;
+pub mod partition;
 pub mod pipeline;
 pub mod plan;
+pub mod reuse;
+pub mod sim;
 pub mod spmv;
 
+pub use exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, WallClock};
 pub use groups::{build_groups, Assignment, GroupOccupancy, GroupPhase, GroupSpec, GroupTable};
 pub use hash::{HashTable, ProbeStats, HASH_SCAL};
+pub use host::HostParallelExecutor;
 pub use masked::multiply_masked;
 pub use pipeline::{estimate_memory, multiply, Error, MemoryEstimate, Options};
-pub use plan::SpgemmPlan;
+pub use plan::{global_table_size, PhasePlan, SpgemmPlan};
+pub use reuse::SymbolicPlan;
+pub use sim::SimExecutor;
 pub use spmv::{spmv, BlockedMatrix};

@@ -68,7 +68,7 @@ pub fn multiply_masked<T: Scalar>(
     let mut blocks = Vec::with_capacity(m);
     for i in 0..m {
         let (mcols, _) = mask.row(i);
-        let cap = (2 * mcols.len().max(1)).next_power_of_two();
+        let cap = crate::plan::global_table_size(mcols.len());
         table.reset(cap);
         for &c in mcols {
             table.insert_numeric(c, T::ZERO);

@@ -1,4 +1,4 @@
-//! The full SpGEMM pipeline of Figure 1.
+//! The full SpGEMM pipeline of Figure 1 — public facade.
 //!
 //! ```text
 //! (1) count intermediate products per row          — Setup phase
@@ -10,22 +10,25 @@
 //! (7) compute values, gather, sort                 — Calc phase
 //! ```
 //!
+//! Since the plan/executor split (DESIGN.md §12) this module holds the
+//! shared surface: [`Options`], the [`Error`] type, the classic
+//! [`multiply`] entry point (sugar for [`crate::SimExecutor`]) and the
+//! [`estimate_memory`] forecast. The backend-neutral planning lives in
+//! [`crate::plan`]; the simulated execution, including every kernel
+//! charge, lives in [`crate::sim`]; the host-thread execution in
+//! [`crate::host`].
+//!
 //! Each group's kernel launches on its own CUDA stream when
 //! [`Options::use_streams`] is set, so small groups overlap with big
 //! ones (§IV-C measured ×1.3 on Circuit from exactly this).
 
-use crate::groups::{build_groups, Assignment, GroupPhase, GroupTable};
-use crate::hash::HashTable;
-use crate::kernels::{
-    count_products_block_cost, pwarp_block_cost, pwarp_row, tb_block_cost, tb_global_block_cost,
-    tb_numeric_row, tb_symbolic_row, PwarpRowStats,
-};
+use crate::exec::Executor;
+use crate::groups::{build_groups, GroupPhase};
+use crate::plan::global_table_size;
+use crate::sim::SimExecutor;
 use sparse::spgemm_ref::row_intermediate_products;
-use sparse::{Csr, Scalar};
-use vgpu::device::DEFAULT_STREAM;
-use vgpu::{
-    primitives, AllocId, Gpu, GpuError, KernelDesc, Phase, SimTime, SpgemmReport, StreamId,
-};
+use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
+use vgpu::{Gpu, GpuError, SpgemmReport};
 
 /// Tunables of the proposal. Defaults reproduce the paper's
 /// configuration; the switches drive the §III/§IV-C ablations.
@@ -84,36 +87,13 @@ impl From<sparse::SparseError> for Error {
 /// Crate result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Global-memory hash-table size for an overflow (group 0) row with the
-/// given metric: next power of two above `2 × metric` (≤50% load factor,
-/// "set based on the number of intermediate products", §III-B-2).
-fn global_table_size(metric: usize) -> usize {
-    (2 * metric.max(1)).next_power_of_two()
-}
-
-/// Frees a set of device allocations on drop-equivalent cleanup.
-struct OwnedAllocs {
-    ids: Vec<AllocId>,
-}
-
-impl OwnedAllocs {
-    fn new() -> Self {
-        OwnedAllocs { ids: Vec::new() }
-    }
-    fn push(&mut self, id: AllocId) -> AllocId {
-        self.ids.push(id);
-        id
-    }
-    fn free_all(&mut self, gpu: &mut Gpu) {
-        for id in self.ids.drain(..) {
-            gpu.free(id);
-        }
-    }
-}
-
 /// Multiply `C = A * B` with the paper's grouped hash-table algorithm on
 /// the virtual GPU. Returns the output matrix and the execution report
 /// (phase times per Figure 5/6, peak memory per Figure 4).
+///
+/// Equivalent to running [`crate::SimExecutor`] through the
+/// [`crate::Executor`] trait; kept as the one-call entry point every
+/// pre-split caller used.
 ///
 /// On out-of-device-memory every allocation made by this call is
 /// released before the error is returned, so the device stays usable.
@@ -123,447 +103,16 @@ pub fn multiply<T: Scalar>(
     b: &Csr<T>,
     opts: &Options,
 ) -> Result<(Csr<T>, SpgemmReport)> {
-    let mut allocs = OwnedAllocs::new();
-    match multiply_inner(gpu, a, b, opts, &mut allocs) {
-        Ok(out) => {
-            allocs.free_all(gpu);
-            Ok(out)
-        }
-        Err(e) => {
-            allocs.free_all(gpu);
-            gpu.set_phase(Phase::Other);
-            Err(e)
-        }
-    }
-}
-
-fn multiply_inner<T: Scalar>(
-    gpu: &mut Gpu,
-    a: &Csr<T>,
-    b: &Csr<T>,
-    opts: &Options,
-    allocs: &mut OwnedAllocs,
-) -> Result<(Csr<T>, SpgemmReport)> {
-    let m = a.rows();
-    let phase_before = gpu.profiler().phase_times();
-    let t_run0 = gpu.elapsed().us();
-    let run_span = gpu.telemetry_mut().map(|t| t.span_begin("spgemm", t_run0));
-
-    // Host ground work (charged below as the setup kernel).
-    let nprod = row_intermediate_products(a, b)?;
-    let total_products: u64 = nprod.iter().map(|&x| x as u64).sum();
-
-    // Device inputs; allocation time is outside the measured phases (the
-    // paper's breakdown starts at its setup phase).
-    allocs.push(gpu.malloc(a.device_bytes(), "A")?);
-    allocs.push(gpu.malloc(b.device_bytes(), "B")?);
-
-    // ---------------- Setup: (1) count products, (2) group ----------------
-    gpu.set_phase(Phase::Setup);
-    allocs.push(gpu.malloc(4 * (m as u64 + 1), "d_nprod")?);
-    {
-        // Kernel (1): 256 rows per block, Alg. 2 traffic per row.
-        let mut blocks = Vec::with_capacity(m.div_ceil(256));
-        for chunk in (0..m).collect::<Vec<_>>().chunks(256) {
-            let a_elems: u64 = chunk.iter().map(|&r| a.row_nnz(r) as u64).sum();
-            blocks.push(count_products_block_cost(gpu, a_elems, chunk.len() as u64));
-        }
-        gpu.launch(KernelDesc::new("count_products", DEFAULT_STREAM, 256, 0), blocks)?;
-    }
-    // Group arrays (the algorithm's only sizable extra memory, §III-A).
-    allocs.push(gpu.malloc(4 * m as u64, "group_rows")?);
-    grouping_kernel(gpu, m)?;
-
-    // ---------------- Count: (3) symbolic hash per group ----------------
-    gpu.set_phase(Phase::Count);
-    let (nnz_row, count_probes) = run_count(gpu, a, b, opts, &nprod)?;
-    // (4) scan row counts into the output row pointer.
-    primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64 + 1, 4)?;
-    let rpt_c = prefix_sum(&nnz_row);
-    let nnz_c = *rpt_c.last().unwrap();
-
-    // ---------------- Malloc: (5) allocate the output ----------------
-    gpu.set_phase(Phase::Malloc);
-    allocs.push(gpu.malloc(4 * (m as u64 + 1) + (4 + T::BYTES as u64) * nnz_c as u64, "C")?);
-
-    // ---------------- Calc: (6) regroup, (7) numeric ----------------
-    gpu.set_phase(Phase::Calc);
-    let (col_c, val_c, calc_probes) = run_numeric(gpu, a, b, opts, &nnz_row, &rpt_c)?;
-    gpu.set_phase(Phase::Other);
-    if let Some(span) = run_span {
-        let t_run1 = gpu.elapsed().us();
-        if let Some(t) = gpu.telemetry_mut() {
-            t.span_end(span, t_run1);
-        }
-    }
-    // Assemble the report from the profiler delta of this call.
-    let phase_after = gpu.profiler().phase_times();
-    let phase_times: Vec<(Phase, SimTime)> =
-        phase_after.iter().zip(&phase_before).map(|(&(p, t1), &(_, t0))| (p, t1 - t0)).collect();
-    let total_time = phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
-    let report = SpgemmReport {
-        algorithm: "proposal".to_string(),
-        precision: T::PRECISION,
-        total_time,
-        phase_times,
-        peak_mem_bytes: gpu.peak_mem_bytes(),
-        intermediate_products: total_products,
-        output_nnz: nnz_c as u64,
-        hash_probes: count_probes + calc_probes,
-        telemetry: gpu.telemetry_summary(),
-    };
-    let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c);
-    Ok((c, report))
-}
-
-/// Exclusive prefix sum of per-row counts into a CSR row pointer.
-pub(crate) fn prefix_sum(nnz_row: &[u32]) -> Vec<usize> {
-    std::iter::once(0usize)
-        .chain(nnz_row.iter().scan(0usize, |acc, &n| {
-            *acc += n as usize;
-            Some(*acc)
-        }))
-        .collect()
-}
-
-/// The symbolic (count) phase: group by intermediate products, run the
-/// per-group hash kernels, handle global-table overflow rows. Returns
-/// the exact nnz of every output row plus the total hash-probe steps
-/// observed. The caller sets the device phase.
-pub(crate) fn run_count<T: Scalar>(
-    gpu: &mut Gpu,
-    a: &Csr<T>,
-    b: &Csr<T>,
-    opts: &Options,
-    nprod: &[usize],
-) -> Result<(Vec<u32>, u64)> {
-    let stream_for = |gi: usize| {
-        if opts.use_streams {
-            StreamId(gi + 1)
-        } else {
-            DEFAULT_STREAM
-        }
-    };
-    let count_groups =
-        build_groups(gpu.config(), T::BYTES, GroupPhase::Count, opts.pwarp_width, opts.use_pwarp);
-    let rows_by_count_group = bucket_rows(&count_groups, nprod);
-    emit_group_summary(gpu, &count_groups, nprod, "count");
-    let m = a.rows();
-    let mut nnz_row = vec![0u32; m];
-    let mut table = HashTable::<T>::new(1024, opts.use_mul_hash);
-    table.observe_probes(gpu.telemetry_enabled());
-    let mut total_probes = 0u64;
-    let mut count_overflow: Vec<u32> = Vec::new();
-    for (gi, spec) in count_groups.groups.iter().enumerate() {
-        let rows = &rows_by_count_group[gi];
-        if rows.is_empty() {
-            continue;
-        }
-        let stream = stream_for(gi);
-        match spec.assignment {
-            Assignment::TbRow | Assignment::TbRowGlobal => {
-                let mut blocks = Vec::with_capacity(rows.len());
-                for &r in rows {
-                    let s = tb_symbolic_row(a, b, r as usize, spec.table_size, &mut table);
-                    total_probes += s.probes;
-                    if s.overflowed {
-                        count_overflow.push(r);
-                    } else {
-                        nnz_row[r as usize] = s.nnz;
-                    }
-                    blocks.push(tb_block_cost(gpu, spec, &s, None));
-                }
-                gpu.launch(
-                    KernelDesc::new(
-                        format!("symbolic_tb_g{gi}"),
-                        stream,
-                        spec.block_threads,
-                        spec.shared_bytes,
-                    ),
-                    blocks,
-                )?;
-            }
-            Assignment::Pwarp { width } => {
-                let rows_per_block = count_groups.pwarp_rows_per_block();
-                let mut blocks = Vec::with_capacity(rows.len().div_ceil(rows_per_block));
-                for chunk in rows.chunks(rows_per_block) {
-                    let stats: Vec<PwarpRowStats> = chunk
-                        .iter()
-                        .map(|&r| {
-                            let s = pwarp_row(
-                                a,
-                                b,
-                                r as usize,
-                                width,
-                                spec.table_size,
-                                &mut table,
-                                false,
-                                None,
-                            );
-                            nnz_row[r as usize] = s.nnz;
-                            s
-                        })
-                        .collect();
-                    total_probes += stats.iter().map(|s| s.probes).sum::<u64>();
-                    blocks.push(pwarp_block_cost(gpu, spec, width, &stats, None));
-                }
-                gpu.launch(
-                    KernelDesc::new(
-                        format!("symbolic_pwarp_g{gi}"),
-                        stream,
-                        spec.block_threads,
-                        spec.shared_bytes,
-                    ),
-                    blocks,
-                )?;
-            }
-        }
-        drain_probe_stats(gpu, &mut table, "count", gi);
-    }
-    // Second pass for rows whose table overflowed shared memory:
-    // per-row global tables sized from their intermediate products.
-    if !count_overflow.is_empty() {
-        let table_bytes: u64 =
-            count_overflow.iter().map(|&r| 4 * global_table_size(nprod[r as usize]) as u64).sum();
-        let gt = gpu.malloc(table_bytes, "count_global_tables")?;
-        primitives::memset(gpu, DEFAULT_STREAM, table_bytes)?;
-        let mut blocks = Vec::with_capacity(count_overflow.len());
-        for &r in &count_overflow {
-            let cap = global_table_size(nprod[r as usize]);
-            let s = tb_symbolic_row(a, b, r as usize, cap, &mut table);
-            total_probes += s.probes;
-            debug_assert!(!s.overflowed);
-            nnz_row[r as usize] = s.nnz;
-            blocks.push(tb_global_block_cost(gpu, &s, cap, None));
-        }
-        gpu.launch(
-            KernelDesc::new(
-                "symbolic_global",
-                DEFAULT_STREAM,
-                gpu.config().max_threads_per_block,
-                0,
-            ),
-            blocks,
-        )?;
-        gpu.free(gt); // synchronizes; table only lives through the pass
-                      // The second pass re-runs group-0 rows with global tables.
-        drain_probe_stats(gpu, &mut table, "count", 0);
-    }
-    Ok((nnz_row, total_probes))
-}
-
-/// The numeric (calc) phase: group by output nnz, run the per-group
-/// value kernels (shared, global and PWARP variants), producing the
-/// output column/value arrays plus the total hash-probe steps observed.
-/// The caller sets the device phase.
-pub(crate) fn run_numeric<T: Scalar>(
-    gpu: &mut Gpu,
-    a: &Csr<T>,
-    b: &Csr<T>,
-    opts: &Options,
-    nnz_row: &[u32],
-    rpt_c: &[usize],
-) -> Result<(Vec<u32>, Vec<T>, u64)> {
-    let m = a.rows();
-    let nnz_c = *rpt_c.last().unwrap();
-    let mut table = HashTable::<T>::new(1024, opts.use_mul_hash);
-    table.observe_probes(gpu.telemetry_enabled());
-    let mut total_probes = 0u64;
-    let stream_for = |gi: usize| {
-        if opts.use_streams {
-            StreamId(gi + 1)
-        } else {
-            DEFAULT_STREAM
-        }
-    };
-    let numeric_groups =
-        build_groups(gpu.config(), T::BYTES, GroupPhase::Numeric, opts.pwarp_width, opts.use_pwarp);
-    let nnz_metric: Vec<usize> = nnz_row.iter().map(|&n| n as usize).collect();
-    let rows_by_numeric_group = bucket_rows(&numeric_groups, &nnz_metric);
-    emit_group_summary(gpu, &numeric_groups, &nnz_metric, "calc");
-    grouping_kernel(gpu, m)?;
-
-    let mut col_c = vec![0u32; nnz_c];
-    let mut val_c = vec![T::ZERO; nnz_c];
-    for (gi, spec) in numeric_groups.groups.iter().enumerate() {
-        let rows = &rows_by_numeric_group[gi];
-        if rows.is_empty() {
-            continue;
-        }
-        let stream = stream_for(gi);
-        match spec.assignment {
-            Assignment::TbRow => {
-                let mut blocks = Vec::with_capacity(rows.len());
-                for &r in rows {
-                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
-                    let s = tb_numeric_row(
-                        a,
-                        b,
-                        r as usize,
-                        spec.table_size,
-                        &mut table,
-                        &mut col_c[span.clone()],
-                        &mut val_c[span],
-                    );
-                    total_probes += s.probes;
-                    blocks.push(tb_block_cost(gpu, spec, &s, Some(T::BYTES)));
-                }
-                gpu.launch(
-                    KernelDesc::new(
-                        format!("numeric_tb_g{gi}"),
-                        stream,
-                        spec.block_threads,
-                        spec.shared_bytes,
-                    ),
-                    blocks,
-                )?;
-            }
-            Assignment::TbRowGlobal => {
-                let table_bytes: u64 = rows
-                    .iter()
-                    .map(|&r| {
-                        (4 + T::BYTES as u64)
-                            * global_table_size(nnz_row[r as usize] as usize) as u64
-                    })
-                    .sum();
-                let gt = gpu.malloc(table_bytes, "numeric_global_tables")?;
-                primitives::memset(gpu, stream, table_bytes)?;
-                let mut blocks = Vec::with_capacity(rows.len());
-                for &r in rows {
-                    let cap = global_table_size(nnz_row[r as usize] as usize);
-                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
-                    let s = tb_numeric_row(
-                        a,
-                        b,
-                        r as usize,
-                        cap,
-                        &mut table,
-                        &mut col_c[span.clone()],
-                        &mut val_c[span],
-                    );
-                    total_probes += s.probes;
-                    blocks.push(tb_global_block_cost(gpu, &s, cap, Some(T::BYTES)));
-                }
-                gpu.launch(
-                    KernelDesc::new(format!("numeric_global_g{gi}"), stream, spec.block_threads, 0),
-                    blocks,
-                )?;
-                gpu.free(gt);
-            }
-            Assignment::Pwarp { width } => {
-                let rows_per_block = numeric_groups.pwarp_rows_per_block();
-                let mut blocks = Vec::with_capacity(rows.len().div_ceil(rows_per_block));
-                for chunk in rows.chunks(rows_per_block) {
-                    let stats: Vec<PwarpRowStats> = chunk
-                        .iter()
-                        .map(|&r| {
-                            let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
-                            let (cslice, vslice) = (
-                                &mut col_c[span.clone()] as *mut [u32],
-                                &mut val_c[span] as *mut [T],
-                            );
-                            // SAFETY: spans of distinct rows never overlap.
-                            let (cslice, vslice) = unsafe { (&mut *cslice, &mut *vslice) };
-                            pwarp_row(
-                                a,
-                                b,
-                                r as usize,
-                                width,
-                                spec.table_size,
-                                &mut table,
-                                true,
-                                Some((cslice, vslice)),
-                            )
-                        })
-                        .collect();
-                    total_probes += stats.iter().map(|s| s.probes).sum::<u64>();
-                    blocks.push(pwarp_block_cost(gpu, spec, width, &stats, Some(T::BYTES)));
-                }
-                gpu.launch(
-                    KernelDesc::new(
-                        format!("numeric_pwarp_g{gi}"),
-                        stream,
-                        spec.block_threads,
-                        spec.shared_bytes,
-                    ),
-                    blocks,
-                )?;
-            }
-        }
-        drain_probe_stats(gpu, &mut table, "calc", gi);
-    }
-    Ok((col_c, val_c, total_probes))
-}
-
-/// Drain the hash table's probe observer into the device telemetry
-/// under `{phase}.g{gi}.*` histogram names (no-op when telemetry and
-/// hence the observer are off).
-fn drain_probe_stats<T: Scalar>(gpu: &mut Gpu, table: &mut HashTable<T>, phase: &str, gi: usize) {
-    if let Some(stats) = table.take_probe_stats() {
-        if let Some(t) = gpu.telemetry_mut() {
-            t.registry.hist_merge(&format!("{phase}.g{gi}.probe_len"), &stats.probe_len);
-            t.registry.hist_merge(&format!("{phase}.g{gi}.row_occupancy"), &stats.row_occupancy);
-            t.registry.hist_merge(&format!("{phase}.g{gi}.load_permille"), &stats.load_permille);
-        }
-    }
-}
-
-/// Emit one `group` event per group plus per-group row-metric
-/// histograms (no-op when telemetry is off).
-fn emit_group_summary(gpu: &mut Gpu, groups: &GroupTable, metric: &[usize], phase: &str) {
-    if !gpu.telemetry_enabled() {
-        return;
-    }
-    let occ = groups.summarize(metric);
-    if let Some(t) = gpu.telemetry_mut() {
-        for o in &occ {
-            t.emit(
-                obs::Event::new("group")
-                    .str("phase", phase)
-                    .u64("group", o.id as u64)
-                    .u64("rows", o.rows)
-                    .u64("metric_total", o.metric_total),
-            );
-            t.registry.counter_add(&format!("{phase}.g{}.rows", o.id), o.rows);
-            t.registry.hist_merge(&format!("{phase}.g{}.row_metric", o.id), &o.metric_hist);
-        }
-    }
-}
-
-/// Bucket rows into groups by their metric (host mirror of the grouping
-/// kernel; the device cost is charged by [`grouping_kernel`]).
-fn bucket_rows(groups: &GroupTable, metric: &[usize]) -> Vec<Vec<u32>> {
-    let mut buckets = vec![Vec::new(); groups.len()];
-    for (r, &v) in metric.iter().enumerate() {
-        buckets[groups.group_of(v)].push(r as u32);
-    }
-    buckets
-}
-
-/// Device cost of one grouping pass: read the per-row metric, histogram,
-/// scan, scatter row indices (≈ two reads + one write of 4 B per row).
-fn grouping_kernel(gpu: &mut Gpu, m: usize) -> Result<()> {
-    let n = gpu.config().num_sms * 4;
-    let per_block_bytes = 12.0 * m as f64 / n as f64;
-    let blocks = vec![
-        {
-            let mut c = gpu.block_cost();
-            c.global_coalesced(per_block_bytes);
-            c.compute(m as f64 / 32.0 / n as f64 * 3.0);
-            c.finish()
-        };
-        n
-    ];
-    gpu.launch(KernelDesc::new("grouping", DEFAULT_STREAM, 256, 0), blocks)?;
-    primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64, 4)?;
-    Ok(())
+    let mut exec = SimExecutor::new(gpu);
+    let run = Executor::<T>::multiply(&mut exec, a, b, opts)?;
+    Ok((run.matrix, run.report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sparse::spgemm_ref::spgemm_gustavson;
-    use vgpu::DeviceConfig;
+    use vgpu::{DeviceConfig, Phase, SimTime};
 
     fn gpu() -> Gpu {
         Gpu::new(DeviceConfig::p100())
@@ -744,17 +293,18 @@ impl MemoryEstimate {
 pub fn estimate_memory<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<MemoryEstimate> {
     let nprod = row_intermediate_products(a, b)?;
     let m = a.rows() as u64;
-    let entry = 4 + T::BYTES as u64;
+    let ix = DEVICE_INDEX_BYTES;
+    let entry = ix + T::BYTES as u64;
     // Count-phase overflow tables exist for rows beyond the largest
     // shared table (threshold depends only on device class; use P100's).
     let groups = build_groups(&vgpu::DeviceConfig::p100(), T::BYTES, GroupPhase::Count, 4, true);
     let shared_max = groups.groups[0].lower - 1;
     let tables: u64 =
-        nprod.iter().filter(|&&p| p > shared_max).map(|&p| 4 * global_table_size(p) as u64).sum();
+        nprod.iter().filter(|&&p| p > shared_max).map(|&p| ix * global_table_size(p) as u64).sum();
     Ok(MemoryEstimate {
         inputs: a.device_bytes() + b.device_bytes(),
-        working: 4 * (m + 1) + 4 * m + 4 * (m + 1),
-        output_upper: 4 * (m + 1) + entry * nprod.iter().map(|&p| p as u64).sum::<u64>(),
+        working: ix * (m + 1) + ix * m + ix * (m + 1),
+        output_upper: ix * (m + 1) + entry * nprod.iter().map(|&p| p as u64).sum::<u64>(),
         global_tables_upper: tables,
     })
 }

@@ -1,212 +1,224 @@
-//! Symbolic-phase reuse: plan once, execute the numeric phase many times.
+//! The backend-neutral execution plan: *what* to compute, separated
+//! from *how* a backend runs or charges it.
 //!
-//! The paper's motivating applications recompute products with a *fixed
-//! sparsity pattern* and changing values — AMG rebuilds `Pᵀ A P` per
-//! time step, iterative methods re-form the same Galerkin triple
-//! product, MCL expands a matrix whose pattern stabilizes. For those,
-//! the setup + count phases (grouping, symbolic hashing, output sizing)
-//! depend only on the pattern and can be cached.
-//!
-//! [`SpgemmPlan`] captures everything the numeric phase needs: the
-//! output row pointer, per-row nnz, and the options. `execute` then runs
-//! only the output `cudaMalloc` + numeric kernels — the same split the
-//! two-phase design already draws, promoted to the public API. A
-//! fingerprint of both input patterns guards against executing a plan on
-//! matrices it was not built for.
+//! [`SpgemmPlan`] captures every decision of the paper's pipeline that
+//! does not depend on the execution substrate: per-row intermediate
+//! products (Alg. 2), the count- and calc-phase group tables of Table I
+//! ([`crate::groups::build_groups`]), per-row hash-table capacities
+//! (including the group-0 global-table sizing rule of §III-B-2), the
+//! group→stream mapping of §IV-C, and a weighted row partition for
+//! backends that execute on real threads. Both the simulated-device
+//! backend ([`crate::SimExecutor`]) and the host thread-pool backend
+//! ([`crate::HostParallelExecutor`]) consume the same plan, which is
+//! what makes their outputs identical by construction: every decision
+//! that could diverge is made exactly once, here.
 
-use crate::pipeline::{self, Error, Options, Result};
+use crate::groups::{build_groups, Assignment, GroupPhase, GroupTable};
+use crate::pipeline::{Options, Result};
 use sparse::spgemm_ref::row_intermediate_products;
 use sparse::{Csr, Scalar};
-use vgpu::{Gpu, Phase, SimTime, SpgemmReport};
+use std::ops::Range;
+use vgpu::device::DEFAULT_STREAM;
+use vgpu::{DeviceConfig, StreamId};
 
-/// FNV-1a over the structural arrays of a matrix (pattern only — values
-/// are free to change between plan and execute).
-fn pattern_fingerprint<T: Scalar>(m: &Csr<T>) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    let mut eat = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    eat(m.rows() as u64);
-    eat(m.cols() as u64);
-    for &p in m.rpt() {
-        eat(p as u64);
-    }
-    for &c in m.col() {
-        eat(c as u64);
-    }
-    h
+/// Global-memory hash-table size for an overflow (group 0) row with the
+/// given metric: next power of two above `2 × metric` (≤50% load factor,
+/// "set based on the number of intermediate products", §III-B-2).
+pub fn global_table_size(metric: usize) -> usize {
+    (2 * metric.max(1)).next_power_of_two()
 }
 
-/// A reusable symbolic plan for `C = A * B` with fixed patterns.
+/// One phase's worth of row grouping: the group table, the per-row
+/// metric it was bucketed by (intermediate products for the count
+/// phase, output nnz for the numeric phase), and the resulting buckets.
 #[derive(Debug, Clone)]
-pub struct SpgemmPlan<T> {
-    fingerprint_a: u64,
-    fingerprint_b: u64,
-    cols_b: usize,
-    nnz_row: Vec<u32>,
-    rpt_c: Vec<usize>,
-    opts: Options,
-    /// Simulated time spent building the plan (setup + count phases).
-    pub plan_time: SimTime,
-    /// Hash-probe steps spent in the planning (count) phase.
-    pub plan_hash_probes: u64,
-    _marker: std::marker::PhantomData<T>,
+pub struct PhasePlan {
+    /// The Table I group table of this phase.
+    pub groups: GroupTable,
+    /// Per-row grouping metric (one entry per row of `A`).
+    pub metric: Vec<usize>,
+    /// Rows of each group, ascending, aligned with `groups.groups`.
+    pub rows_by_group: Vec<Vec<u32>>,
 }
 
-impl<T: Scalar> SpgemmPlan<T> {
-    /// Build a plan by running the setup and count phases on the device
-    /// (their time is charged and reported in [`SpgemmPlan::plan_time`]).
-    pub fn new(gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Self> {
-        let t0 = gpu.elapsed();
+impl PhasePlan {
+    fn new(groups: GroupTable, metric: Vec<usize>) -> Self {
+        let rows_by_group = groups.bucket_rows(&metric);
+        PhasePlan { groups, metric, rows_by_group }
+    }
+
+    /// Hash-table capacity a backend must use for `row` in this phase:
+    /// the group's shared-memory table size, or the per-row global-table
+    /// size for group-0 rows. Capacities only ever *bound* the table —
+    /// the accumulation order inside a row is the A-row traversal order
+    /// regardless of capacity — so outputs stay backend-independent.
+    pub fn table_size_for(&self, row: usize) -> usize {
+        let spec = &self.groups.groups[self.groups.group_of(self.metric[row])];
+        match spec.assignment {
+            Assignment::TbRowGlobal => global_table_size(self.metric[row]),
+            _ => spec.table_size,
+        }
+    }
+
+    /// Split `0..rows` into at most `parts` contiguous ranges of roughly
+    /// equal total metric weight (for thread-parallel backends).
+    pub fn partition(&self, parts: usize) -> Vec<Range<usize>> {
+        crate::partition::weighted_ranges(&self.metric, parts)
+    }
+}
+
+/// A backend-neutral plan for one `C = A · B`: everything the pipeline
+/// of Figure 1 decides *before* any kernel runs.
+///
+/// Built once per multiply by [`crate::Executor::plan`] (or directly via
+/// [`SpgemmPlan::new`]); the numeric-phase bucketing depends on the
+/// symbolic result and is derived later via [`SpgemmPlan::numeric_phase`].
+#[derive(Debug, Clone)]
+pub struct SpgemmPlan {
+    /// Rows of `A` (= rows of `C`).
+    pub rows: usize,
+    /// Columns of `B` (= columns of `C`).
+    pub cols: usize,
+    /// Value width the group tables were derived for (`T::BYTES`).
+    pub value_bytes: usize,
+    /// The options the plan was built with.
+    pub opts: Options,
+    /// Total intermediate products (Σ count metric) — the FLOP basis.
+    pub total_products: u64,
+    /// Count-phase grouping, bucketed by intermediate products.
+    pub count: PhasePlan,
+    /// Numeric-phase group table (bucketing waits for the symbolic nnz).
+    pub numeric_groups: GroupTable,
+}
+
+impl SpgemmPlan {
+    /// Build the plan for `C = A · B` on a device class described by
+    /// `cfg`. Pure host work: validates dimensions, counts intermediate
+    /// products, derives both phases' Table I group tables and buckets
+    /// the count phase.
+    pub fn new<T: Scalar>(
+        cfg: &DeviceConfig,
+        a: &Csr<T>,
+        b: &Csr<T>,
+        opts: &Options,
+    ) -> Result<Self> {
         let nprod = row_intermediate_products(a, b)?;
-        // Setup-phase device work: product counting + grouping.
-        gpu.set_phase(Phase::Setup);
-        let d_nprod = gpu.malloc(4 * (a.rows() as u64 + 1), "plan_nprod")?;
-        let grp = gpu.malloc(4 * a.rows() as u64, "plan_group_rows")?;
-        gpu.set_phase(Phase::Count);
-        let (nnz_row, plan_hash_probes) = pipeline::run_count(gpu, a, b, opts, &nprod)?;
-        let rpt_c = pipeline::prefix_sum(&nnz_row);
-        gpu.set_phase(Phase::Other);
-        gpu.free(d_nprod);
-        gpu.free(grp);
+        let total_products: u64 = nprod.iter().map(|&x| x as u64).sum();
+        let count_groups =
+            build_groups(cfg, T::BYTES, GroupPhase::Count, opts.pwarp_width, opts.use_pwarp);
+        let numeric_groups =
+            build_groups(cfg, T::BYTES, GroupPhase::Numeric, opts.pwarp_width, opts.use_pwarp);
         Ok(SpgemmPlan {
-            fingerprint_a: pattern_fingerprint(a),
-            fingerprint_b: pattern_fingerprint(b),
-            cols_b: b.cols(),
-            nnz_row,
-            rpt_c,
+            rows: a.rows(),
+            cols: b.cols(),
+            value_bytes: T::BYTES,
             opts: opts.clone(),
-            plan_time: gpu.elapsed() - t0,
-            plan_hash_probes,
-            _marker: std::marker::PhantomData,
+            total_products,
+            count: PhasePlan::new(count_groups, nprod),
+            numeric_groups,
         })
     }
 
-    /// nnz the output will have.
-    pub fn output_nnz(&self) -> usize {
-        *self.rpt_c.last().unwrap()
+    /// Per-row intermediate products (the count-phase metric).
+    pub fn nprod(&self) -> &[usize] {
+        &self.count.metric
     }
 
-    /// The output's row pointer (exact, from the symbolic phase).
-    pub fn output_rpt(&self) -> &[usize] {
-        &self.rpt_c
+    /// Derive the numeric-phase bucketing from the symbolic result
+    /// (per-row output nnz), regrouping rows by their output size —
+    /// step (6) of Figure 1.
+    pub fn numeric_phase(&self, nnz_row: &[u32]) -> PhasePlan {
+        let metric: Vec<usize> = nnz_row.iter().map(|&n| n as usize).collect();
+        PhasePlan::new(self.numeric_groups.clone(), metric)
     }
 
-    /// Execute the numeric phase for matrices with the planned patterns
-    /// (values may differ from the planning call). Only output-malloc
-    /// and calc time is spent — the point of reusing the plan.
-    pub fn execute(&self, gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>) -> Result<(Csr<T>, SpgemmReport)> {
-        if pattern_fingerprint(a) != self.fingerprint_a
-            || pattern_fingerprint(b) != self.fingerprint_b
-        {
-            return Err(Error::Sparse(sparse::SparseError::DimensionMismatch(
-                "matrix pattern differs from the planned pattern".into(),
-            )));
+    /// The CUDA stream group `gi` launches on (§IV-C): its own stream
+    /// when streams are enabled, the default stream otherwise.
+    pub fn stream_for(&self, gi: usize) -> StreamId {
+        if self.opts.use_streams {
+            StreamId(gi + 1)
+        } else {
+            DEFAULT_STREAM
         }
-        let phase_before = gpu.profiler().phase_times();
-        let m = a.rows();
-        let nnz_c = self.output_nnz();
-        gpu.set_phase(Phase::Malloc);
-        let c_buf = gpu.malloc(4 * (m as u64 + 1) + (4 + T::BYTES as u64) * nnz_c as u64, "C")?;
-        gpu.set_phase(Phase::Calc);
-        let res = pipeline::run_numeric(gpu, a, b, &self.opts, &self.nnz_row, &self.rpt_c);
-        gpu.set_phase(Phase::Other);
-        gpu.free(c_buf);
-        let (col_c, val_c, calc_probes) = res?;
-
-        let after = gpu.profiler().phase_times();
-        let phase_times: Vec<(Phase, SimTime)> =
-            after.iter().zip(&phase_before).map(|(&(p, t1), &(_, t0))| (p, t1 - t0)).collect();
-        let total_time =
-            phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
-        let ip: u64 = row_intermediate_products(a, b)?.iter().map(|&x| x as u64).sum();
-        let report = SpgemmReport {
-            algorithm: "proposal (planned)".into(),
-            precision: T::PRECISION,
-            total_time,
-            phase_times,
-            peak_mem_bytes: gpu.peak_mem_bytes(),
-            intermediate_products: ip,
-            output_nnz: nnz_c as u64,
-            hash_probes: calc_probes,
-            telemetry: gpu.telemetry_summary(),
-        };
-        Ok((Csr::from_parts_unchecked(m, self.cols_b, self.rpt_c.clone(), col_c, val_c), report))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparse::spgemm_ref::spgemm_gustavson;
     use vgpu::DeviceConfig;
 
-    fn mats(n: usize, seed: u64) -> Csr<f64> {
-        let mut s = seed;
+    fn mat(n: usize, deg: usize) -> Csr<f64> {
         let mut t = Vec::new();
         for r in 0..n {
-            for _ in 0..6 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                t.push((r, ((s >> 33) as usize % n) as u32, 1.0 + (s % 9) as f64));
+            for d in 0..deg {
+                t.push((r, ((r * 31 + d * 7) % n) as u32, 1.0));
             }
         }
         Csr::from_triplets(n, n, &t).unwrap()
     }
 
     #[test]
-    fn planned_execution_matches_direct_multiply() {
-        let a = mats(400, 3);
-        let mut gpu = Gpu::new(DeviceConfig::p100());
-        let plan = SpgemmPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
-        let (c, report) = plan.execute(&mut gpu, &a, &a).unwrap();
-        let c_ref = spgemm_gustavson(&a, &a).unwrap();
-        assert_eq!(c, c_ref);
-        assert_eq!(plan.output_nnz(), c_ref.nnz());
-        assert!(report.total_time > SimTime::ZERO);
-        assert_eq!(gpu.live_mem_bytes(), 0);
+    fn plan_buckets_cover_all_rows() {
+        let a = mat(500, 6);
+        let plan = SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).unwrap();
+        let total: usize = plan.count.rows_by_group.iter().map(|v| v.len()).sum();
+        assert_eq!(total, a.rows());
+        assert_eq!(plan.rows, 500);
+        assert_eq!(plan.cols, 500);
+        assert_eq!(plan.total_products, 500 * 6 * 6);
     }
 
     #[test]
-    fn execute_is_faster_than_full_multiply() {
-        let a = mats(2000, 7);
-        let mut gpu = Gpu::new(DeviceConfig::p100());
-        let (_, full) = crate::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
-        let plan = SpgemmPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
-        let (_, planned) = plan.execute(&mut gpu, &a, &a).unwrap();
-        assert!(
-            planned.total_time < full.total_time,
-            "planned {} vs full {}",
-            planned.total_time,
-            full.total_time
-        );
-        // The numeric-only run has no setup/count phases.
-        assert_eq!(planned.phase_time(Phase::Setup), SimTime::ZERO);
-        assert_eq!(planned.phase_time(Phase::Count), SimTime::ZERO);
+    fn plan_rejects_dimension_mismatch() {
+        let a = Csr::<f64>::zeros(4, 5);
+        assert!(SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).is_err());
     }
 
     #[test]
-    fn values_may_change_pattern_may_not() {
-        let a = mats(300, 11);
-        let mut gpu = Gpu::new(DeviceConfig::p100());
-        let plan = SpgemmPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
-        // Same pattern, scaled values: fine.
-        let a2 = a.scaled(3.0);
-        let (c, _) = plan.execute(&mut gpu, &a2, &a2).unwrap();
-        assert_eq!(c, spgemm_gustavson(&a2, &a2).unwrap());
-        // Different pattern: rejected.
-        let other = mats(300, 12);
-        assert!(plan.execute(&mut gpu, &other, &other).is_err());
+    fn table_size_for_matches_group_rule() {
+        let a = mat(300, 5);
+        let plan = SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).unwrap();
+        for r in 0..a.rows() {
+            let cap = plan.count.table_size_for(r);
+            assert!(cap.is_power_of_two());
+            // Never smaller than what the row's products need at ≤100% load.
+            assert!(cap >= plan.count.metric[r].min(cap));
+        }
+        // Group-0 rows get the per-row global size.
+        let big = 100_000usize;
+        let gi = plan.count.groups.group_of(big);
+        assert_eq!(plan.count.groups.groups[gi].assignment, Assignment::TbRowGlobal);
+        assert_eq!(global_table_size(big), (2 * big).next_power_of_two());
     }
 
     #[test]
-    fn repeated_execution_is_stable() {
-        let a = mats(500, 5);
-        let mut gpu = Gpu::new(DeviceConfig::p100());
-        let plan = SpgemmPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
-        let (c1, r1) = plan.execute(&mut gpu, &a, &a).unwrap();
-        let (c2, r2) = plan.execute(&mut gpu, &a, &a).unwrap();
-        assert_eq!(c1, c2);
-        assert_eq!(r1.total_time.secs().to_bits(), r2.total_time.secs().to_bits());
+    fn stream_mapping_follows_options() {
+        let a = mat(50, 2);
+        let on = SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).unwrap();
+        assert_eq!(on.stream_for(0), StreamId(1));
+        assert_eq!(on.stream_for(3), StreamId(4));
+        let off = SpgemmPlan::new(
+            &DeviceConfig::p100(),
+            &a,
+            &a,
+            &Options { use_streams: false, ..Options::default() },
+        )
+        .unwrap();
+        assert_eq!(off.stream_for(3), DEFAULT_STREAM);
+    }
+
+    #[test]
+    fn numeric_phase_buckets_by_nnz() {
+        let a = mat(200, 4);
+        let plan = SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).unwrap();
+        let nnz_row = vec![3u32; 200];
+        let numeric = plan.numeric_phase(&nnz_row);
+        assert_eq!(numeric.metric, vec![3usize; 200]);
+        let total: usize = numeric.rows_by_group.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 200);
+        // nnz 3 lands in the PWARP group (≤ 16).
+        let pwarp = numeric.groups.len() - 1;
+        assert_eq!(numeric.rows_by_group[pwarp].len(), 200);
     }
 }

@@ -1,0 +1,179 @@
+//! Symbolic-phase reuse: plan once, execute the numeric phase many times.
+//!
+//! The paper's motivating applications recompute products with a *fixed
+//! sparsity pattern* and changing values — AMG rebuilds `Pᵀ A P` per
+//! time step, iterative methods re-form the same Galerkin triple
+//! product, MCL expands a matrix whose pattern stabilizes. For those,
+//! the setup + count phases (grouping, symbolic hashing, output sizing)
+//! depend only on the pattern and can be cached.
+//!
+//! [`SymbolicPlan`] (the pre-executor-split `SpgemmPlan` — that name now
+//! belongs to the backend-neutral plan in [`crate::plan`]) captures
+//! everything the numeric phase needs: the backend-neutral plan, the
+//! symbolic result (output row pointer, per-row nnz) and the options.
+//! `execute` then runs only the output `cudaMalloc` + numeric kernels on
+//! the simulated device — the same split [`crate::Executor`] draws,
+//! promoted to a cacheable object. A fingerprint of both input patterns
+//! guards against executing a plan on matrices it was not built for.
+
+use crate::exec::{Executor, SymbolicOutput};
+use crate::pipeline::{Error, Options, Result};
+use crate::plan::SpgemmPlan;
+use crate::sim::SimExecutor;
+use sparse::{Csr, Scalar};
+use vgpu::{Gpu, SimTime, SpgemmReport};
+
+/// FNV-1a over the structural arrays of a matrix (pattern only — values
+/// are free to change between plan and execute).
+fn pattern_fingerprint<T: Scalar>(m: &Csr<T>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut eat = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    eat(m.rows() as u64);
+    eat(m.cols() as u64);
+    for &p in m.rpt() {
+        eat(p as u64);
+    }
+    for &c in m.col() {
+        eat(c as u64);
+    }
+    h
+}
+
+/// A reusable symbolic plan for `C = A * B` with fixed patterns.
+#[derive(Debug, Clone)]
+pub struct SymbolicPlan<T> {
+    plan: SpgemmPlan,
+    fingerprint_a: u64,
+    fingerprint_b: u64,
+    symbolic: SymbolicOutput,
+    /// Simulated time spent building the plan (setup + count phases).
+    pub plan_time: SimTime,
+    /// Hash-probe steps spent in the planning (count) phase.
+    pub plan_hash_probes: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Scalar> SymbolicPlan<T> {
+    /// Build a plan by running the setup and count phases on the device
+    /// (their time is charged and reported in [`SymbolicPlan::plan_time`]).
+    pub fn new(gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Self> {
+        let t0 = gpu.elapsed();
+        let mut exec = SimExecutor::new(gpu);
+        let plan = Executor::<T>::plan(&exec, a, b, opts)?;
+        let symbolic = exec.execute_symbolic(&plan, a, b)?;
+        let plan_hash_probes = symbolic.hash_probes;
+        Ok(SymbolicPlan {
+            plan,
+            fingerprint_a: pattern_fingerprint(a),
+            fingerprint_b: pattern_fingerprint(b),
+            symbolic,
+            plan_time: gpu.elapsed() - t0,
+            plan_hash_probes,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// nnz the output will have.
+    pub fn output_nnz(&self) -> usize {
+        self.symbolic.output_nnz()
+    }
+
+    /// The output's row pointer (exact, from the symbolic phase).
+    pub fn output_rpt(&self) -> &[usize] {
+        &self.symbolic.rpt
+    }
+
+    /// Execute the numeric phase for matrices with the planned patterns
+    /// (values may differ from the planning call). Only output-malloc
+    /// and calc time is spent — the point of reusing the plan.
+    pub fn execute(&self, gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>) -> Result<(Csr<T>, SpgemmReport)> {
+        if pattern_fingerprint(a) != self.fingerprint_a
+            || pattern_fingerprint(b) != self.fingerprint_b
+        {
+            return Err(Error::Sparse(sparse::SparseError::DimensionMismatch(
+                "matrix pattern differs from the planned pattern".into(),
+            )));
+        }
+        let mut exec = SimExecutor::new(gpu);
+        let run = exec.execute_numeric(&self.plan, &self.symbolic, a, b)?;
+        Ok((run.matrix, run.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::spgemm_ref::spgemm_gustavson;
+    use vgpu::{DeviceConfig, Phase};
+
+    fn mats(n: usize, seed: u64) -> Csr<f64> {
+        let mut s = seed;
+        let mut t = Vec::new();
+        for r in 0..n {
+            for _ in 0..6 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t.push((r, ((s >> 33) as usize % n) as u32, 1.0 + (s % 9) as f64));
+            }
+        }
+        Csr::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn planned_execution_matches_direct_multiply() {
+        let a = mats(400, 3);
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let plan = SymbolicPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
+        let (c, report) = plan.execute(&mut gpu, &a, &a).unwrap();
+        let c_ref = spgemm_gustavson(&a, &a).unwrap();
+        assert_eq!(c, c_ref);
+        assert_eq!(plan.output_nnz(), c_ref.nnz());
+        assert!(report.total_time > SimTime::ZERO);
+        assert_eq!(gpu.live_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn execute_is_faster_than_full_multiply() {
+        let a = mats(2000, 7);
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let (_, full) = crate::multiply(&mut gpu, &a, &a, &Options::default()).unwrap();
+        let plan = SymbolicPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
+        let (_, planned) = plan.execute(&mut gpu, &a, &a).unwrap();
+        assert!(
+            planned.total_time < full.total_time,
+            "planned {} vs full {}",
+            planned.total_time,
+            full.total_time
+        );
+        // The numeric-only run has no setup/count phases.
+        assert_eq!(planned.phase_time(Phase::Setup), SimTime::ZERO);
+        assert_eq!(planned.phase_time(Phase::Count), SimTime::ZERO);
+    }
+
+    #[test]
+    fn values_may_change_pattern_may_not() {
+        let a = mats(300, 11);
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let plan = SymbolicPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
+        // Same pattern, scaled values: fine.
+        let a2 = a.scaled(3.0);
+        let (c, _) = plan.execute(&mut gpu, &a2, &a2).unwrap();
+        assert_eq!(c, spgemm_gustavson(&a2, &a2).unwrap());
+        // Different pattern: rejected.
+        let other = mats(300, 12);
+        assert!(plan.execute(&mut gpu, &other, &other).is_err());
+    }
+
+    #[test]
+    fn repeated_execution_is_stable() {
+        let a = mats(500, 5);
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        let plan = SymbolicPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
+        let (c1, r1) = plan.execute(&mut gpu, &a, &a).unwrap();
+        let (c2, r2) = plan.execute(&mut gpu, &a, &a).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(r1.total_time.secs().to_bits(), r2.total_time.secs().to_bits());
+    }
+}

@@ -1,0 +1,563 @@
+//! The simulated-device backend: the paper's pipeline charged to the
+//! [`vgpu`] virtual Pascal GPU.
+//!
+//! This is the pre-refactor `pipeline::multiply` body split along the
+//! [`Executor`](crate::Executor) phase boundaries. The device-operation
+//! sequence (mallocs, phase transitions, kernel launches, scans,
+//! telemetry emits) is preserved *exactly*, so simulated phase times,
+//! peak memory, hash-probe counts and every telemetry export stay
+//! byte-identical to the monolithic implementation — the plan building
+//! that moved out of this file was pure host work the device never saw.
+
+use crate::exec::{prefix_sum, Backend, BackendCaps, Execution, Executor, SymbolicOutput};
+use crate::groups::{Assignment, GroupTable};
+use crate::hash::HashTable;
+use crate::kernels::{
+    count_products_block_cost, pwarp_block_cost, pwarp_row, tb_block_cost, tb_global_block_cost,
+    tb_numeric_row, tb_symbolic_row, PwarpRowStats,
+};
+use crate::pipeline::{Options, Result};
+use crate::plan::{global_table_size, PhasePlan, SpgemmPlan};
+use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
+use vgpu::device::DEFAULT_STREAM;
+use vgpu::{primitives, AllocId, Gpu, KernelDesc, Phase, SimTime, SpgemmReport};
+
+/// Frees a set of device allocations on drop-equivalent cleanup.
+pub(crate) struct OwnedAllocs {
+    ids: Vec<AllocId>,
+}
+
+impl OwnedAllocs {
+    pub(crate) fn new() -> Self {
+        OwnedAllocs { ids: Vec::new() }
+    }
+    pub(crate) fn push(&mut self, id: AllocId) -> AllocId {
+        self.ids.push(id);
+        id
+    }
+    pub(crate) fn free_all(&mut self, gpu: &mut Gpu) {
+        for id in self.ids.drain(..) {
+            gpu.free(id);
+        }
+    }
+}
+
+/// The virtual-GPU backend. Borrows the device for its lifetime; every
+/// phase charges kernels to the cost model and feeds the device
+/// telemetry, exactly as `pipeline::multiply` always has.
+pub struct SimExecutor<'g> {
+    gpu: &'g mut Gpu,
+}
+
+impl<'g> SimExecutor<'g> {
+    /// Wrap a device.
+    pub fn new(gpu: &'g mut Gpu) -> Self {
+        SimExecutor { gpu }
+    }
+
+    /// The wrapped device (for report/telemetry access between calls).
+    pub fn gpu(&mut self) -> &mut Gpu {
+        self.gpu
+    }
+}
+
+impl<T: Scalar> Executor<T> for SimExecutor<'_> {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            simulated_time: true,
+            wall_clock: false,
+            concurrent_streams: true,
+            threads: 1,
+            deterministic_output: true,
+        }
+    }
+
+    fn plan(&self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<SpgemmPlan> {
+        SpgemmPlan::new(self.gpu.config(), a, b, opts)
+    }
+
+    /// Standalone symbolic phase (the planning path of
+    /// [`crate::SymbolicPlan`]): charges the setup + count device work.
+    fn execute_symbolic(
+        &mut self,
+        plan: &SpgemmPlan,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<SymbolicOutput> {
+        let gpu = &mut *self.gpu;
+        gpu.set_phase(Phase::Setup);
+        let d_nprod = gpu.malloc(DEVICE_INDEX_BYTES * (a.rows() as u64 + 1), "plan_nprod")?;
+        let grp = gpu.malloc(DEVICE_INDEX_BYTES * a.rows() as u64, "plan_group_rows")?;
+        gpu.set_phase(Phase::Count);
+        let res = run_count(gpu, a, b, plan);
+        gpu.set_phase(Phase::Other);
+        gpu.free(d_nprod);
+        gpu.free(grp);
+        let (nnz_row, probes) = res?;
+        Ok(SymbolicOutput::from_nnz_row(nnz_row, probes))
+    }
+
+    /// Standalone numeric phase against a cached symbolic result (the
+    /// execution path of [`crate::SymbolicPlan`]): charges the output
+    /// malloc + calc device work.
+    fn execute_numeric(
+        &mut self,
+        plan: &SpgemmPlan,
+        symbolic: &SymbolicOutput,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<Execution<T>> {
+        let gpu = &mut *self.gpu;
+        let phase_before = gpu.profiler().phase_times();
+        let m = a.rows();
+        let nnz_c = symbolic.output_nnz();
+        gpu.set_phase(Phase::Malloc);
+        let c_buf = gpu.malloc(
+            DEVICE_INDEX_BYTES * (m as u64 + 1)
+                + (DEVICE_INDEX_BYTES + T::BYTES as u64) * nnz_c as u64,
+            "C",
+        )?;
+        gpu.set_phase(Phase::Calc);
+        let res = run_numeric(gpu, a, b, plan, &symbolic.nnz_row, &symbolic.rpt);
+        gpu.set_phase(Phase::Other);
+        gpu.free(c_buf);
+        let (col_c, val_c, calc_probes) = res?;
+        let report = report_from_delta(
+            gpu,
+            phase_before,
+            "proposal (planned)".into(),
+            T::PRECISION,
+            plan.total_products,
+            nnz_c as u64,
+            calc_probes,
+        );
+        let c = Csr::from_parts_unchecked(m, plan.cols, symbolic.rpt.clone(), col_c, val_c);
+        Ok(Execution { matrix: c, report, wall: None })
+    }
+
+    fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>> {
+        let plan = Executor::<T>::plan(self, a, b, opts)?;
+        let mut allocs = OwnedAllocs::new();
+        match multiply_inner(self.gpu, &plan, a, b, &mut allocs) {
+            Ok(out) => {
+                allocs.free_all(self.gpu);
+                Ok(out)
+            }
+            Err(e) => {
+                allocs.free_all(self.gpu);
+                self.gpu.set_phase(Phase::Other);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Assemble a report from the profiler delta since `phase_before`.
+fn report_from_delta(
+    gpu: &mut Gpu,
+    phase_before: Vec<(Phase, SimTime)>,
+    algorithm: String,
+    precision: &'static str,
+    intermediate_products: u64,
+    output_nnz: u64,
+    hash_probes: u64,
+) -> SpgemmReport {
+    let phase_after = gpu.profiler().phase_times();
+    let phase_times: Vec<(Phase, SimTime)> =
+        phase_after.iter().zip(&phase_before).map(|(&(p, t1), &(_, t0))| (p, t1 - t0)).collect();
+    let total_time = phase_times.iter().filter(|(p, _)| *p != Phase::Other).map(|&(_, t)| t).sum();
+    SpgemmReport {
+        algorithm,
+        precision,
+        total_time,
+        phase_times,
+        peak_mem_bytes: gpu.peak_mem_bytes(),
+        intermediate_products,
+        output_nnz,
+        hash_probes,
+        telemetry: gpu.telemetry_summary(),
+    }
+}
+
+fn multiply_inner<T: Scalar>(
+    gpu: &mut Gpu,
+    plan: &SpgemmPlan,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    allocs: &mut OwnedAllocs,
+) -> Result<Execution<T>> {
+    let m = a.rows();
+    let phase_before = gpu.profiler().phase_times();
+    let t_run0 = gpu.elapsed().us();
+    let run_span = gpu.telemetry_mut().map(|t| t.span_begin("spgemm", t_run0));
+
+    // Device inputs; allocation time is outside the measured phases (the
+    // paper's breakdown starts at its setup phase).
+    allocs.push(gpu.malloc(a.device_bytes(), "A")?);
+    allocs.push(gpu.malloc(b.device_bytes(), "B")?);
+
+    // ---------------- Setup: (1) count products, (2) group ----------------
+    gpu.set_phase(Phase::Setup);
+    allocs.push(gpu.malloc(DEVICE_INDEX_BYTES * (m as u64 + 1), "d_nprod")?);
+    {
+        // Kernel (1): 256 rows per block, Alg. 2 traffic per row.
+        let mut blocks = Vec::with_capacity(m.div_ceil(256));
+        for start in (0..m).step_by(256) {
+            let end = (start + 256).min(m);
+            let a_elems: u64 = (start..end).map(|r| a.row_nnz(r) as u64).sum();
+            blocks.push(count_products_block_cost(gpu, a_elems, (end - start) as u64));
+        }
+        gpu.launch(KernelDesc::new("count_products", DEFAULT_STREAM, 256, 0), blocks)?;
+    }
+    // Group arrays (the algorithm's only sizable extra memory, §III-A).
+    allocs.push(gpu.malloc(DEVICE_INDEX_BYTES * m as u64, "group_rows")?);
+    grouping_kernel(gpu, m)?;
+
+    // ---------------- Count: (3) symbolic hash per group ----------------
+    gpu.set_phase(Phase::Count);
+    let (nnz_row, count_probes) = run_count(gpu, a, b, plan)?;
+    // (4) scan row counts into the output row pointer.
+    primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64 + 1, DEVICE_INDEX_BYTES as u32)?;
+    let rpt_c = prefix_sum(&nnz_row);
+    let nnz_c = *rpt_c.last().unwrap();
+
+    // ---------------- Malloc: (5) allocate the output ----------------
+    gpu.set_phase(Phase::Malloc);
+    allocs.push(gpu.malloc(
+        DEVICE_INDEX_BYTES * (m as u64 + 1) + (DEVICE_INDEX_BYTES + T::BYTES as u64) * nnz_c as u64,
+        "C",
+    )?);
+
+    // ---------------- Calc: (6) regroup, (7) numeric ----------------
+    gpu.set_phase(Phase::Calc);
+    let (col_c, val_c, calc_probes) = run_numeric(gpu, a, b, plan, &nnz_row, &rpt_c)?;
+    gpu.set_phase(Phase::Other);
+    if let Some(span) = run_span {
+        let t_run1 = gpu.elapsed().us();
+        if let Some(t) = gpu.telemetry_mut() {
+            t.span_end(span, t_run1);
+        }
+    }
+    // Assemble the report from the profiler delta of this call.
+    let report = report_from_delta(
+        gpu,
+        phase_before,
+        "proposal".to_string(),
+        T::PRECISION,
+        plan.total_products,
+        nnz_c as u64,
+        count_probes + calc_probes,
+    );
+    let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c);
+    Ok(Execution { matrix: c, report, wall: None })
+}
+
+/// The symbolic (count) phase: run the per-group hash kernels from the
+/// plan's count-phase bucketing, handle global-table overflow rows.
+/// Returns the exact nnz of every output row plus the total hash-probe
+/// steps observed. The caller sets the device phase.
+pub(crate) fn run_count<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    plan: &SpgemmPlan,
+) -> Result<(Vec<u32>, u64)> {
+    let count = &plan.count;
+    let nprod = &count.metric;
+    emit_group_summary(gpu, &count.groups, nprod, "count");
+    let m = a.rows();
+    let mut nnz_row = vec![0u32; m];
+    let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
+    table.observe_probes(gpu.telemetry_enabled());
+    let mut total_probes = 0u64;
+    let mut count_overflow: Vec<u32> = Vec::new();
+    for (gi, spec) in count.groups.groups.iter().enumerate() {
+        let rows = &count.rows_by_group[gi];
+        if rows.is_empty() {
+            continue;
+        }
+        let stream = plan.stream_for(gi);
+        match spec.assignment {
+            Assignment::TbRow | Assignment::TbRowGlobal => {
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let s = tb_symbolic_row(a, b, r as usize, spec.table_size, &mut table);
+                    total_probes += s.probes;
+                    if s.overflowed {
+                        count_overflow.push(r);
+                    } else {
+                        nnz_row[r as usize] = s.nnz;
+                    }
+                    blocks.push(tb_block_cost(gpu, spec, &s, None));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("symbolic_tb_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+            Assignment::Pwarp { width } => {
+                let rows_per_block = count.groups.pwarp_rows_per_block();
+                let mut blocks = Vec::with_capacity(rows.len().div_ceil(rows_per_block));
+                for chunk in rows.chunks(rows_per_block) {
+                    let stats: Vec<PwarpRowStats> = chunk
+                        .iter()
+                        .map(|&r| {
+                            let s = pwarp_row(
+                                a,
+                                b,
+                                r as usize,
+                                width,
+                                spec.table_size,
+                                &mut table,
+                                false,
+                                None,
+                            );
+                            nnz_row[r as usize] = s.nnz;
+                            s
+                        })
+                        .collect();
+                    total_probes += stats.iter().map(|s| s.probes).sum::<u64>();
+                    blocks.push(pwarp_block_cost(gpu, spec, width, &stats, None));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("symbolic_pwarp_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+        }
+        drain_probe_stats(gpu, &mut table, "count", gi);
+    }
+    // Second pass for rows whose table overflowed shared memory:
+    // per-row global tables sized from their intermediate products.
+    if !count_overflow.is_empty() {
+        let table_bytes: u64 = count_overflow
+            .iter()
+            .map(|&r| DEVICE_INDEX_BYTES * global_table_size(nprod[r as usize]) as u64)
+            .sum();
+        let gt = gpu.malloc(table_bytes, "count_global_tables")?;
+        primitives::memset(gpu, DEFAULT_STREAM, table_bytes)?;
+        let mut blocks = Vec::with_capacity(count_overflow.len());
+        for &r in &count_overflow {
+            let cap = global_table_size(nprod[r as usize]);
+            let s = tb_symbolic_row(a, b, r as usize, cap, &mut table);
+            total_probes += s.probes;
+            debug_assert!(!s.overflowed);
+            nnz_row[r as usize] = s.nnz;
+            blocks.push(tb_global_block_cost(gpu, &s, cap, None));
+        }
+        gpu.launch(
+            KernelDesc::new(
+                "symbolic_global",
+                DEFAULT_STREAM,
+                gpu.config().max_threads_per_block,
+                0,
+            ),
+            blocks,
+        )?;
+        gpu.free(gt); // synchronizes; table only lives through the pass
+                      // The second pass re-runs group-0 rows with global tables.
+        drain_probe_stats(gpu, &mut table, "count", 0);
+    }
+    Ok((nnz_row, total_probes))
+}
+
+/// The numeric (calc) phase: regroup rows by output nnz via the plan,
+/// run the per-group value kernels (shared, global and PWARP variants),
+/// producing the output column/value arrays plus the total hash-probe
+/// steps observed. The caller sets the device phase.
+pub(crate) fn run_numeric<T: Scalar>(
+    gpu: &mut Gpu,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    plan: &SpgemmPlan,
+    nnz_row: &[u32],
+    rpt_c: &[usize],
+) -> Result<(Vec<u32>, Vec<T>, u64)> {
+    let m = a.rows();
+    let nnz_c = *rpt_c.last().unwrap();
+    let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
+    table.observe_probes(gpu.telemetry_enabled());
+    let mut total_probes = 0u64;
+    let numeric: PhasePlan = plan.numeric_phase(nnz_row);
+    emit_group_summary(gpu, &numeric.groups, &numeric.metric, "calc");
+    grouping_kernel(gpu, m)?;
+
+    let mut col_c = vec![0u32; nnz_c];
+    let mut val_c = vec![T::ZERO; nnz_c];
+    for (gi, spec) in numeric.groups.groups.iter().enumerate() {
+        let rows = &numeric.rows_by_group[gi];
+        if rows.is_empty() {
+            continue;
+        }
+        let stream = plan.stream_for(gi);
+        match spec.assignment {
+            Assignment::TbRow => {
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                    let s = tb_numeric_row(
+                        a,
+                        b,
+                        r as usize,
+                        spec.table_size,
+                        &mut table,
+                        &mut col_c[span.clone()],
+                        &mut val_c[span],
+                    );
+                    total_probes += s.probes;
+                    blocks.push(tb_block_cost(gpu, spec, &s, Some(T::BYTES)));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("numeric_tb_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+            Assignment::TbRowGlobal => {
+                let table_bytes: u64 = rows
+                    .iter()
+                    .map(|&r| {
+                        (DEVICE_INDEX_BYTES + T::BYTES as u64)
+                            * global_table_size(nnz_row[r as usize] as usize) as u64
+                    })
+                    .sum();
+                let gt = gpu.malloc(table_bytes, "numeric_global_tables")?;
+                primitives::memset(gpu, stream, table_bytes)?;
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let cap = global_table_size(nnz_row[r as usize] as usize);
+                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                    let s = tb_numeric_row(
+                        a,
+                        b,
+                        r as usize,
+                        cap,
+                        &mut table,
+                        &mut col_c[span.clone()],
+                        &mut val_c[span],
+                    );
+                    total_probes += s.probes;
+                    blocks.push(tb_global_block_cost(gpu, &s, cap, Some(T::BYTES)));
+                }
+                gpu.launch(
+                    KernelDesc::new(format!("numeric_global_g{gi}"), stream, spec.block_threads, 0),
+                    blocks,
+                )?;
+                gpu.free(gt);
+            }
+            Assignment::Pwarp { width } => {
+                let rows_per_block = numeric.groups.pwarp_rows_per_block();
+                let mut blocks = Vec::with_capacity(rows.len().div_ceil(rows_per_block));
+                for chunk in rows.chunks(rows_per_block) {
+                    let stats: Vec<PwarpRowStats> = chunk
+                        .iter()
+                        .map(|&r| {
+                            let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                            let (cslice, vslice) = (
+                                &mut col_c[span.clone()] as *mut [u32],
+                                &mut val_c[span] as *mut [T],
+                            );
+                            // SAFETY: spans of distinct rows never overlap.
+                            let (cslice, vslice) = unsafe { (&mut *cslice, &mut *vslice) };
+                            pwarp_row(
+                                a,
+                                b,
+                                r as usize,
+                                width,
+                                spec.table_size,
+                                &mut table,
+                                true,
+                                Some((cslice, vslice)),
+                            )
+                        })
+                        .collect();
+                    total_probes += stats.iter().map(|s| s.probes).sum::<u64>();
+                    blocks.push(pwarp_block_cost(gpu, spec, width, &stats, Some(T::BYTES)));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("numeric_pwarp_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+        }
+        drain_probe_stats(gpu, &mut table, "calc", gi);
+    }
+    Ok((col_c, val_c, total_probes))
+}
+
+/// Drain the hash table's probe observer into the device telemetry
+/// under `{phase}.g{gi}.*` histogram names (no-op when telemetry and
+/// hence the observer are off).
+fn drain_probe_stats<T: Scalar>(gpu: &mut Gpu, table: &mut HashTable<T>, phase: &str, gi: usize) {
+    if let Some(stats) = table.take_probe_stats() {
+        if let Some(t) = gpu.telemetry_mut() {
+            t.registry.hist_merge(&format!("{phase}.g{gi}.probe_len"), &stats.probe_len);
+            t.registry.hist_merge(&format!("{phase}.g{gi}.row_occupancy"), &stats.row_occupancy);
+            t.registry.hist_merge(&format!("{phase}.g{gi}.load_permille"), &stats.load_permille);
+        }
+    }
+}
+
+/// Emit one `group` event per group plus per-group row-metric
+/// histograms (no-op when telemetry is off).
+fn emit_group_summary(gpu: &mut Gpu, groups: &GroupTable, metric: &[usize], phase: &str) {
+    if !gpu.telemetry_enabled() {
+        return;
+    }
+    let occ = groups.summarize(metric);
+    if let Some(t) = gpu.telemetry_mut() {
+        for o in &occ {
+            t.emit(
+                obs::Event::new("group")
+                    .str("phase", phase)
+                    .u64("group", o.id as u64)
+                    .u64("rows", o.rows)
+                    .u64("metric_total", o.metric_total),
+            );
+            t.registry.counter_add(&format!("{phase}.g{}.rows", o.id), o.rows);
+            t.registry.hist_merge(&format!("{phase}.g{}.row_metric", o.id), &o.metric_hist);
+        }
+    }
+}
+
+/// Device cost of one grouping pass: read the per-row metric, histogram,
+/// scan, scatter row indices (≈ two reads + one write of 4 B per row).
+pub(crate) fn grouping_kernel(gpu: &mut Gpu, m: usize) -> Result<()> {
+    let n = gpu.config().num_sms * 4;
+    let per_block_bytes = 12.0 * m as f64 / n as f64;
+    let blocks = vec![
+        {
+            let mut c = gpu.block_cost();
+            c.global_coalesced(per_block_bytes);
+            c.compute(m as f64 / 32.0 / n as f64 * 3.0);
+            c.finish()
+        };
+        n
+    ];
+    gpu.launch(KernelDesc::new("grouping", DEFAULT_STREAM, 256, 0), blocks)?;
+    primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64, DEVICE_INDEX_BYTES as u32)?;
+    Ok(())
+}

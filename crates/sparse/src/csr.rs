@@ -8,6 +8,13 @@
 use crate::scalar::{approx_eq, Scalar};
 use crate::{Result, SparseError};
 
+/// Width in bytes of one device-side CSR index (row-pointer entry or
+/// column index). The paper's device-memory arithmetic assumes 4-byte
+/// integers throughout (§III-D); every footprint formula and scan charge
+/// derives from this constant, so a future 64-bit-index refactor changes
+/// it in exactly one place.
+pub const DEVICE_INDEX_BYTES: u64 = 4;
+
 /// A sparse matrix in CSR format.
 ///
 /// Invariants (checked by [`Csr::validate`], guaranteed by safe
@@ -262,7 +269,8 @@ impl<T: Scalar> Csr<T> {
     /// layout: `4 * (rows + 1)` for `rpt`, `4 * nnz` for `col`,
     /// `T::BYTES * nnz` for values.
     pub fn device_bytes(&self) -> u64 {
-        4 * (self.rows as u64 + 1) + (4 + T::BYTES as u64) * self.nnz() as u64
+        DEVICE_INDEX_BYTES * (self.rows as u64 + 1)
+            + (DEVICE_INDEX_BYTES + T::BYTES as u64) * self.nnz() as u64
     }
 
     /// Drop explicitly-stored zeros.

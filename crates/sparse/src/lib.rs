@@ -28,7 +28,7 @@ pub mod stats;
 
 pub use coo::Coo;
 pub use csc::Csc;
-pub use csr::Csr;
+pub use csr::{Csr, DEVICE_INDEX_BYTES};
 pub use ell::{Ell, Hyb};
 pub use scalar::Scalar;
 

@@ -6,7 +6,7 @@
 //! cargo run --release --example plan_reuse [dataset-name] [repeats]
 //! ```
 
-use nsparse_repro::nsparse_core::SpgemmPlan;
+use nsparse_repro::nsparse_core::SymbolicPlan;
 use nsparse_repro::prelude::*;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
         full_total += r.total_time;
     }
     // Planned: one symbolic pass, numeric-only afterwards.
-    let plan = SpgemmPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
+    let plan = SymbolicPlan::new(&mut gpu, &a, &a, &Options::default()).unwrap();
     let mut planned_total = plan.plan_time;
     for i in 0..repeats {
         // Values change between applications; the pattern does not.

@@ -40,7 +40,9 @@ pub use vgpu;
 /// Common imports for examples and tests.
 pub mod prelude {
     pub use baselines::Algorithm;
-    pub use nsparse_core::Options;
+    pub use nsparse_core::{
+        Backend, Executor, HostParallelExecutor, Options, SimExecutor, SymbolicPlan,
+    };
     pub use sparse::{Csr, Scalar};
     pub use vgpu::{DeviceConfig, Gpu, Phase, SimTime, SpgemmReport};
 }
