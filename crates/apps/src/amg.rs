@@ -47,6 +47,7 @@ pub fn aggregation_prolongation<T: Scalar>(fine: usize, factor: usize) -> Csr<T>
     let col = (0..fine).map(|i| (i / factor) as u32).collect();
     let val = vec![T::ONE; fine];
     Csr::from_parts_unchecked(fine, coarse, rpt, col, val)
+        .expect("prolongation rows each hold one in-bounds entry")
 }
 
 /// One AMG level: the operator and the prolongation that produced it.

@@ -67,6 +67,7 @@ pub fn column_stochastic<T: Scalar>(a: &Csr<T>) -> Csr<T> {
         rpt.push(col.len());
     }
     Csr::from_parts_unchecked(with_loops.rows(), with_loops.cols(), rpt, col, val)
+        .expect("normalization preserves the CSR shape")
 }
 
 /// Inflation: raise entries to `r`, renormalize columns, prune tiny

@@ -196,7 +196,7 @@ fn multiply_inner<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vgpu::{DeviceConfig, GpuError};
+    use vgpu::DeviceConfig;
 
     fn rand_mat(n: usize, deg: usize, seed: u64) -> Csr<f64> {
         let mut s = seed;
@@ -237,7 +237,7 @@ mod tests {
         let mut g = Gpu::new(DeviceConfig::p100_with_memory(cap));
         assert!(matches!(
             multiply(&mut g, &a, &a),
-            Err(nsparse_core::pipeline::Error::Gpu(GpuError::OutOfMemory(_)))
+            Err(nsparse_core::pipeline::Error::DeviceOom(_))
         ));
         assert_eq!(g.live_mem_bytes(), 0);
     }

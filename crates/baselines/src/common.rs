@@ -7,7 +7,7 @@ use vgpu::{AllocId, Gpu, Phase, SimTime, SpgemmReport};
 /// Validate `A.cols == B.rows`.
 pub(crate) fn check_dims<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<()> {
     if a.cols() != b.rows() {
-        return Err(Error::Sparse(SparseError::DimensionMismatch(format!(
+        return Err(Error::Planning(SparseError::DimensionMismatch(format!(
             "spgemm: A is {}x{}, B is {}x{}",
             a.rows(),
             a.cols(),

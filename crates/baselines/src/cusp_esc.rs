@@ -160,7 +160,7 @@ fn launch_count_products<T: Scalar>(gpu: &mut Gpu, a: &Csr<T>) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vgpu::{DeviceConfig, GpuError};
+    use vgpu::DeviceConfig;
 
     fn banded(n: usize, deg: usize) -> Csr<f64> {
         let mut t = Vec::new();
@@ -201,7 +201,7 @@ mod tests {
         let cap = a.device_bytes() * 2 + ip * 16 / 2;
         let mut g = Gpu::new(DeviceConfig::p100_with_memory(cap));
         let res = multiply(&mut g, &a, &a);
-        assert!(matches!(res, Err(nsparse_core::pipeline::Error::Gpu(GpuError::OutOfMemory(_)))));
+        assert!(matches!(res, Err(nsparse_core::pipeline::Error::DeviceOom(_))));
         assert_eq!(g.live_mem_bytes(), 0);
     }
 

@@ -1,0 +1,85 @@
+//! Batching overhead of the row-batched fallback executor under
+//! device-memory pressure (DESIGN.md §13).
+//!
+//! Each R-MAT matrix is squared three times on the virtual P100 with
+//! the device capacity capped at 1x, 1/2x and 1/4x of the multiply's
+//! memory forecast. At 1x the fallback runs unbatched (its overhead is
+//! the forecast itself); at the smaller caps it splits the multiply
+//! into row batches, and the simulated-time ratio against the 1x run
+//! is the price of surviving the pressure. Every run is checked
+//! bitwise against the unconstrained result and for a drained device.
+//!
+//! Writes `results/bench_batched_fallback.csv` (harness timing records)
+//! plus `results/batched_fallback_overhead.csv` (batch counts and
+//! overhead ratios) and prints per-configuration overhead on stderr.
+
+use bench::harness;
+use nsparse_core::{BatchedExecutor, Executor, Options};
+use sparse::Csr;
+use vgpu::{DeviceConfig, Gpu};
+
+struct Case {
+    label: &'static str,
+    a: Csr<f32>,
+}
+
+fn cases() -> Vec<Case> {
+    let mut v = Vec::new();
+    // The registry's R-MAT analogue (cit-Patents) at Tiny scale…
+    let d = matgen::by_name("cit-Patents").expect("registry has cit-Patents");
+    v.push(Case { label: "cit-Patents", a: d.generate::<f32>(matgen::Scale::Tiny) });
+    // …plus two direct R-MAT draws: a skewed web-like quadrant mix and
+    // a flatter one, so batching sees both hub-heavy and even rows.
+    v.push(Case {
+        label: "rmat-skewed",
+        a: matgen::generators::rmat::<f32>(20_000, 160_000, 64, (0.57, 0.19, 0.19, 0.05), 42),
+    });
+    v.push(Case {
+        label: "rmat-even",
+        a: matgen::generators::rmat::<f32>(20_000, 160_000, 64, (0.30, 0.25, 0.25, 0.20), 43),
+    });
+    v
+}
+
+fn main() {
+    let mut g = harness::group("batched_fallback");
+    let mut rows = Vec::new();
+    for case in cases() {
+        let a = &case.a;
+        let est = nsparse_core::estimate_memory(a, a).unwrap().upper_bound();
+        let mut baseline_secs = 0.0f64;
+        for (frac_label, denom) in [("1x", 1u64), ("0.5x", 2), ("0.25x", 4)] {
+            let cap = est / denom;
+            let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(cap));
+            let (run, batches) = {
+                let mut exec = BatchedExecutor::sim(&mut gpu);
+                let run = exec
+                    .multiply(a, a, &Options::default())
+                    .unwrap_or_else(|e| panic!("{} at {frac_label}: {e}", case.label));
+                (run, exec.batches_used())
+            };
+            assert_eq!(gpu.live_mem_bytes(), 0, "{} at {frac_label} leaked", case.label);
+            let secs = run.report.total_time.secs();
+            if denom == 1 {
+                baseline_secs = secs;
+            }
+            let overhead = if baseline_secs > 0.0 { secs / baseline_secs } else { 1.0 };
+            eprintln!(
+                "{} @ {frac_label} capacity ({cap} B): {} in {} batches, {:.3}x unbatched time",
+                case.label, run.report.total_time, batches, overhead
+            );
+            g.bench_sim(&format!("{}/{frac_label}", case.label), run.report.total_time);
+            rows.push(format!(
+                "{},{frac_label},{cap},{batches},{:.6e},{:.4},{},{}",
+                case.label, secs, overhead, run.report.output_nnz, run.report.peak_mem_bytes,
+            ));
+        }
+    }
+    let p = bench::write_csv(
+        "batched_fallback_overhead",
+        "dataset,capacity_frac,capacity_bytes,batches,sim_time_s,overhead_vs_1x,output_nnz,peak_mem_bytes",
+        &rows,
+    );
+    println!("batched_fallback -> {}", p.display());
+    g.finish();
+}

@@ -13,9 +13,32 @@
 //! optionally writes the result and a chrome://tracing timeline.
 
 use baselines::Algorithm;
-use nsparse_core::{Backend, Executor, HostParallelExecutor};
+use nsparse_core::{Backend, BatchedExecutor, Executor, HostParallelExecutor};
 use sparse::{Csr, Scalar};
-use vgpu::{DeviceConfig, Gpu, Phase};
+use vgpu::{DeviceConfig, FaultPlan, Gpu, Phase};
+
+/// `--max-device-mem` argument: absolute bytes or a fraction of the
+/// multiply's memory estimate (`0.25x` = a quarter of the forecast).
+#[derive(Clone, Copy)]
+enum MemLimit {
+    Bytes(u64),
+    Fraction(f64),
+}
+
+fn parse_mem_limit(s: &str) -> Option<MemLimit> {
+    if let Some(frac) = s.strip_suffix('x') {
+        let v: f64 = frac.parse().ok()?;
+        return (v > 0.0 && v.is_finite()).then_some(MemLimit::Fraction(v));
+    }
+    let (digits, mult) = match s.chars().last()? {
+        'K' | 'k' => (&s[..s.len() - 1], 1u64 << 10),
+        'M' | 'm' => (&s[..s.len() - 1], 1 << 20),
+        'G' | 'g' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    let v: u64 = digits.parse().ok()?;
+    (v > 0).then(|| MemLimit::Bytes(v.saturating_mul(mult)))
+}
 
 struct Args {
     dataset: Option<String>,
@@ -28,6 +51,8 @@ struct Args {
     output: Option<String>,
     include_transfers: bool,
     tiny: bool,
+    max_device_mem: Option<MemLimit>,
+    faults: Option<FaultPlan>,
 }
 
 fn usage() -> ! {
@@ -36,7 +61,12 @@ fn usage() -> ! {
          [--algorithm proposal|cusparse|cusp|bhsparse] [--backend sim|host|host:N] \
          [--precision f32|f64] \
          [--device p100|v100|vega64] [--trace OUT.json] [--output OUT.mtx] \
-         [--include-transfers] [--tiny]\n\
+         [--include-transfers] [--tiny] \
+         [--max-device-mem BYTES[K|M|G]|FRACx] [--faults SPEC]\n\
+         --max-device-mem caps device memory (e.g. 256M, or 0.25x = a quarter\n\
+         of the memory estimate) and runs the proposal through the row-batched\n\
+         fallback; --faults injects deterministic device faults\n\
+         (e.g. 'seed=7;malloc-oom=3;kernel-fail=NAME;memcpy-fail=2', sim only)\n\
        spgemm trace ...  (telemetry inspection; `spgemm trace --help`)\n\
          datasets: {}",
         matgen::standard_datasets()
@@ -61,6 +91,8 @@ fn parse_args() -> Args {
         output: None,
         include_transfers: false,
         tiny: false,
+        max_device_mem: None,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -93,6 +125,20 @@ fn parse_args() -> Args {
             "--output" => args.output = Some(value(&mut it)),
             "--include-transfers" => args.include_transfers = true,
             "--tiny" => args.tiny = true,
+            "--max-device-mem" => {
+                let spec = value(&mut it);
+                args.max_device_mem = Some(parse_mem_limit(&spec).unwrap_or_else(|| {
+                    eprintln!("bad --max-device-mem '{spec}' (e.g. 4G, 256M, 0.25x)");
+                    usage()
+                }));
+            }
+            "--faults" => {
+                let spec = value(&mut it);
+                args.faults = Some(FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --faults '{spec}': {e}");
+                    usage()
+                }));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -117,6 +163,16 @@ fn parse_args() -> Args {
             eprintln!("--trace / --include-transfers are sim-only (no device on the host backend)");
             usage();
         }
+        if args.faults.is_some() {
+            eprintln!("--faults is sim-only (no device to inject faults into on the host backend)");
+            usage();
+        }
+    }
+    if (args.max_device_mem.is_some() || args.faults.is_some())
+        && args.algorithm != Algorithm::Proposal
+    {
+        eprintln!("--max-device-mem / --faults need --algorithm proposal (the batched fallback)");
+        usage();
     }
     args
 }
@@ -172,10 +228,14 @@ fn run<T: Scalar>(args: &Args) {
         run_host::<T>(args, &a);
         return;
     }
+    if args.max_device_mem.is_some() || args.faults.is_some() {
+        run_constrained::<T>(args, &a);
+        return;
+    }
 
     let mut gpu = Gpu::new(device_config(&args.device));
     if args.include_transfers {
-        gpu.memcpy(2 * a.device_bytes(), true);
+        gpu.memcpy(2 * a.device_bytes(), true).expect("memcpy cannot fail without fault injection");
     }
     let (c, report) = match args.algorithm.run::<T>(&mut gpu, &a, &a) {
         Ok(out) => out,
@@ -187,7 +247,7 @@ fn run<T: Scalar>(args: &Args) {
     let mut total = report.total_time;
     if args.include_transfers {
         let before = gpu.elapsed();
-        gpu.memcpy(c.device_bytes(), false);
+        gpu.memcpy(c.device_bytes(), false).expect("memcpy cannot fail without fault injection");
         let h2d = gpu.cost_model().memcpy_time(2 * a.device_bytes());
         total += (gpu.elapsed() - before) + h2d;
     }
@@ -222,10 +282,93 @@ fn run<T: Scalar>(args: &Args) {
     }
 }
 
+/// Resolve `--max-device-mem` to bytes (fractions are of the multiply's
+/// memory forecast; no flag means the device's native capacity).
+fn resolve_capacity<T: Scalar>(args: &Args, a: &Csr<T>) -> u64 {
+    let cfg = device_config(&args.device);
+    match args.max_device_mem {
+        Some(MemLimit::Bytes(b)) => b,
+        Some(MemLimit::Fraction(f)) => {
+            let est = nsparse_core::estimate_memory(a, a)
+                .expect("dimensions were validated")
+                .upper_bound();
+            ((est as f64 * f).ceil() as u64).max(1)
+        }
+        None => cfg.device_mem_bytes,
+    }
+}
+
+/// Run the proposal on the sim backend through the row-batched fallback,
+/// under a memory cap and/or injected faults. The run either completes
+/// (bitwise equal to an unconstrained run) or reports a structured
+/// error; either way the device must end with zero live bytes (exit 3
+/// on a leak — the CI no-leak gate greps the `leak check` line).
+fn run_constrained<T: Scalar>(args: &Args, a: &Csr<T>) {
+    let capacity = resolve_capacity(args, a);
+    let mut cfg = device_config(&args.device);
+    cfg.device_mem_bytes = capacity;
+    let mut gpu = Gpu::new(cfg);
+    if let Some(plan) = &args.faults {
+        gpu.set_fault_plan(plan.clone());
+    }
+
+    let (result, batches) = {
+        let mut exec = BatchedExecutor::sim(&mut gpu);
+        let result = exec.multiply(a, a, &nsparse_core::Options::default());
+        (result, exec.batches_used())
+    };
+
+    println!("device      : {} (capped at {} B)", gpu.config().name, capacity);
+    println!("algorithm   : {} ({})", args.algorithm.name(), args.precision);
+    if let Some(plan) = &args.faults {
+        println!("faults      : {plan} ({} injected)", gpu.injected_faults());
+    }
+    let failed = match &result {
+        Ok(run) => {
+            println!("batches     : {batches}");
+            println!("output nnz  : {}", run.matrix.nnz());
+            println!("intermediate: {}", run.report.intermediate_products);
+            println!("kernel time : {}", run.report.total_time);
+            println!("performance : {:.3} GFLOPS (2*ip/kernel-time)", run.report.gflops());
+            println!("peak memory : {:.1} MB", run.report.peak_mem_bytes as f64 / (1 << 20) as f64);
+            if let Some(path) = &args.output {
+                sparse::io::write_matrix_market_file(&run.matrix, path).expect("write output");
+                println!("result      : {path}");
+            }
+            false
+        }
+        Err(e) => {
+            println!("error       : {e}");
+            println!("error kind  : {:?} (recovery: {:?})", e.kind(), e.recovery());
+            true
+        }
+    };
+    if let Some(path) = &args.trace {
+        std::fs::write(path, gpu.profiler().chrome_trace()).expect("write trace");
+        println!("trace       : {path} (open at chrome://tracing)");
+    }
+    let live = gpu.live_mem_bytes();
+    if live == 0 {
+        println!("leak check  : ok (0 B live)");
+    } else {
+        println!("leak check  : FAILED ({live} B live)");
+        std::process::exit(3);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// Run the proposal for real on host threads and print wall-clock times
 /// in the layout of the sim report (plus threads and real GFLOPS).
+/// `--max-device-mem` wraps the run in the same batched fallback as the
+/// sim backend, budgeted identically, so both backends batch alike.
 fn run_host<T: Scalar>(args: &Args, a: &Csr<T>) {
     let Backend::Host { threads } = args.backend else { unreachable!() };
+    if args.max_device_mem.is_some() {
+        run_host_constrained::<T>(args, a, threads);
+        return;
+    }
     let mut exec = HostParallelExecutor::with_config(threads, device_config(&args.device));
     let run = match exec.multiply(a, a, &nsparse_core::Options::default()) {
         Ok(run) => run,
@@ -259,6 +402,42 @@ fn run_host<T: Scalar>(args: &Args, a: &Csr<T>) {
     if let Some(path) = &args.output {
         sparse::io::write_matrix_market_file(&run.matrix, path).expect("write output");
         println!("result      : {path}");
+    }
+}
+
+/// Host backend under a byte budget: identical batching decisions to
+/// the sim backend (both are forecast-driven), wall-clock reporting.
+fn run_host_constrained<T: Scalar>(args: &Args, a: &Csr<T>, threads: usize) {
+    let capacity = resolve_capacity(args, a);
+    let mut cfg = device_config(&args.device);
+    cfg.device_mem_bytes = capacity;
+    let mut exec = BatchedExecutor::host(threads, cfg);
+    let result = exec.multiply(a, a, &nsparse_core::Options::default());
+    println!("backend     : host ({} threads, capped at {capacity} B)", {
+        let caps: nsparse_core::BackendCaps = Executor::<T>::capabilities(&exec);
+        caps.threads
+    });
+    println!("algorithm   : {} ({})", args.algorithm.name(), args.precision);
+    match result {
+        Ok(run) => {
+            println!("batches     : {}", exec.batches_used());
+            println!("output nnz  : {}", run.matrix.nnz());
+            println!("intermediate: {}", run.report.intermediate_products);
+            if let Some(wall) = &run.wall {
+                println!("wall time   : {:.3} us", wall.total.as_secs_f64() * 1e6);
+            }
+            if let Some(path) = &args.output {
+                sparse::io::write_matrix_market_file(&run.matrix, path).expect("write output");
+                println!("result      : {path}");
+            }
+            println!("leak check  : ok (0 B live)");
+        }
+        Err(e) => {
+            println!("error       : {e}");
+            println!("error kind  : {:?} (recovery: {:?})", e.kind(), e.recovery());
+            println!("leak check  : ok (0 B live)");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -107,7 +107,7 @@ pub fn run_one<T: CachedMatrix>(alg: Algorithm, d: &Dataset) -> EvalResult {
     let mut gpu = device_for(d);
     let report = match alg.run::<T>(&mut gpu, &a, &a) {
         Ok((_, r)) => Some(r),
-        Err(nsparse_core::pipeline::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => None,
+        Err(nsparse_core::pipeline::Error::DeviceOom(_)) => None,
         Err(e) => panic!("{} on {} failed: {e}", alg.name(), d.name),
     };
     EvalResult { dataset: d.name.to_string(), algorithm: alg, precision: T::PRECISION, report }
@@ -125,7 +125,7 @@ pub fn run_one_traced<T: CachedMatrix>(
     gpu.enable_telemetry();
     let report = match alg.run::<T>(&mut gpu, &a, &a) {
         Ok((_, r)) => Some(r),
-        Err(nsparse_core::pipeline::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => None,
+        Err(nsparse_core::pipeline::Error::DeviceOom(_)) => None,
         Err(e) => panic!("{} on {} failed: {e}", alg.name(), d.name),
     };
     let telemetry = gpu.take_telemetry();

@@ -1,0 +1,524 @@
+//! Row-batched fallback execution under device-memory pressure.
+//!
+//! The paper's memory-saving claim (§I, Table III) is that nsparse
+//! *completes* on matrices that exhaust device memory elsewhere. This
+//! module extends that spirit past the algorithm's own frugality: when
+//! even the grouped-hash working set cannot fit — the
+//! [`estimate_memory`] forecast exceeds capacity, or a real/injected
+//! OOM fires mid-run — [`BatchedExecutor`] re-plans `C = A·B` as a
+//! sequence of row-range sub-multiplies `C[r0..r1] = A[r0..r1]·B`,
+//! sized so each batch's upper-bound estimate fits the device, frees
+//! every per-batch buffer between batches, and stitches the per-batch
+//! CSR slices back together.
+//!
+//! # Determinism under batching
+//!
+//! The stitched output is **bitwise identical** to the unbatched run
+//! (enforced by the property suites in `tests/backends.rs` and
+//! `tests/resilience.rs`): every output row is a pure function of its
+//! A-row, `B`, and its hash-table capacity, and the capacity depends
+//! only on the row's own metric and the device class
+//! ([`PhasePlan::table_size_for`](crate::plan::PhasePlan::table_size_for)
+//! is per-row) — never on which other rows share the launch. Slicing
+//! `A` therefore changes *scheduling*, not *values*.
+//!
+//! # Retry policy (DESIGN.md §13)
+//!
+//! Batch sizing is *predictive* on every backend — a batch runs only if
+//! its estimate fits the budget — so the sim backend (which enforces
+//! capacity for real) and the host backend (which has no device memory)
+//! classify identically. If a batch still fails with a recoverable
+//! error ([`Recovery::RetrySmallerBatch`], e.g. an injected OOM), the
+//! byte budget is halved — roughly halving batch rows — and the whole
+//! multiply retried, up to [`BatchedExecutor::DEFAULT_MAX_RETRIES`]
+//! times; after that a [`CapacityDiagnostic`] reports the estimate
+//! against the capacity. A single row whose own estimate exceeds device
+//! capacity is reported the same way without burning retries: no batch
+//! boundary can help it.
+
+use crate::exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, WallClock};
+use crate::partition::weighted_ranges;
+use crate::pipeline::{CapacityDiagnostic, Error, Options, Recovery, Result};
+use crate::plan::{global_table_size, SpgemmPlan};
+use crate::sim::SimExecutor;
+use sparse::{ops, Csr, Scalar, DEVICE_INDEX_BYTES};
+use std::ops::Range;
+use vgpu::{DeviceConfig, Gpu, Phase, SimTime, SpgemmReport};
+
+/// An [`Executor`] wrapper that survives device-memory pressure by
+/// splitting the multiply into row batches that fit a byte budget.
+/// Wraps any inner executor; see the module docs for the policy.
+pub struct BatchedExecutor<E> {
+    inner: E,
+    capacity: u64,
+    max_retries: u32,
+    last_batches: usize,
+}
+
+impl<E> BatchedExecutor<E> {
+    /// Budget-halving retries before giving up with a diagnostic.
+    pub const DEFAULT_MAX_RETRIES: u32 = 4;
+
+    /// Wrap `inner`, constraining every batch to `capacity` bytes.
+    pub fn new(inner: E, capacity: u64) -> Self {
+        BatchedExecutor { inner, capacity, max_retries: Self::DEFAULT_MAX_RETRIES, last_batches: 0 }
+    }
+
+    /// Override the retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// The byte budget batches are sized against.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of batches the most recent successful multiply used
+    /// (1 = ran unbatched; 0 = no multiply yet).
+    pub fn batches_used(&self) -> usize {
+        self.last_batches
+    }
+
+    /// The wrapped executor.
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<'g> BatchedExecutor<SimExecutor<'g>> {
+    /// Batched execution on the virtual device, budgeted to the
+    /// device's real capacity.
+    pub fn sim(gpu: &'g mut Gpu) -> Self {
+        let capacity = gpu.memory().capacity();
+        Self::new(SimExecutor::new(gpu), capacity)
+    }
+}
+
+impl BatchedExecutor<crate::HostParallelExecutor> {
+    /// Batched execution on host threads, budgeted to `cfg`'s device
+    /// capacity — the host has no device memory, so the budget is the
+    /// *contract* that keeps its batching decisions (and therefore its
+    /// error classification) identical to the sim backend's.
+    pub fn host(threads: usize, cfg: DeviceConfig) -> Self {
+        let capacity = cfg.device_mem_bytes;
+        Self::new(crate::HostParallelExecutor::with_config(threads, cfg), capacity)
+    }
+}
+
+/// Per-row byte weights plus the row-independent fixed cost, chosen so
+/// that `fixed + Σ weights[range]` equals
+/// `estimate_memory(a.slice_rows(range), b).upper_bound()` exactly —
+/// the batch gate and the published forecast can never disagree.
+fn row_weights<T: Scalar>(a: &Csr<T>, b: &Csr<T>, plan: &SpgemmPlan) -> (u64, Vec<u64>) {
+    let ix = DEVICE_INDEX_BYTES;
+    let entry = ix + T::BYTES as u64;
+    // Rows above the largest shared table need a per-row global table.
+    // Derive the threshold exactly as `estimate_memory` does (fixed P100
+    // count-phase groups) so the batch gate and the forecast agree.
+    let groups = crate::groups::build_groups(
+        &DeviceConfig::p100(),
+        T::BYTES,
+        crate::groups::GroupPhase::Count,
+        4,
+        true,
+    );
+    let shared_max = groups.groups[0].lower - 1;
+    let weights = (0..a.rows())
+        .map(|r| {
+            let p = plan.nprod()[r];
+            let input = entry * a.row_nnz(r) as u64 + ix; // A entries + rpt slot
+            let working = 3 * ix; // d_nprod + group_rows + rpt_c slots
+            let output = ix + entry * p as u64; // C rpt slot + entries upper bound
+            let table = if p > shared_max { ix * global_table_size(p) as u64 } else { 0 };
+            input + working + output + table
+        })
+        .collect();
+    // B, plus the `+1` slots of the four per-row arrays (A rpt, d_nprod,
+    // count scan, C rpt).
+    (b.device_bytes() + 4 * ix, weights)
+}
+
+/// Plan row batches whose estimates fit `budget`. A multi-row range
+/// over budget is split further; a single row is allowed to exceed the
+/// *budget* (retries shrink budgets below single rows) but never the
+/// device *capacity* — that is unrecoverable and reported via `Err`
+/// with the offending row and its requirement.
+fn plan_batches(
+    weights: &[u64],
+    fixed: u64,
+    budget: u64,
+    capacity: u64,
+) -> std::result::Result<Vec<Range<usize>>, (usize, u64)> {
+    if weights.is_empty() {
+        let empty: Range<usize> = 0..0;
+        return Ok(vec![empty]);
+    }
+    for (r, &w) in weights.iter().enumerate() {
+        if fixed + w > capacity {
+            return Err((r, fixed + w));
+        }
+    }
+    let total: u64 = weights.iter().sum();
+    let var_budget = budget.saturating_sub(fixed).max(1);
+    // Balance with the weighted partitioner, then greedily subdivide any
+    // range its `acc >= target` cut left over budget: cut before a row
+    // would overflow, so every multi-row range fits by construction.
+    let proxy: Vec<usize> = weights.iter().map(|&w| w as usize).collect();
+    let coarse = weighted_ranges(&proxy, total.div_ceil(var_budget).max(1) as usize);
+    let mut out = Vec::new();
+    for range in coarse {
+        let mut start = range.start;
+        let mut acc = 0u64;
+        for i in range.clone() {
+            if i > start && acc + weights[i] > var_budget {
+                out.push(start..i);
+                start = i;
+                acc = 0;
+            }
+            acc += weights[i];
+        }
+        out.push(start..range.end);
+    }
+    Ok(out)
+}
+
+/// Merge per-batch reports: times and counters sum, peaks max.
+fn merge_reports(reports: &[SpgemmReport], batches: usize) -> SpgemmReport {
+    let mut phase_times: Vec<(Phase, SimTime)> = Vec::new();
+    for rep in reports {
+        for &(p, t) in &rep.phase_times {
+            match phase_times.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, acc)) => *acc += t,
+                None => phase_times.push((p, t)),
+            }
+        }
+    }
+    let last = reports.last().expect("at least one batch");
+    SpgemmReport {
+        algorithm: format!("proposal (batched x{batches})"),
+        precision: last.precision,
+        total_time: reports.iter().map(|r| r.total_time).sum(),
+        phase_times,
+        peak_mem_bytes: reports.iter().map(|r| r.peak_mem_bytes).max().unwrap_or(0),
+        intermediate_products: reports.iter().map(|r| r.intermediate_products).sum(),
+        output_nnz: reports.iter().map(|r| r.output_nnz).sum(),
+        hash_probes: reports.iter().map(|r| r.hash_probes).sum(),
+        telemetry: last.telemetry.clone(),
+    }
+}
+
+/// Merge per-batch wall clocks (present only when every batch has one).
+fn merge_walls(walls: &[Option<WallClock>]) -> Option<WallClock> {
+    if walls.iter().any(Option::is_none) {
+        return None;
+    }
+    let mut total = std::time::Duration::ZERO;
+    let mut phases: Vec<(Phase, std::time::Duration)> = Vec::new();
+    for w in walls.iter().flatten() {
+        total += w.total;
+        for &(p, d) in &w.phases {
+            match phases.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, acc)) => *acc += d,
+                None => phases.push((p, d)),
+            }
+        }
+    }
+    Some(WallClock { total, phases })
+}
+
+impl<E> BatchedExecutor<E> {
+    fn emit<T: Scalar>(&mut self, event: obs::Event)
+    where
+        E: Executor<T>,
+    {
+        if let Some(t) = self.inner.telemetry_mut() {
+            t.emit(event);
+        }
+    }
+
+    fn run_batches<T: Scalar>(
+        &mut self,
+        a: &Csr<T>,
+        b: &Csr<T>,
+        opts: &Options,
+        batches: &[Range<usize>],
+    ) -> Result<Execution<T>>
+    where
+        E: Executor<T>,
+    {
+        let mut mats = Vec::with_capacity(batches.len());
+        let mut reports = Vec::with_capacity(batches.len());
+        let mut walls = Vec::with_capacity(batches.len());
+        for (i, range) in batches.iter().enumerate() {
+            self.emit::<T>(
+                obs::Event::new("batch")
+                    .u64("index", i as u64)
+                    .u64("row_start", range.start as u64)
+                    .u64("row_end", range.end as u64),
+            );
+            let a_sub = a.slice_rows(range.clone());
+            // The inner executor allocates and frees this batch's whole
+            // working set, so batches never overlap on the device.
+            let run = self.inner.multiply(&a_sub, b, opts)?;
+            mats.push(run.matrix);
+            reports.push(run.report);
+            walls.push(run.wall);
+        }
+        let matrix = ops::vstack(&mats)
+            .map_err(|e| Error::invariant(format!("batch stitch failed: {e}")))?;
+        let report = merge_reports(&reports, batches.len());
+        let wall = merge_walls(&walls);
+        Ok(Execution { matrix, report, wall })
+    }
+}
+
+impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
+    fn backend(&self) -> Backend {
+        self.inner.backend()
+    }
+
+    fn capabilities(&self) -> BackendCaps {
+        self.inner.capabilities()
+    }
+
+    fn plan(&self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<SpgemmPlan> {
+        self.inner.plan(a, b, opts)
+    }
+
+    fn execute_symbolic(
+        &mut self,
+        plan: &SpgemmPlan,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<SymbolicOutput> {
+        self.inner.execute_symbolic(plan, a, b)
+    }
+
+    fn execute_numeric(
+        &mut self,
+        plan: &SpgemmPlan,
+        symbolic: &SymbolicOutput,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<Execution<T>> {
+        self.inner.execute_numeric(plan, symbolic, a, b)
+    }
+
+    fn telemetry_mut(&mut self) -> Option<&mut obs::Telemetry> {
+        self.inner.telemetry_mut()
+    }
+
+    fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>> {
+        let plan = self.inner.plan(a, b, opts)?;
+        let (fixed, weights) = row_weights(a, b, &plan);
+        let estimate_upper = fixed + weights.iter().sum::<u64>();
+        let capacity = self.capacity;
+        self.last_batches = 0;
+
+        // Fast path: forecast fits — run unbatched; fall through to the
+        // batched loop only on a recoverable (OOM) failure.
+        if estimate_upper <= capacity {
+            match self.inner.multiply(a, b, opts) {
+                Ok(run) => {
+                    self.last_batches = 1;
+                    return Ok(run);
+                }
+                Err(e) if e.recovery() == Recovery::RetrySmallerBatch => {
+                    self.emit::<T>(obs::Event::new("batch_fallback").str("cause", &e.to_string()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        let mut budget = capacity;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let diagnostic = |attempts, budget, detail: String| {
+                Error::CapacityExhausted(CapacityDiagnostic {
+                    estimate_upper,
+                    capacity,
+                    attempts,
+                    smallest_budget: budget,
+                    detail,
+                })
+            };
+            let batches =
+                plan_batches(&weights, fixed, budget, capacity).map_err(|(row, need)| {
+                    diagnostic(
+                        attempts,
+                        budget,
+                        format!("row {row} alone needs {need} B of device memory"),
+                    )
+                })?;
+            self.emit::<T>(
+                obs::Event::new("batched_plan")
+                    .u64("attempt", attempts as u64)
+                    .u64("batches", batches.len() as u64)
+                    .u64("budget", budget)
+                    .u64("estimate_upper", estimate_upper)
+                    .u64("capacity", capacity),
+            );
+            match self.run_batches(a, b, opts, &batches) {
+                Ok(run) => {
+                    self.last_batches = batches.len();
+                    return Ok(run);
+                }
+                Err(e) if e.recovery() == Recovery::RetrySmallerBatch => {
+                    let detail = e.to_string();
+                    if attempts > self.max_retries {
+                        return Err(diagnostic(attempts, budget, detail));
+                    }
+                    budget = (budget / 2).max(1);
+                    self.emit::<T>(
+                        obs::Event::new("batch_retry")
+                            .u64("attempt", attempts as u64)
+                            .u64("next_budget", budget)
+                            .str("cause", &detail),
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::estimate_memory;
+    use sparse::spgemm_ref::spgemm_gustavson;
+
+    fn rand_mat(n: usize, deg: usize, seed: u64) -> Csr<f64> {
+        let mut s = seed;
+        let mut t = Vec::new();
+        for r in 0..n {
+            for _ in 0..deg {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t.push((r, ((s >> 33) as usize % n) as u32, 1.0 + (s % 5) as f64));
+            }
+        }
+        Csr::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn row_weights_reproduce_estimate_memory() {
+        let a = rand_mat(300, 6, 5);
+        let plan = SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).unwrap();
+        let (fixed, weights) = row_weights(&a, &a, &plan);
+        // Whole matrix.
+        let est = estimate_memory(&a, &a).unwrap().upper_bound();
+        assert_eq!(fixed + weights.iter().sum::<u64>(), est);
+        // Arbitrary sub-ranges.
+        for range in [0..1, 0..300, 17..93, 150..300, 42..42] {
+            let sub = a.slice_rows(range.clone());
+            let est_sub = estimate_memory(&sub, &a).unwrap().upper_bound();
+            assert_eq!(
+                fixed + weights[range.clone()].iter().sum::<u64>(),
+                est_sub,
+                "range {range:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_batches_fits_budget_and_reports_infeasible_rows() {
+        let weights = vec![10, 20, 30, 5, 5, 40, 10];
+        let fixed = 8;
+        let batches = plan_batches(&weights, fixed, 60, 1000).unwrap();
+        // Covers all rows, in order, non-overlapping.
+        assert_eq!(batches.first().unwrap().start, 0);
+        assert_eq!(batches.last().unwrap().end, weights.len());
+        for w in batches.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        for b in &batches {
+            assert!(b.len() == 1 || fixed + weights[b.clone()].iter().sum::<u64>() <= 60, "{b:?}");
+        }
+        // A row over device capacity is unrecoverable.
+        assert_eq!(plan_batches(&weights, fixed, 60, 45), Err((5, 48)));
+        // Zero rows: one empty batch.
+        assert_eq!(plan_batches(&[], fixed, 60, 1000), Ok(vec![Range { start: 0, end: 0 }]));
+        // Budget below fixed: single-row batches, allowed under capacity.
+        let tiny = plan_batches(&weights, fixed, 4, 1000).unwrap();
+        assert!(tiny.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn batched_sim_is_bitwise_equal_to_unbatched() {
+        let a = rand_mat(400, 7, 9);
+        let c_ref = spgemm_gustavson(&a, &a).unwrap();
+        let est = estimate_memory(&a, &a).unwrap().upper_bound();
+
+        // Unconstrained reference run.
+        let mut g_full = Gpu::new(DeviceConfig::p100());
+        let full = crate::multiply(&mut g_full, &a, &a, &Options::default()).unwrap().0;
+        assert_eq!(full, c_ref);
+
+        // Constrain to a quarter of the estimate: the forecast exceeds
+        // capacity 4x, so the fallback must batch — and match bitwise.
+        let mut g = Gpu::new(DeviceConfig::p100_with_memory(est / 4));
+        let mut exec = BatchedExecutor::sim(&mut g);
+        let run = Executor::<f64>::multiply(&mut exec, &a, &a, &Options::default()).unwrap();
+        assert!(exec.batches_used() > 1, "expected batching at est/4");
+        let bits = |m: &Csr<f64>| m.val().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(run.matrix.rpt(), full.rpt());
+        assert_eq!(run.matrix.col(), full.col());
+        assert_eq!(bits(&run.matrix), bits(&full));
+        assert!(run.report.algorithm.contains("batched"));
+        assert_eq!(run.report.output_nnz, c_ref.nnz() as u64);
+        assert_eq!(g.live_mem_bytes(), 0, "batched run must free everything");
+    }
+
+    #[test]
+    fn unbatched_fast_path_when_it_fits() {
+        let a = rand_mat(200, 5, 3);
+        let mut g = Gpu::new(DeviceConfig::p100());
+        let mut exec = BatchedExecutor::sim(&mut g);
+        let run = Executor::<f64>::multiply(&mut exec, &a, &a, &Options::default()).unwrap();
+        assert_eq!(exec.batches_used(), 1);
+        assert!(!run.report.algorithm.contains("batched"));
+    }
+
+    #[test]
+    fn capacity_exhausted_carries_diagnostic() {
+        let a = rand_mat(200, 6, 4);
+        // Device far too small for even one row's working set.
+        let mut g = Gpu::new(DeviceConfig::p100_with_memory(256));
+        let mut exec = BatchedExecutor::sim(&mut g);
+        let err = Executor::<f64>::multiply(&mut exec, &a, &a, &Options::default()).unwrap_err();
+        match err {
+            Error::CapacityExhausted(d) => {
+                assert_eq!(d.capacity, 256);
+                assert!(d.estimate_upper > d.capacity);
+                assert!(d.to_string().contains("device memory"));
+            }
+            other => panic!("expected CapacityExhausted, got {other}"),
+        }
+        assert_eq!(g.live_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_matrix_batches_to_empty_product() {
+        let z = Csr::<f64>::zeros(32, 32);
+        // Capacity below even B's footprint: forecast exceeds capacity,
+        // the batched path runs with one empty batch.
+        let mut g = Gpu::new(DeviceConfig::p100_with_memory(64));
+        let mut exec = BatchedExecutor::sim(&mut g);
+        let err = Executor::<f64>::multiply(&mut exec, &z, &z, &Options::default());
+        // Either outcome is structured: tiny devices may not fit B at
+        // all (DeviceOom via retries -> CapacityExhausted), never panic.
+        match err {
+            Ok(run) => assert_eq!(run.matrix.nnz(), 0),
+            Err(e) => assert!(matches!(e, Error::CapacityExhausted(_) | Error::DeviceOom(_))),
+        }
+        assert_eq!(g.live_mem_bytes(), 0);
+    }
+}

@@ -177,6 +177,15 @@ pub trait Executor<T: Scalar> {
 
     /// Run the full pipeline: plan, count, malloc, calc, report.
     fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>>;
+
+    /// The backend's telemetry session when one is attached: the sim
+    /// backend returns its device session, the host backend its opt-in
+    /// session. Wrapper executors ([`crate::BatchedExecutor`]) emit
+    /// their orchestration events here so batching and injected faults
+    /// appear in the same trace as the device work. Defaults to `None`.
+    fn telemetry_mut(&mut self) -> Option<&mut obs::Telemetry> {
+        None
+    }
 }
 
 /// Exclusive prefix sum of per-row counts into a CSR row pointer.

@@ -29,7 +29,7 @@ use crate::exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, Wal
 use crate::hash::HashTable;
 use crate::kernels::{tb_numeric_row, tb_symbolic_row};
 use crate::partition::JobQueue;
-use crate::pipeline::{Options, Result};
+use crate::pipeline::{Error, Options, Result};
 use crate::plan::SpgemmPlan;
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,33 +40,100 @@ use vgpu::{DeviceConfig, Phase, SimTime, SpgemmReport};
 /// matrices through the pull queue, large enough to amortize locking.
 const CHUNKS_PER_THREAD: usize = 8;
 
+/// How the backend's worker count was chosen — kept around (and logged)
+/// because `available_parallelism()` *can* fail (e.g. restricted
+/// sandboxes), and a silent fall-back to one thread looks exactly like
+/// an 8× performance regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadResolution {
+    /// The count the caller asked for (`0` = auto-detect).
+    pub requested: usize,
+    /// What `available_parallelism()` reported (`None` = detection
+    /// failed).
+    pub detected: Option<usize>,
+    /// The worker count actually used.
+    pub resolved: usize,
+}
+
+impl ThreadResolution {
+    /// Pure resolution rule: an explicit request wins; `0` means the
+    /// detected core count, degrading to a single worker only when
+    /// detection itself fails.
+    pub fn resolve(requested: usize, detected: Option<usize>) -> Self {
+        let resolved = if requested > 0 { requested } else { detected.unwrap_or(1) };
+        ThreadResolution { requested, detected, resolved }
+    }
+
+    /// `true` when auto-detection failed and the backend silently-ish
+    /// dropped to one worker — the case worth surfacing loudly.
+    pub fn degraded(&self) -> bool {
+        self.requested == 0 && self.detected.is_none()
+    }
+}
+
 /// Executes SpGEMM on host threads. The plan is still derived from a
 /// device class (Table I capacities transfer: they bound per-row scratch
 /// to cache-friendly sizes), defaulting to the paper's P100.
 pub struct HostParallelExecutor {
     threads: usize,
     cfg: DeviceConfig,
+    resolution: ThreadResolution,
+    /// Opt-in telemetry session (the host has no device feeding one).
+    telemetry: Option<Box<obs::Telemetry>>,
 }
 
 impl HostParallelExecutor {
     /// Backend with `threads` workers; `0` means one per available core.
+    /// When core detection fails the backend runs with **one** worker
+    /// and says so on stderr (and in telemetry, when enabled) — see
+    /// [`ThreadResolution`].
     pub fn new(threads: usize) -> Self {
         Self::with_config(threads, DeviceConfig::p100())
     }
 
     /// Backend planning against a specific device class.
     pub fn with_config(threads: usize, cfg: DeviceConfig) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            threads
-        };
-        HostParallelExecutor { threads, cfg }
+        let detected = std::thread::available_parallelism().ok().map(|n| n.get());
+        let resolution = ThreadResolution::resolve(threads, detected);
+        if resolution.degraded() {
+            eprintln!(
+                "host backend: available_parallelism() failed; running with 1 worker \
+                 (pass an explicit thread count to override)"
+            );
+        }
+        HostParallelExecutor { threads: resolution.resolved, cfg, resolution, telemetry: None }
     }
 
     /// Resolved worker thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// How the worker count was arrived at.
+    pub fn thread_resolution(&self) -> ThreadResolution {
+        self.resolution
+    }
+
+    /// Opt into a telemetry session; records a `thread_resolution`
+    /// event immediately so a degraded fall-back is visible in traces.
+    /// Idempotent.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            let mut t = Box::<obs::Telemetry>::default();
+            t.emit(
+                obs::Event::new("thread_resolution")
+                    .u64("requested", self.resolution.requested as u64)
+                    .u64("detected", self.resolution.detected.unwrap_or(0) as u64)
+                    .u64("resolved", self.resolution.resolved as u64)
+                    .str("fallback", if self.resolution.degraded() { "degraded" } else { "ok" }),
+            );
+            self.telemetry = Some(t);
+        }
+    }
+
+    /// Detach the telemetry session (capture stops).
+    pub fn take_telemetry(&mut self) -> Option<obs::Telemetry> {
+        self.telemetry.take().map(|b| *b)
     }
 }
 
@@ -186,7 +253,8 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
         let calc = t0.elapsed();
         let calc_probes = probes.into_inner();
         let report = self.host_report::<T>(plan, symbolic, calc_probes, true);
-        let c = Csr::from_parts_unchecked(plan.rows, plan.cols, symbolic.rpt.clone(), col_c, val_c);
+        let c = Csr::from_parts_unchecked(plan.rows, plan.cols, symbolic.rpt.clone(), col_c, val_c)
+            .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
         let wall = WallClock { total: calc, phases: vec![(Phase::Calc, calc)] };
         Ok(Execution { matrix: c, report, wall: Some(wall) })
     }
@@ -211,6 +279,10 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
             phases: vec![(Phase::Setup, setup), (Phase::Count, count), (Phase::Calc, calc)],
         });
         Ok(run)
+    }
+
+    fn telemetry_mut(&mut self) -> Option<&mut obs::Telemetry> {
+        self.telemetry.as_deref_mut()
     }
 }
 
@@ -305,6 +377,36 @@ mod tests {
         let caps = Executor::<f64>::capabilities(&ex);
         assert!(caps.wall_clock && !caps.simulated_time);
         assert_eq!(caps.threads, ex.threads());
+        assert_eq!(ex.thread_resolution().resolved, ex.threads());
+    }
+
+    #[test]
+    fn thread_resolution_rule() {
+        // Explicit request always wins.
+        let r = ThreadResolution::resolve(3, Some(16));
+        assert_eq!((r.resolved, r.degraded()), (3, false));
+        let r = ThreadResolution::resolve(3, None);
+        assert_eq!((r.resolved, r.degraded()), (3, false));
+        // Auto uses the detected count.
+        let r = ThreadResolution::resolve(0, Some(8));
+        assert_eq!((r.resolved, r.degraded()), (8, false));
+        // Failed detection degrades to 1 — and flags it.
+        let r = ThreadResolution::resolve(0, None);
+        assert_eq!((r.resolved, r.degraded()), (1, true));
+    }
+
+    #[test]
+    fn telemetry_records_thread_resolution() {
+        let mut ex = HostParallelExecutor::new(2);
+        assert!(Executor::<f64>::telemetry_mut(&mut ex).is_none());
+        ex.enable_telemetry();
+        ex.enable_telemetry(); // idempotent
+        assert!(Executor::<f64>::telemetry_mut(&mut ex).is_some());
+        let t = ex.take_telemetry().unwrap();
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"thread_resolution\""));
+        assert!(jsonl.contains("\"requested\":2"));
+        assert!(ex.take_telemetry().is_none());
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! println!("wall {:?}", run.wall.unwrap().total);
 //! ```
 
+pub mod batched;
 pub mod exec;
 pub mod groups;
 pub mod hash;
@@ -62,12 +63,16 @@ pub mod reuse;
 pub mod sim;
 pub mod spmv;
 
+pub use batched::BatchedExecutor;
 pub use exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, WallClock};
 pub use groups::{build_groups, Assignment, GroupOccupancy, GroupPhase, GroupSpec, GroupTable};
 pub use hash::{HashTable, ProbeStats, HASH_SCAL};
-pub use host::HostParallelExecutor;
+pub use host::{HostParallelExecutor, ThreadResolution};
 pub use masked::multiply_masked;
-pub use pipeline::{estimate_memory, multiply, Error, MemoryEstimate, Options};
+pub use pipeline::{
+    estimate_memory, multiply, CapacityDiagnostic, Error, ErrorKind, MemoryEstimate, Options,
+    Recovery,
+};
 pub use plan::{global_table_size, PhasePlan, SpgemmPlan};
 pub use reuse::SymbolicPlan;
 pub use sim::SimExecutor;

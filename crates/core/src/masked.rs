@@ -28,7 +28,7 @@ pub fn multiply_masked<T: Scalar>(
     opts: &Options,
 ) -> Result<(Csr<T>, SpgemmReport)> {
     if a.cols() != b.rows() {
-        return Err(Error::Sparse(sparse::SparseError::DimensionMismatch(format!(
+        return Err(Error::Planning(sparse::SparseError::DimensionMismatch(format!(
             "masked spgemm: A is {}x{}, B is {}x{}",
             a.rows(),
             a.cols(),
@@ -37,7 +37,7 @@ pub fn multiply_masked<T: Scalar>(
         ))));
     }
     if mask.rows() != a.rows() || mask.cols() != b.cols() {
-        return Err(Error::Sparse(sparse::SparseError::DimensionMismatch(format!(
+        return Err(Error::Planning(sparse::SparseError::DimensionMismatch(format!(
             "mask is {}x{}, product is {}x{}",
             mask.rows(),
             mask.cols(),
@@ -133,7 +133,8 @@ pub fn multiply_masked<T: Scalar>(
         hash_probes: total_probes,
         telemetry: gpu.telemetry_summary(),
     };
-    let c = Csr::from_parts_unchecked(m, b.cols(), mask.rpt().to_vec(), mask.col().to_vec(), val_c);
+    let c = Csr::from_parts_unchecked(m, b.cols(), mask.rpt().to_vec(), mask.col().to_vec(), val_c)
+        .map_err(|e| Error::invariant(format!("masked product assembled malformed C: {e}")))?;
     Ok((c, report))
 }
 
@@ -188,6 +189,7 @@ mod tests {
             mask.col().to_vec(),
             vals,
         )
+        .unwrap()
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::plan::global_table_size;
 use crate::sim::SimExecutor;
 use sparse::spgemm_ref::row_intermediate_products;
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
-use vgpu::{Gpu, GpuError, SpgemmReport};
+use vgpu::{Gpu, GpuError, OutOfDeviceMemory, SpgemmReport};
 
 /// Tunables of the proposal. Defaults reproduce the paper's
 /// configuration; the switches drive the §III/§IV-C ablations.
@@ -52,20 +52,116 @@ impl Default for Options {
     }
 }
 
-/// Errors of the SpGEMM pipeline.
+/// Errors of the SpGEMM pipeline, classified for recovery (DESIGN.md
+/// §13). Every variant maps to an [`ErrorKind`] and carries a
+/// [`Recovery`] hint; the hint is what [`crate::BatchedExecutor`] keys
+/// its retry-with-smaller-batch loop on, so the taxonomy is load-bearing,
+/// not cosmetic.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
-    /// Virtual-device failure (out of device memory, bad launch).
-    Gpu(GpuError),
-    /// Host-side matrix error (dimension mismatch).
-    Sparse(sparse::SparseError),
+    /// Host-side planning failure before any device work (dimension
+    /// mismatch, malformed input). Retrying cannot help.
+    Planning(sparse::SparseError),
+    /// Device memory exhausted — real or injected. The one recoverable
+    /// class: a smaller working set (fewer rows per batch) may fit.
+    DeviceOom(OutOfDeviceMemory),
+    /// Device execution failure other than memory (invalid or injected
+    /// kernel/memcpy faults). Deterministic, so retrying the same work
+    /// cannot help.
+    Kernel(GpuError),
+    /// An internal invariant was violated (e.g. a kernel assembled a
+    /// malformed CSR). Always a bug in this crate, never the input.
+    Invariant(String),
+    /// The batched fallback gave up: even after shrinking batches
+    /// [`CapacityDiagnostic::attempts`] times the multiply does not fit
+    /// the device. Carries the estimate-vs-capacity diagnostic.
+    CapacityExhausted(CapacityDiagnostic),
+}
+
+/// The four failure classes of the taxonomy (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Host-side planning failure.
+    Planning,
+    /// Device memory exhausted (includes capacity-exhausted fallback).
+    DeviceOom,
+    /// Non-memory device failure.
+    Kernel,
+    /// Internal invariant violation.
+    Invariant,
+}
+
+/// What a caller can do about an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Retrying with a smaller per-batch working set may succeed — the
+    /// batched fallback executor acts on exactly this hint.
+    RetrySmallerBatch,
+    /// No automatic recovery; surface the error.
+    Fatal,
+}
+
+/// Why the batched fallback could not complete: the forecast, the
+/// device, and how far the retry loop got before giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityDiagnostic {
+    /// `estimate_memory(a, b).upper_bound()` for the full multiply.
+    pub estimate_upper: u64,
+    /// Device capacity in bytes.
+    pub capacity: u64,
+    /// Batched attempts made (each with half the previous byte budget).
+    pub attempts: u32,
+    /// The smallest per-batch byte budget tried.
+    pub smallest_budget: u64,
+    /// Human-readable cause (the last OOM, or the infeasible row).
+    pub detail: String,
+}
+
+impl std::fmt::Display for CapacityDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "multiply needs up to {} B against {} B of device memory; \
+             gave up after {} batched attempt(s) down to a {} B batch budget ({})",
+            self.estimate_upper, self.capacity, self.attempts, self.smallest_budget, self.detail
+        )
+    }
+}
+
+impl Error {
+    /// The failure class of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Planning(_) => ErrorKind::Planning,
+            Error::DeviceOom(_) | Error::CapacityExhausted(_) => ErrorKind::DeviceOom,
+            Error::Kernel(_) => ErrorKind::Kernel,
+            Error::Invariant(_) => ErrorKind::Invariant,
+        }
+    }
+
+    /// The recovery hint of this error. Only a plain device OOM is
+    /// retryable; `CapacityExhausted` means the retry loop already ran.
+    pub fn recovery(&self) -> Recovery {
+        match self {
+            Error::DeviceOom(_) => Recovery::RetrySmallerBatch,
+            _ => Recovery::Fatal,
+        }
+    }
+
+    /// Wrap an invariant violation (malformed internal CSR etc.).
+    pub fn invariant(detail: impl std::fmt::Display) -> Self {
+        Error::Invariant(detail.to_string())
+    }
 }
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Error::Gpu(e) => write!(f, "{e}"),
-            Error::Sparse(e) => write!(f, "{e}"),
+            Error::Planning(e) => write!(f, "planning: {e}"),
+            Error::DeviceOom(e) => write!(f, "device OOM (retry with smaller batches): {e}"),
+            Error::Kernel(e) => write!(f, "device: {e}"),
+            Error::Invariant(msg) => write!(f, "internal invariant violated: {msg}"),
+            Error::CapacityExhausted(d) => write!(f, "capacity exhausted: {d}"),
         }
     }
 }
@@ -74,13 +170,22 @@ impl std::error::Error for Error {}
 
 impl From<GpuError> for Error {
     fn from(e: GpuError) -> Self {
-        Error::Gpu(e)
+        match e {
+            GpuError::OutOfMemory(oom) => Error::DeviceOom(oom),
+            other => Error::Kernel(other),
+        }
+    }
+}
+
+impl From<OutOfDeviceMemory> for Error {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        Error::DeviceOom(e)
     }
 }
 
 impl From<sparse::SparseError> for Error {
     fn from(e: sparse::SparseError) -> Self {
-        Error::Sparse(e)
+        Error::Planning(e)
     }
 }
 
@@ -176,7 +281,10 @@ mod tests {
         let a = Csr::<f64>::zeros(4, 5);
         let b = Csr::<f64>::zeros(4, 5);
         let mut g = gpu();
-        assert!(matches!(multiply(&mut g, &a, &b, &Options::default()), Err(Error::Sparse(_))));
+        let err = multiply(&mut g, &a, &b, &Options::default()).unwrap_err();
+        assert!(matches!(err, Error::Planning(_)));
+        assert_eq!(err.kind(), ErrorKind::Planning);
+        assert_eq!(err.recovery(), Recovery::Fatal);
     }
 
     #[test]
@@ -227,8 +335,10 @@ mod tests {
     fn oom_propagates_and_cleans_up() {
         let (a, b) = random_pair(300, 9);
         let mut g = Gpu::new(DeviceConfig::p100_with_memory(1024));
-        let res = multiply(&mut g, &a, &b, &Options::default());
-        assert!(matches!(res, Err(Error::Gpu(GpuError::OutOfMemory(_)))));
+        let err = multiply(&mut g, &a, &b, &Options::default()).unwrap_err();
+        assert!(matches!(err, Error::DeviceOom(_)));
+        assert_eq!(err.kind(), ErrorKind::DeviceOom);
+        assert_eq!(err.recovery(), Recovery::RetrySmallerBatch);
         assert_eq!(g.live_mem_bytes(), 0);
     }
 

@@ -93,7 +93,7 @@ impl<T: Scalar> SymbolicPlan<T> {
         if pattern_fingerprint(a) != self.fingerprint_a
             || pattern_fingerprint(b) != self.fingerprint_b
         {
-            return Err(Error::Sparse(sparse::SparseError::DimensionMismatch(
+            return Err(Error::Planning(sparse::SparseError::DimensionMismatch(
                 "matrix pattern differs from the planned pattern".into(),
             )));
         }

@@ -16,7 +16,7 @@ use crate::kernels::{
     count_products_block_cost, pwarp_block_cost, pwarp_row, tb_block_cost, tb_global_block_cost,
     tb_numeric_row, tb_symbolic_row, PwarpRowStats,
 };
-use crate::pipeline::{Options, Result};
+use crate::pipeline::{Error, Options, Result};
 use crate::plan::{global_table_size, PhasePlan, SpgemmPlan};
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
 use vgpu::device::DEFAULT_STREAM;
@@ -91,7 +91,16 @@ impl<T: Scalar> Executor<T> for SimExecutor<'_> {
         let gpu = &mut *self.gpu;
         gpu.set_phase(Phase::Setup);
         let d_nprod = gpu.malloc(DEVICE_INDEX_BYTES * (a.rows() as u64 + 1), "plan_nprod")?;
-        let grp = gpu.malloc(DEVICE_INDEX_BYTES * a.rows() as u64, "plan_group_rows")?;
+        // Free the first buffer if the second allocation fails — error
+        // paths must leave zero live bytes behind.
+        let grp = match gpu.malloc(DEVICE_INDEX_BYTES * a.rows() as u64, "plan_group_rows") {
+            Ok(id) => id,
+            Err(e) => {
+                gpu.free(d_nprod);
+                gpu.set_phase(Phase::Other);
+                return Err(e.into());
+            }
+        };
         gpu.set_phase(Phase::Count);
         let res = run_count(gpu, a, b, plan);
         gpu.set_phase(Phase::Other);
@@ -135,8 +144,13 @@ impl<T: Scalar> Executor<T> for SimExecutor<'_> {
             nnz_c as u64,
             calc_probes,
         );
-        let c = Csr::from_parts_unchecked(m, plan.cols, symbolic.rpt.clone(), col_c, val_c);
+        let c = Csr::from_parts_unchecked(m, plan.cols, symbolic.rpt.clone(), col_c, val_c)
+            .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
         Ok(Execution { matrix: c, report, wall: None })
+    }
+
+    fn telemetry_mut(&mut self) -> Option<&mut obs::Telemetry> {
+        self.gpu.telemetry_mut()
     }
 
     fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>> {
@@ -252,7 +266,8 @@ fn multiply_inner<T: Scalar>(
         nnz_c as u64,
         count_probes + calc_probes,
     );
-    let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c);
+    let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c)
+        .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
     Ok(Execution { matrix: c, report, wall: None })
 }
 
@@ -349,7 +364,9 @@ pub(crate) fn run_count<T: Scalar>(
             .map(|&r| DEVICE_INDEX_BYTES * global_table_size(nprod[r as usize]) as u64)
             .sum();
         let gt = gpu.malloc(table_bytes, "count_global_tables")?;
-        primitives::memset(gpu, DEFAULT_STREAM, table_bytes)?;
+        // From here the table must be freed on *every* exit — an
+        // injected memset/launch fault must not leak it.
+        let memset_res = primitives::memset(gpu, DEFAULT_STREAM, table_bytes);
         let mut blocks = Vec::with_capacity(count_overflow.len());
         for &r in &count_overflow {
             let cap = global_table_size(nprod[r as usize]);
@@ -359,17 +376,20 @@ pub(crate) fn run_count<T: Scalar>(
             nnz_row[r as usize] = s.nnz;
             blocks.push(tb_global_block_cost(gpu, &s, cap, None));
         }
-        gpu.launch(
-            KernelDesc::new(
-                "symbolic_global",
-                DEFAULT_STREAM,
-                gpu.config().max_threads_per_block,
-                0,
-            ),
-            blocks,
-        )?;
+        let launch_res = memset_res.and_then(|()| {
+            gpu.launch(
+                KernelDesc::new(
+                    "symbolic_global",
+                    DEFAULT_STREAM,
+                    gpu.config().max_threads_per_block,
+                    0,
+                ),
+                blocks,
+            )
+        });
         gpu.free(gt); // synchronizes; table only lives through the pass
-                      // The second pass re-runs group-0 rows with global tables.
+        launch_res?;
+        // The second pass re-runs group-0 rows with global tables.
         drain_probe_stats(gpu, &mut table, "count", 0);
     }
     Ok((nnz_row, total_probes))
@@ -440,7 +460,9 @@ pub(crate) fn run_numeric<T: Scalar>(
                     })
                     .sum();
                 let gt = gpu.malloc(table_bytes, "numeric_global_tables")?;
-                primitives::memset(gpu, stream, table_bytes)?;
+                // As in the count phase: free the table on every exit
+                // so injected faults cannot leak it.
+                let memset_res = primitives::memset(gpu, stream, table_bytes);
                 let mut blocks = Vec::with_capacity(rows.len());
                 for &r in rows {
                     let cap = global_table_size(nnz_row[r as usize] as usize);
@@ -457,11 +479,19 @@ pub(crate) fn run_numeric<T: Scalar>(
                     total_probes += s.probes;
                     blocks.push(tb_global_block_cost(gpu, &s, cap, Some(T::BYTES)));
                 }
-                gpu.launch(
-                    KernelDesc::new(format!("numeric_global_g{gi}"), stream, spec.block_threads, 0),
-                    blocks,
-                )?;
+                let launch_res = memset_res.and_then(|()| {
+                    gpu.launch(
+                        KernelDesc::new(
+                            format!("numeric_global_g{gi}"),
+                            stream,
+                            spec.block_threads,
+                            0,
+                        ),
+                        blocks,
+                    )
+                });
                 gpu.free(gt);
+                launch_res?;
             }
             Assignment::Pwarp { width } => {
                 let rows_per_block = numeric.groups.pwarp_rows_per_block();

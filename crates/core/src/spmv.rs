@@ -35,7 +35,7 @@ pub struct SpmvReport {
 
 fn check_x<T: Scalar>(a: &Csr<T>, x: &[T]) -> Result<()> {
     if x.len() != a.cols() {
-        return Err(Error::Sparse(sparse::SparseError::DimensionMismatch(format!(
+        return Err(Error::Planning(sparse::SparseError::DimensionMismatch(format!(
             "spmv: x.len() = {}, cols = {}",
             x.len(),
             a.cols()

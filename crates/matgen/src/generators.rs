@@ -97,6 +97,7 @@ fn assemble<T: Scalar>(
         rpt[i + 1] = col.len();
     }
     Csr::from_parts_unchecked(rows, cols, rpt, col, val)
+        .expect("generator emits sorted, in-bounds rows")
 }
 
 /// Banded matrix with clustered off-diagonals — the FEM family

@@ -50,6 +50,7 @@ impl<T: Scalar> Csc<T> {
             self.row.clone(),
             self.val.clone(),
         )
+        .expect("CSC arrays are a valid CSR of the transpose")
         .transpose()
     }
 

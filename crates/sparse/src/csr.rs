@@ -76,20 +76,42 @@ impl<T: Scalar> Csr<T> {
         Ok(m)
     }
 
-    /// Build from raw CSR arrays without validation.
+    /// Build from raw CSR arrays without per-entry validation.
     ///
     /// Used on hot paths by the SpGEMM kernels, which construct rows
-    /// sorted by design; debug builds still validate.
+    /// sorted by design. An O(1) structural spot-check (row-pointer
+    /// length, first/last offsets, col/val agreement) always runs so a
+    /// malformed shape is an error rather than latent UB-adjacent state
+    /// in release builds too; the full O(nnz) invariant check still
+    /// runs in debug builds.
     pub fn from_parts_unchecked(
         rows: usize,
         cols: usize,
         rpt: Vec<usize>,
         col: Vec<u32>,
         val: Vec<T>,
-    ) -> Self {
+    ) -> Result<Self> {
+        if rpt.len() != rows + 1 {
+            return Err(SparseError::MalformedRowPointers(format!(
+                "rpt has {} entries for {} rows (want rows + 1)",
+                rpt.len(),
+                rows
+            )));
+        }
+        if rpt[0] != 0 {
+            return Err(SparseError::MalformedRowPointers(format!("rpt[0] = {} (want 0)", rpt[0])));
+        }
+        if rpt[rows] != col.len() || col.len() != val.len() {
+            return Err(SparseError::MalformedRowPointers(format!(
+                "rpt[rows] = {} but col/val hold {}/{} entries",
+                rpt[rows],
+                col.len(),
+                val.len()
+            )));
+        }
         let m = Csr { rows, cols, rpt, col, val };
         debug_assert!(m.validate().is_ok(), "from_parts_unchecked got malformed CSR");
-        m
+        Ok(m)
     }
 
     /// Build from `(row, col, value)` triplets in any order; duplicates
@@ -271,6 +293,27 @@ impl<T: Scalar> Csr<T> {
     pub fn device_bytes(&self) -> u64 {
         DEVICE_INDEX_BYTES * (self.rows as u64 + 1)
             + (DEVICE_INDEX_BYTES + T::BYTES as u64) * self.nnz() as u64
+    }
+
+    /// The sub-matrix of rows `range` (same column space): row pointers
+    /// rebased to 0, entries copied. Used by the batched executor to
+    /// carve `A` into row ranges whose working set fits the device.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "slice_rows {range:?} out of bounds for {} rows",
+            self.rows
+        );
+        let base = self.rpt[range.start];
+        let rpt: Vec<usize> = self.rpt[range.start..=range.end].iter().map(|&p| p - base).collect();
+        let span = base..self.rpt[range.end];
+        Csr {
+            rows: range.len(),
+            cols: self.cols,
+            rpt,
+            col: self.col[span.clone()].to_vec(),
+            val: self.val[span].to_vec(),
+        }
     }
 
     /// Drop explicitly-stored zeros.

@@ -42,7 +42,7 @@ pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
         }
         rpt[r + 1] = col.len();
     }
-    Ok(Csr::from_parts_unchecked(a.rows(), a.cols(), rpt, col, val))
+    Csr::from_parts_unchecked(a.rows(), a.cols(), rpt, col, val)
 }
 
 /// Element-wise difference `A - B`.
@@ -78,7 +78,7 @@ pub fn scale_rows<T: Scalar>(a: &Csr<T>, s: &[T]) -> Result<Csr<T>> {
             *v = *v * s[r];
         }
     }
-    Ok(Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals))
+    Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals)
 }
 
 /// Scale column `c` by `s[c]` (right-multiplication by a diagonal).
@@ -91,7 +91,7 @@ pub fn scale_cols<T: Scalar>(a: &Csr<T>, s: &[T]) -> Result<Csr<T>> {
         )));
     }
     let vals: Vec<T> = a.col().iter().zip(a.val()).map(|(&c, &v)| v * s[c as usize]).collect();
-    Ok(Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals))
+    Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals)
 }
 
 /// Symmetric permutation `P A Pᵀ`: entry `(i, j)` moves to
@@ -132,6 +132,37 @@ pub fn pattern<T: Scalar>(a: &Csr<T>) -> Csr<T> {
         a.col().to_vec(),
         vec![T::ONE; a.nnz()],
     )
+    .expect("pattern preserves the CSR shape")
+}
+
+/// Stack matrices vertically: rows of `parts[0]`, then `parts[1]`, …
+/// All parts must share a column count. The inverse of carving a matrix
+/// with [`Csr::slice_rows`]; the batched executor stitches per-batch
+/// results back together with this.
+pub fn vstack<T: Scalar>(parts: &[Csr<T>]) -> Result<Csr<T>> {
+    let first = parts
+        .first()
+        .ok_or_else(|| SparseError::DimensionMismatch("vstack of zero parts".into()))?;
+    let cols = first.cols();
+    let rows: usize = parts.iter().map(|p| p.rows()).sum();
+    let nnz: usize = parts.iter().map(|p| p.nnz()).sum();
+    let mut rpt = Vec::with_capacity(rows + 1);
+    rpt.push(0usize);
+    let mut col = Vec::with_capacity(nnz);
+    let mut val = Vec::with_capacity(nnz);
+    for p in parts {
+        if p.cols() != cols {
+            return Err(SparseError::DimensionMismatch(format!(
+                "vstack: part has {} cols, first has {cols}",
+                p.cols()
+            )));
+        }
+        let base = col.len();
+        rpt.extend(p.rpt()[1..].iter().map(|&x| base + x));
+        col.extend_from_slice(p.col());
+        val.extend_from_slice(p.val());
+    }
+    Csr::from_parts_unchecked(rows, cols, rpt, col, val)
 }
 
 /// Drop the diagonal entries.
@@ -150,6 +181,7 @@ pub fn strip_diagonal<T: Scalar>(a: &Csr<T>) -> Csr<T> {
         rpt[r + 1] = col.len();
     }
     Csr::from_parts_unchecked(a.rows(), a.cols(), rpt, col, val)
+        .expect("strip_diagonal preserves the CSR shape")
 }
 
 /// Frobenius norm.
@@ -238,6 +270,23 @@ mod tests {
         let p = pattern(&m());
         assert_eq!(p.col(), m().col());
         assert!(p.val().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn vstack_inverts_slice_rows() {
+        let a = m();
+        let top = a.slice_rows(0..1);
+        let mid = a.slice_rows(1..2);
+        let bot = a.slice_rows(2..3);
+        assert_eq!(vstack(&[top.clone(), mid, bot]).unwrap(), a);
+        // Empty slices stack away to nothing.
+        let empty = a.slice_rows(1..1);
+        assert_eq!(empty.rows(), 0);
+        let restacked = vstack(&[empty, a.clone()]).unwrap();
+        assert_eq!(restacked, a);
+        // Mismatched column counts and zero parts are rejected.
+        assert!(vstack(&[top, Csr::<f64>::zeros(1, 7)]).is_err());
+        assert!(vstack::<f64>(&[]).is_err());
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub fn spgemm_gustavson<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
         }
         rpt[i + 1] = col.len();
     }
-    Ok(Csr::from_parts_unchecked(a.rows(), n, rpt, col, val))
+    Csr::from_parts_unchecked(a.rows(), n, rpt, col, val)
 }
 
 /// SpGEMM with a `HashMap<u32, T>` accumulator per row.
@@ -137,7 +137,7 @@ pub fn spgemm_hashmap<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
         }
         rpt[i + 1] = col.len();
     }
-    Ok(Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val))
+    Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val)
 }
 
 /// SpGEMM by k-way heap merge of the (sorted) B-rows selected by each
@@ -192,7 +192,7 @@ pub fn spgemm_heap<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
         }
         rpt[i + 1] = col.len();
     }
-    Ok(Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val))
+    Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val)
 }
 
 /// SpGEMM by explicit expansion-sorting-contraction — the CPU mirror of
@@ -244,7 +244,7 @@ pub fn spgemm_esc<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>> {
     for i in 1..rpt.len() {
         rpt[i] = rpt[i].max(rpt[i - 1]);
     }
-    Ok(Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val))
+    Csr::from_parts_unchecked(a.rows(), b.cols(), rpt, col, val)
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::{BlockCost, BlockCostBuilder, CostModel};
-use crate::memory::{AllocId, DeviceMemory};
+use crate::fault::{FaultPlan, FaultState};
+use crate::memory::{AllocId, DeviceMemory, OutOfDeviceMemory};
 use crate::occupancy::occupancy;
 use crate::profiler::{KernelRecord, Phase, Profiler};
 use crate::sched::{schedule_region, PendingKernel};
@@ -68,6 +69,9 @@ pub struct Gpu {
     /// Structured telemetry session; `None` (the default) disables all
     /// capture so the uninstrumented path pays only this null check.
     telemetry: Option<Box<obs::Telemetry>>,
+    /// Fault-injection state; `None` (the default) makes every device
+    /// call behave normally at the cost of one null check.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Gpu {
@@ -90,6 +94,48 @@ impl Gpu {
             stream_ready: Vec::new(),
             pending: Vec::new(),
             telemetry: None,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault-injection plan (replacing any previous one and
+    /// resetting its call counters). Subsequent `malloc`/`launch`/
+    /// `memcpy` calls consult the plan; injected failures are reported
+    /// through telemetry when enabled.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() { None } else { Some(Box::new(FaultState::new(plan))) };
+    }
+
+    /// The fault plan in effect, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(|s| &s.plan)
+    }
+
+    /// Detach the fault plan; later calls behave normally.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take().map(|s| s.plan)
+    }
+
+    /// Number of faults injected so far under the current plan.
+    pub fn injected_faults(&self) -> u64 {
+        self.faults.as_deref().map(|s| s.injected).unwrap_or(0)
+    }
+
+    /// Record an injected fault in telemetry (no-op when telemetry is
+    /// off) and bump the injection counter.
+    fn note_injected_fault(&mut self, site: &str, detail: &str) {
+        if let Some(s) = self.faults.as_deref_mut() {
+            s.injected += 1;
+        }
+        let now = self.now;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.registry.counter_add("fault.injected", 1);
+            t.emit(
+                obs::Event::new("fault")
+                    .str("site", site)
+                    .str("detail", detail)
+                    .f64("t_us", now.us()),
+            );
         }
     }
 
@@ -205,6 +251,21 @@ impl Gpu {
     /// when capacity is exceeded.
     pub fn malloc(&mut self, bytes: u64, tag: &str) -> Result<AllocId> {
         self.sync();
+        if let Some(s) = self.faults.as_deref_mut() {
+            s.mallocs_seen += 1;
+            if s.plan.should_fail_malloc(s.mallocs_seen) {
+                let nth = s.mallocs_seen;
+                let err = OutOfDeviceMemory {
+                    requested: bytes,
+                    live: self.mem.live_bytes(),
+                    capacity: self.mem.capacity(),
+                    tag: tag.to_string(),
+                    injected: true,
+                };
+                self.note_injected_fault("malloc", &format!("{tag}#{nth}"));
+                return Err(GpuError::OutOfMemory(err));
+            }
+        }
         let id = self.mem.malloc(bytes, tag).map_err(GpuError::OutOfMemory)?;
         let dt = self.cost.malloc_time(bytes);
         self.profiler.record_kernel(KernelRecord {
@@ -234,9 +295,18 @@ impl Gpu {
     }
 
     /// Host↔device transfer of `bytes` (synchronizes, charges PCIe
-    /// time). Direction only matters for the profiler label.
-    pub fn memcpy(&mut self, bytes: u64, to_device: bool) {
+    /// time). Direction only matters for the profiler label. Fails only
+    /// under an injected [`FaultPlan`] memcpy rule.
+    pub fn memcpy(&mut self, bytes: u64, to_device: bool) -> Result<()> {
         self.sync();
+        if let Some(s) = self.faults.as_deref_mut() {
+            s.memcpys_seen += 1;
+            if s.plan.should_fail_memcpy(s.memcpys_seen) {
+                let nth = s.memcpys_seen;
+                self.note_injected_fault("memcpy", &format!("#{nth}"));
+                return Err(GpuError::MemcpyFault(nth));
+            }
+        }
         let dt = self.cost.memcpy_time(bytes);
         self.profiler.record_kernel(KernelRecord {
             name: if to_device { "memcpy_h2d".into() } else { "memcpy_d2h".into() },
@@ -259,6 +329,7 @@ impl Gpu {
                     .f64("t_us", self.now.us()),
             );
         }
+        Ok(())
     }
 
     /// Free device memory (synchronizes, charges `cudaFree` latency).
@@ -281,6 +352,10 @@ impl Gpu {
     /// order. Validates the launch configuration against device limits.
     /// Returns without running — work executes at the next sync point.
     pub fn launch(&mut self, desc: KernelDesc, blocks: Vec<BlockCost>) -> Result<()> {
+        if self.faults.as_deref().is_some_and(|s| s.plan.should_fail_kernel(&desc.name)) {
+            self.note_injected_fault("kernel", &desc.name);
+            return Err(GpuError::KernelFault(desc.name));
+        }
         if occupancy(&self.cfg, desc.block_threads, desc.shared_bytes).is_none() {
             return Err(GpuError::InvalidLaunch(format!(
                 "kernel '{}': {} threads / {} B shared exceeds device limits",
@@ -446,7 +521,7 @@ mod tests {
     fn memcpy_charges_pcie_time() {
         let mut g = gpu();
         let t0 = g.elapsed();
-        g.memcpy(12_000_000_000, true); // 12 GB at 12 GB/s ≈ 1 s
+        g.memcpy(12_000_000_000, true).unwrap(); // 12 GB at 12 GB/s ≈ 1 s
         let dt = (g.elapsed() - t0).secs();
         assert!((dt - 1.0).abs() < 0.01, "dt {dt}");
         assert!(g.profiler().kernels().iter().any(|k| k.name == "memcpy_h2d"));
@@ -476,7 +551,7 @@ mod tests {
             vec![BlockCost::raw(1e6, 0.0)],
         )
         .unwrap();
-        g.memcpy(4096, true);
+        g.memcpy(4096, true).unwrap();
         g.free(a);
         g.finish();
 
@@ -503,6 +578,57 @@ mod tests {
         let taken = g.take_telemetry().unwrap();
         assert!(!taken.events.is_empty());
         assert!(!g.telemetry_enabled());
+    }
+
+    #[test]
+    fn injected_faults_fire_deterministically_and_report() {
+        use crate::fault::FaultPlan;
+        let mut g = gpu();
+        g.enable_telemetry();
+        g.set_fault_plan(FaultPlan::new(9).malloc_oom(2).kernel_fail("doomed").memcpy_fail(1));
+
+        // Malloc 1 succeeds, malloc 2 fails with an *injected* OOM that
+        // leaves accounting untouched, malloc 3 succeeds again (one-shot).
+        let a = g.malloc(64, "ok").unwrap();
+        match g.malloc(64, "boom") {
+            Err(GpuError::OutOfMemory(e)) => {
+                assert!(e.injected);
+                assert!(e.to_string().contains("[injected]"));
+            }
+            other => panic!("expected injected OOM, got {other:?}"),
+        }
+        let b = g.malloc(64, "ok2").unwrap();
+        assert_eq!(g.live_mem_bytes(), 128);
+
+        // Named kernel fails every launch; other kernels are unaffected.
+        let doomed = KernelDesc::new("doomed", DEFAULT_STREAM, 256, 0);
+        assert!(matches!(
+            g.launch(doomed.clone(), vec![BlockCost::raw(1.0, 0.0)]),
+            Err(GpuError::KernelFault(_))
+        ));
+        assert!(matches!(
+            g.launch(doomed, vec![BlockCost::raw(1.0, 0.0)]),
+            Err(GpuError::KernelFault(_))
+        ));
+        g.launch(KernelDesc::new("fine", DEFAULT_STREAM, 256, 0), vec![BlockCost::raw(1.0, 0.0)])
+            .unwrap();
+
+        // First memcpy fails, second goes through.
+        assert!(matches!(g.memcpy(1024, true), Err(GpuError::MemcpyFault(1))));
+        g.memcpy(1024, true).unwrap();
+
+        g.free(a);
+        g.free(b);
+        g.finish();
+        assert_eq!(g.live_mem_bytes(), 0);
+        assert_eq!(g.injected_faults(), 4);
+        let s = g.telemetry_summary().unwrap();
+        assert_eq!(s.counter("fault.injected"), Some(4));
+        assert!(g.telemetry().unwrap().to_jsonl().contains("\"kind\":\"fault\""));
+        // Detaching the plan restores normal behaviour.
+        let plan = g.clear_fault_plan().unwrap();
+        assert_eq!(plan.seed, 9);
+        g.memcpy(1024, true).unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod config;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod memory;
 pub mod occupancy;
 pub mod primitives;
@@ -42,6 +43,7 @@ pub mod simtime;
 pub use config::DeviceConfig;
 pub use cost::{BlockCost, BlockCostBuilder, CostModel};
 pub use device::{Gpu, KernelDesc, StreamId};
+pub use fault::{FaultPlan, FaultRule};
 pub use memory::{AllocId, DeviceMemory, MemEvent, OutOfDeviceMemory};
 pub use profiler::{KernelAgg, Phase, Profiler, StreamUtil};
 pub use report::SpgemmReport;
@@ -58,6 +60,12 @@ pub enum GpuError {
     InvalidLaunch(String),
     /// Free/use of an allocation id that is not live.
     BadAlloc(u64),
+    /// A kernel launch failed because a [`FaultPlan`] rule matched its
+    /// name (fault injection only — the virtual device itself never
+    /// fails a valid launch).
+    KernelFault(String),
+    /// The Nth memcpy failed under an injected [`FaultPlan`] rule.
+    MemcpyFault(u64),
 }
 
 impl std::fmt::Display for GpuError {
@@ -66,6 +74,10 @@ impl std::fmt::Display for GpuError {
             GpuError::OutOfMemory(e) => write!(f, "{e}"),
             GpuError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
             GpuError::BadAlloc(id) => write!(f, "allocation {id} is not live"),
+            GpuError::KernelFault(name) => {
+                write!(f, "injected fault: kernel '{name}' failed to launch")
+            }
+            GpuError::MemcpyFault(nth) => write!(f, "injected fault: memcpy #{nth} failed"),
         }
     }
 }

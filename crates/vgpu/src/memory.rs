@@ -24,14 +24,21 @@ pub struct OutOfDeviceMemory {
     pub capacity: u64,
     /// Allocation tag (for diagnostics).
     pub tag: String,
+    /// `true` when the failure was injected by a fault plan rather than
+    /// produced by real capacity accounting (see [`crate::fault`]).
+    pub injected: bool,
 }
 
 impl std::fmt::Display for OutOfDeviceMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "out of device memory: requested {} B for '{}' with {} B live of {} B capacity",
-            self.requested, self.tag, self.live, self.capacity
+            "out of device memory: requested {} B for '{}' with {} B live of {} B capacity{}",
+            self.requested,
+            self.tag,
+            self.live,
+            self.capacity,
+            if self.injected { " [injected]" } else { "" }
         )
     }
 }
@@ -123,6 +130,7 @@ impl DeviceMemory {
                 live: self.live,
                 capacity: self.capacity,
                 tag: tag.to_string(),
+                injected: false,
             });
         }
         let id = self.next_id;

@@ -31,9 +31,7 @@ fn main() {
         let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(dataset.device_mem_bytes()));
         match alg.run::<f32>(&mut gpu, &a, &a) {
             Ok((_, r)) => results.push((alg, Some(r))),
-            Err(nsparse_repro::nsparse_core::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => {
-                results.push((alg, None))
-            }
+            Err(nsparse_repro::nsparse_core::Error::DeviceOom(_)) => results.push((alg, None)),
             Err(e) => panic!("{}: {e}", alg.name()),
         }
     }

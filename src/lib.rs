@@ -41,8 +41,9 @@ pub use vgpu;
 pub mod prelude {
     pub use baselines::Algorithm;
     pub use nsparse_core::{
-        Backend, Executor, HostParallelExecutor, Options, SimExecutor, SymbolicPlan,
+        Backend, BatchedExecutor, Error, ErrorKind, Executor, HostParallelExecutor, Options,
+        Recovery, SimExecutor, SymbolicPlan,
     };
     pub use sparse::{Csr, Scalar};
-    pub use vgpu::{DeviceConfig, Gpu, Phase, SimTime, SpgemmReport};
+    pub use vgpu::{DeviceConfig, FaultPlan, Gpu, Phase, SimTime, SpgemmReport};
 }

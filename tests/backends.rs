@@ -156,6 +156,76 @@ fn group0_overflow_rows_match_across_backends() {
 }
 
 #[test]
+fn batched_fallback_agrees_across_backends() {
+    // Both backends size batches from the same forecast, so at the same
+    // capacity they must make the same batching decision and produce
+    // the same bits as the unconstrained run (DESIGN.md §13).
+    let a = {
+        let mut s = 77u64;
+        let mut t = Vec::new();
+        for r in 0..300usize {
+            for _ in 0..6 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t.push((r, ((s >> 33) as usize % 300) as u32, 1.0 + (s % 9) as f64));
+            }
+        }
+        Csr::from_triplets(300, 300, &t).unwrap()
+    };
+    let c_full = sim(&a);
+    let est = nsparse_core::estimate_memory(&a, &a).unwrap().upper_bound();
+
+    for denom in [2u64, 4] {
+        let cap = est / denom;
+        let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(cap));
+        let (c_sim_batched, sim_batches) = {
+            let mut exec = BatchedExecutor::sim(&mut gpu);
+            let run = exec.multiply(&a, &a, &Options::default()).unwrap();
+            (run.matrix, exec.batches_used())
+        };
+        assert_eq!(gpu.live_mem_bytes(), 0);
+
+        let mut exec = BatchedExecutor::host(2, DeviceConfig::p100_with_memory(cap));
+        let run = exec.multiply(&a, &a, &Options::default()).unwrap();
+        let host_batches = exec.batches_used();
+
+        assert!(sim_batches > 1, "est/{denom} must force batching");
+        assert_eq!(sim_batches, host_batches, "backends batched differently at est/{denom}");
+        assert_bitwise_eq(&c_sim_batched, &c_full, &format!("sim batched at est/{denom}"));
+        assert_bitwise_eq(&run.matrix, &c_full, &format!("host batched at est/{denom}"));
+    }
+}
+
+#[test]
+fn backends_classify_capacity_errors_identically() {
+    // A device too small for even one row's working set: both backends
+    // must fail with the same structured error — same variant, same
+    // kind, same (fatal) recovery — because the classification is
+    // forecast-driven, not device-driven.
+    let a = Csr::<f64>::identity(64);
+    let cap = 64; // far below B's footprint
+    let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(cap));
+    let sim_err = {
+        let mut exec = BatchedExecutor::sim(&mut gpu);
+        exec.multiply(&a, &a, &Options::default()).unwrap_err()
+    };
+    assert_eq!(gpu.live_mem_bytes(), 0);
+    let mut exec = BatchedExecutor::host(2, DeviceConfig::p100_with_memory(cap));
+    let host_err = exec.multiply(&a, &a, &Options::default()).unwrap_err();
+
+    for (name, e) in [("sim", &sim_err), ("host", &host_err)] {
+        assert!(matches!(e, Error::CapacityExhausted(_)), "{name}: {e}");
+        assert_eq!(e.kind(), ErrorKind::DeviceOom, "{name}");
+        assert_eq!(e.recovery(), Recovery::Fatal, "{name}");
+    }
+    // And the diagnostics agree on the numbers (same forecast math).
+    let (Error::CapacityExhausted(ds), Error::CapacityExhausted(dh)) = (&sim_err, &host_err) else {
+        unreachable!()
+    };
+    assert_eq!(ds.estimate_upper, dh.estimate_upper);
+    assert_eq!(ds.capacity, dh.capacity);
+}
+
+#[test]
 fn executor_capabilities_are_truthful() {
     let mut exec = HostParallelExecutor::new(3);
     let caps = Executor::<f64>::capabilities(&exec);

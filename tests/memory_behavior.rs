@@ -9,7 +9,7 @@ fn peak<T: Scalar>(alg: Algorithm, a: &Csr<T>, device_mem: u64) -> Option<u64> {
     let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(device_mem));
     match alg.run::<T>(&mut gpu, a, a) {
         Ok((_, r)) => Some(r.peak_mem_bytes),
-        Err(nsparse_repro::nsparse_core::Error::Gpu(vgpu::GpuError::OutOfMemory(_))) => None,
+        Err(nsparse_repro::nsparse_core::Error::DeviceOom(_)) => None,
         Err(e) => panic!("{}: {e}", alg.name()),
     }
 }
