@@ -81,4 +81,33 @@ cargo run -q --release --offline -p bench --bin spgemm -- \
   >/dev/null 2>&1
 cmp "$smoke/clean.mtx" "$smoke/faulted.mtx"
 
+echo "== serve mode (engine outputs worker-count invariant + verified) ==" >&2
+# The job engine must produce byte-identical outputs at any worker
+# count, with every job verified bitwise against standalone multiply
+# in-process (--verify is the driver default). Two seeds x {1,4} workers.
+for seed in 11 29; do
+  for workers in 1 4; do
+    cargo run -q --release --offline -p bench --bin spgemm -- \
+      serve --jobs 12 --seed "$seed" --workers "$workers" --dim 160 \
+      --out-dir "$smoke/serve-$seed-$workers" > "$smoke/serve-$seed-$workers.out"
+    grep -q "^verify      : ok" "$smoke/serve-$seed-$workers.out"
+    grep -q "^leak check  : ok (budget drained)$" "$smoke/serve-$seed-$workers.out"
+  done
+  for f in "$smoke/serve-$seed-1"/*.mtx; do
+    cmp "$f" "$smoke/serve-$seed-4/$(basename "$f")"
+  done
+done
+
+echo "== serve mode (fault-injected job mix, shared budget drains) ==" >&2
+# Injected device OOM must route jobs through the batched fallback and
+# still release every budget reservation (the no-leak contract at the
+# admission level, DESIGN.md §14).
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  serve --jobs 15 --seed 7 --workers 3 --dim 160 --faults \
+  > "$smoke/serve-faults.out"
+grep -q "^verify      : ok" "$smoke/serve-faults.out"
+# At least one injected fault must have taken the fallback route.
+! grep -q " 0 oom-fallback" "$smoke/serve-faults.out"
+grep -q "^leak check  : ok (budget drained)$" "$smoke/serve-faults.out"
+
 echo "ci/check.sh: all checks passed" >&2

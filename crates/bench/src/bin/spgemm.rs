@@ -68,6 +68,7 @@ fn usage() -> ! {
          fallback; --faults injects deterministic device faults\n\
          (e.g. 'seed=7;malloc-oom=3;kernel-fail=NAME;memcpy-fail=2', sim only)\n\
        spgemm trace ...  (telemetry inspection; `spgemm trace --help`)\n\
+       spgemm serve ...  (job-engine serving mode; `spgemm serve --help`)\n\
          datasets: {}",
         matgen::standard_datasets()
             .iter()
@@ -443,10 +444,14 @@ fn run_host_constrained<T: Scalar>(args: &Args, a: &Csr<T>, threads: usize) {
 
 fn main() {
     // `spgemm trace ...` delegates to the telemetry inspection CLI
-    // (also available as the standalone `trace` binary).
+    // (also available as the standalone `trace` binary); `spgemm serve`
+    // to the job-engine serving mode.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace") {
         std::process::exit(bench::tracecli::run_trace(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        std::process::exit(bench::servecli::run_serve(&argv[1..]));
     }
     let args = parse_args();
     if args.precision == "f64" {

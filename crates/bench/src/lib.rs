@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod servecli;
 pub mod table;
 pub mod tracecli;
 

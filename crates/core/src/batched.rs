@@ -39,7 +39,7 @@
 use crate::exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, WallClock};
 use crate::partition::weighted_ranges;
 use crate::pipeline::{CapacityDiagnostic, Error, Options, Recovery, Result};
-use crate::plan::{global_table_size, SpgemmPlan};
+use crate::plan::SpgemmPlan;
 use crate::sim::SimExecutor;
 use sparse::{ops, Csr, Scalar, DEVICE_INDEX_BYTES};
 use std::ops::Range;
@@ -116,9 +116,14 @@ impl BatchedExecutor<crate::HostParallelExecutor> {
 /// that `fixed + Σ weights[range]` equals
 /// `estimate_memory(a.slice_rows(range), b).upper_bound()` exactly —
 /// the batch gate and the published forecast can never disagree.
-fn row_weights<T: Scalar>(a: &Csr<T>, b: &Csr<T>, plan: &SpgemmPlan) -> (u64, Vec<u64>) {
+///
+/// Overflow-checked end to end: a per-row weight that exceeds `u64`
+/// bytes is an adversarial input, reported as a `Planning` error
+/// (DESIGN.md §13) rather than wrapped.
+fn row_weights<T: Scalar>(a: &Csr<T>, b: &Csr<T>, plan: &SpgemmPlan) -> Result<(u64, Vec<u64>)> {
     let ix = DEVICE_INDEX_BYTES;
     let entry = ix + T::BYTES as u64;
+    let overflow = || crate::pipeline::overflow_err("per-row byte weight");
     // Rows above the largest shared table need a per-row global table.
     // Derive the threshold exactly as `estimate_memory` does (fixed P100
     // count-phase groups) so the batch gate and the forecast agree.
@@ -135,14 +140,25 @@ fn row_weights<T: Scalar>(a: &Csr<T>, b: &Csr<T>, plan: &SpgemmPlan) -> (u64, Ve
             let p = plan.nprod()[r];
             let input = entry * a.row_nnz(r) as u64 + ix; // A entries + rpt slot
             let working = 3 * ix; // d_nprod + group_rows + rpt_c slots
-            let output = ix + entry * p as u64; // C rpt slot + entries upper bound
-            let table = if p > shared_max { ix * global_table_size(p) as u64 } else { 0 };
-            input + working + output + table
+                                  // C rpt slot + entries upper bound.
+            let output =
+                entry.checked_mul(p as u64).and_then(|o| o.checked_add(ix)).ok_or_else(overflow)?;
+            let table = if p > shared_max {
+                let size = crate::plan::global_table_size_checked(p).ok_or_else(overflow)?;
+                ix.checked_mul(size as u64).ok_or_else(overflow)?
+            } else {
+                0
+            };
+            input
+                .checked_add(working)
+                .and_then(|w| w.checked_add(output))
+                .and_then(|w| w.checked_add(table))
+                .ok_or_else(overflow)
         })
-        .collect();
+        .collect::<Result<Vec<u64>>>()?;
     // B, plus the `+1` slots of the four per-row arrays (A rpt, d_nprod,
     // count scan, C rpt).
-    (b.device_bytes() + 4 * ix, weights)
+    Ok((b.device_bytes() + 4 * ix, weights))
 }
 
 /// Plan row batches whose estimates fit `budget`. A multi-row range
@@ -189,8 +205,31 @@ fn plan_batches(
     Ok(out)
 }
 
-/// Merge per-batch reports: times and counters sum, peaks max.
-fn merge_reports(reports: &[SpgemmReport], batches: usize) -> SpgemmReport {
+/// A zeroed report for a degenerate (zero-row) multiply that never
+/// touched the device — the shape every executor returns instead of
+/// panicking on an empty batch plan.
+fn zeroed_report<T: Scalar>(batches: usize) -> SpgemmReport {
+    SpgemmReport {
+        algorithm: format!("proposal (batched x{batches})"),
+        precision: T::PRECISION,
+        total_time: SimTime::ZERO,
+        phase_times: Vec::new(),
+        peak_mem_bytes: 0,
+        intermediate_products: 0,
+        output_nnz: 0,
+        hash_probes: 0,
+        telemetry: None,
+    }
+}
+
+/// Merge per-batch reports: times and counters sum, peaks max. Total —
+/// an empty batch plan (zero-row `A`) merges into a zeroed report
+/// instead of panicking (the former
+/// `reports.last().expect("at least one batch")`).
+fn merge_reports<T: Scalar>(reports: &[SpgemmReport], batches: usize) -> SpgemmReport {
+    let Some(last) = reports.last() else {
+        return zeroed_report::<T>(batches);
+    };
     let mut phase_times: Vec<(Phase, SimTime)> = Vec::new();
     for rep in reports {
         for &(p, t) in &rep.phase_times {
@@ -200,7 +239,6 @@ fn merge_reports(reports: &[SpgemmReport], batches: usize) -> SpgemmReport {
             }
         }
     }
-    let last = reports.last().expect("at least one batch");
     SpgemmReport {
         algorithm: format!("proposal (batched x{batches})"),
         precision: last.precision,
@@ -273,7 +311,7 @@ impl<E> BatchedExecutor<E> {
         }
         let matrix = ops::vstack(&mats)
             .map_err(|e| Error::invariant(format!("batch stitch failed: {e}")))?;
-        let report = merge_reports(&reports, batches.len());
+        let report = merge_reports::<T>(&reports, batches.len());
         let wall = merge_walls(&walls);
         Ok(Execution { matrix, report, wall })
     }
@@ -317,8 +355,20 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
 
     fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>> {
         let plan = self.inner.plan(a, b, opts)?;
-        let (fixed, weights) = row_weights(a, b, &plan);
-        let estimate_upper = fixed + weights.iter().sum::<u64>();
+        if plan.rows == 0 {
+            // Zero-row A: the batch plan would be empty. Return the
+            // empty product with a zeroed report instead of reaching the
+            // report merge with no batches (the old panic), and without
+            // touching the device at all — there is nothing to compute.
+            self.last_batches = 0;
+            let matrix = Csr::zeros(0, plan.cols);
+            return Ok(Execution { matrix, report: zeroed_report::<T>(0), wall: None });
+        }
+        let (fixed, weights) = row_weights(a, b, &plan)?;
+        let estimate_upper = weights
+            .iter()
+            .try_fold(fixed, |acc, &w| acc.checked_add(w))
+            .ok_or_else(|| crate::pipeline::overflow_err("whole-multiply byte estimate"))?;
         let capacity = self.capacity;
         self.last_batches = 0;
 
@@ -412,7 +462,7 @@ mod tests {
     fn row_weights_reproduce_estimate_memory() {
         let a = rand_mat(300, 6, 5);
         let plan = SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).unwrap();
-        let (fixed, weights) = row_weights(&a, &a, &plan);
+        let (fixed, weights) = row_weights(&a, &a, &plan).unwrap();
         // Whole matrix.
         let est = estimate_memory(&a, &a).unwrap().upper_bound();
         assert_eq!(fixed + weights.iter().sum::<u64>(), est);
@@ -503,6 +553,37 @@ mod tests {
             other => panic!("expected CapacityExhausted, got {other}"),
         }
         assert_eq!(g.live_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_row_a_returns_empty_c_not_panic() {
+        // Regression: an empty batch plan (A has zero rows) used to
+        // reach `reports.last().expect("at least one batch")`. Both
+        // backends must return the empty product with a zeroed report.
+        let a = Csr::<f64>::from_parts(0, 48, vec![0], vec![], vec![]).unwrap();
+        let b = rand_mat(48, 4, 2);
+
+        // Standalone reference for bitwise comparison.
+        let mut g_ref = Gpu::new(DeviceConfig::p100());
+        let c_ref = crate::multiply(&mut g_ref, &a, &b, &Options::default()).unwrap().0;
+        assert_eq!(c_ref.rows(), 0);
+
+        // Sim backend, device so small the batched path would engage.
+        let mut g = Gpu::new(DeviceConfig::p100_with_memory(64));
+        let mut exec = BatchedExecutor::sim(&mut g);
+        let run = Executor::<f64>::multiply(&mut exec, &a, &b, &Options::default()).unwrap();
+        assert_eq!(run.matrix, c_ref);
+        assert_eq!(run.report.output_nnz, 0);
+        assert_eq!(run.report.intermediate_products, 0);
+        assert_eq!(g.live_mem_bytes(), 0);
+
+        // Host backend under the same byte contract.
+        let mut cfg = DeviceConfig::p100();
+        cfg.device_mem_bytes = 64;
+        let mut host = BatchedExecutor::host(2, cfg);
+        let run = Executor::<f64>::multiply(&mut host, &a, &b, &Options::default()).unwrap();
+        assert_eq!(run.matrix, c_ref);
+        assert_eq!(run.report.output_nnz, 0);
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use pipeline::{
     estimate_memory, multiply, CapacityDiagnostic, Error, ErrorKind, MemoryEstimate, Options,
     Recovery,
 };
-pub use plan::{global_table_size, PhasePlan, SpgemmPlan};
-pub use reuse::SymbolicPlan;
+pub use plan::{global_table_size, global_table_size_checked, PhasePlan, SpgemmPlan};
+pub use reuse::{pattern_fingerprint, SymbolicPlan};
 pub use sim::SimExecutor;
 pub use spmv::{spmv, BlockedMatrix};

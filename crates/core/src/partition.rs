@@ -20,13 +20,18 @@ pub fn weighted_ranges(metric: &[usize], parts: usize) -> Vec<Range<usize>> {
         return Vec::new();
     }
     let parts = parts.clamp(1, n);
-    let total: u64 = metric.iter().map(|&w| w as u64 + 1).sum();
-    let target = total.div_ceil(parts as u64);
+    // Saturating sums: adversarial metrics (weights near `usize::MAX`)
+    // must degrade the *balance*, never wrap the arithmetic — a
+    // saturated total only makes the target coarser, and the ranges
+    // still cover the index space exactly.
+    let total: u64 =
+        metric.iter().fold(0u64, |acc, &w| acc.saturating_add((w as u64).saturating_add(1)));
+    let target = total.div_ceil(parts as u64).max(1);
     let mut out = Vec::with_capacity(parts);
     let mut start = 0usize;
     let mut acc = 0u64;
     for (i, &w) in metric.iter().enumerate() {
-        acc += w as u64 + 1;
+        acc = acc.saturating_add((w as u64).saturating_add(1));
         if acc >= target && out.len() + 1 < parts {
             out.push(start..i + 1);
             start = i + 1;
@@ -108,6 +113,20 @@ mod tests {
         assert!(weighted_ranges(&[], 4).is_empty());
         let r = weighted_ranges(&[3], 4);
         assert_eq!(r, vec![0..1]);
+    }
+
+    #[test]
+    fn adversarial_weights_do_not_wrap() {
+        // Weights whose sum overflows u64 many times over: the split
+        // must still cover the index space without panicking.
+        let metric = vec![usize::MAX; 9];
+        for parts in [1, 2, 4, 9] {
+            let r = weighted_ranges(&metric, parts);
+            assert_covers(&r, 9);
+        }
+        let mixed = vec![usize::MAX, 0, usize::MAX / 2, 3, usize::MAX];
+        let r = weighted_ranges(&mixed, 3);
+        assert_covers(&r, 5);
     }
 
     #[test]

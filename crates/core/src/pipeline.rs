@@ -24,7 +24,6 @@
 
 use crate::exec::Executor;
 use crate::groups::{build_groups, GroupPhase};
-use crate::plan::global_table_size;
 use crate::sim::SimExecutor;
 use sparse::spgemm_ref::row_intermediate_products;
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
@@ -393,9 +392,23 @@ pub struct MemoryEstimate {
 
 impl MemoryEstimate {
     /// Total upper bound: allocation of this many bytes always succeeds.
+    /// Saturating: a forecast near `u64::MAX` clamps instead of wrapping
+    /// (it already exceeds any real device either way).
     pub fn upper_bound(&self) -> u64 {
-        self.inputs + self.working + self.output_upper + self.global_tables_upper
+        self.inputs
+            .saturating_add(self.working)
+            .saturating_add(self.output_upper)
+            .saturating_add(self.global_tables_upper)
     }
+}
+
+/// The byte-weight summations below run on untrusted, possibly
+/// adversarial inputs (the engine's admission control feeds every
+/// submitted job through them), so each step is overflow-checked and a
+/// wrap is a structured [`ErrorKind::Planning`] error, never silent
+/// wraparound arithmetic.
+pub(crate) fn overflow_err(what: &str) -> Error {
+    Error::Planning(sparse::SparseError::Overflow(format!("{what} exceeds u64 bytes")))
 }
 
 /// Estimate peak device memory for `multiply(a, b)` without running the
@@ -409,12 +422,28 @@ pub fn estimate_memory<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<MemoryEstima
     // shared table (threshold depends only on device class; use P100's).
     let groups = build_groups(&vgpu::DeviceConfig::p100(), T::BYTES, GroupPhase::Count, 4, true);
     let shared_max = groups.groups[0].lower - 1;
-    let tables: u64 =
-        nprod.iter().filter(|&&p| p > shared_max).map(|&p| ix * global_table_size(p) as u64).sum();
+    let mut tables: u64 = 0;
+    let mut products: u64 = 0;
+    for &p in &nprod {
+        products =
+            products.checked_add(p as u64).ok_or_else(|| overflow_err("intermediate products"))?;
+        if p > shared_max {
+            let size = crate::plan::global_table_size_checked(p)
+                .ok_or_else(|| overflow_err("global hash table size"))?;
+            tables = (size as u64)
+                .checked_mul(ix)
+                .and_then(|t| tables.checked_add(t))
+                .ok_or_else(|| overflow_err("global table bytes"))?;
+        }
+    }
+    let output_upper = entry
+        .checked_mul(products)
+        .and_then(|bytes| bytes.checked_add(ix * (m + 1)))
+        .ok_or_else(|| overflow_err("output upper bound"))?;
     Ok(MemoryEstimate {
         inputs: a.device_bytes() + b.device_bytes(),
         working: ix * (m + 1) + ix * m + ix * (m + 1),
-        output_upper: ix * (m + 1) + entry * nprod.iter().map(|&p| p as u64).sum::<u64>(),
+        output_upper,
         global_tables_upper: tables,
     })
 }
@@ -465,5 +494,21 @@ mod estimate_tests {
     fn estimate_rejects_bad_dims() {
         let a = Csr::<f32>::zeros(3, 4);
         assert!(estimate_memory(&a, &a).is_err());
+    }
+
+    #[test]
+    fn overflow_is_a_planning_error_and_bound_saturates() {
+        let e = overflow_err("byte weights");
+        assert_eq!(e.kind(), ErrorKind::Planning);
+        assert_eq!(e.recovery(), Recovery::Fatal);
+        assert!(e.to_string().contains("size overflow"));
+        // A forecast whose components sum past u64::MAX clamps.
+        let est = MemoryEstimate {
+            inputs: u64::MAX - 1,
+            working: 7,
+            output_upper: 9,
+            global_tables_upper: 3,
+        };
+        assert_eq!(est.upper_bound(), u64::MAX);
     }
 }

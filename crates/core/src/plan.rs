@@ -24,8 +24,20 @@ use vgpu::{DeviceConfig, StreamId};
 /// Global-memory hash-table size for an overflow (group 0) row with the
 /// given metric: next power of two above `2 × metric` (≤50% load factor,
 /// "set based on the number of intermediate products", §III-B-2).
+///
+/// Panics (debug) or wraps (release) when `2 × metric` overflows
+/// `usize`; forecasting paths fed untrusted metrics must use
+/// [`global_table_size_checked`].
 pub fn global_table_size(metric: usize) -> usize {
     (2 * metric.max(1)).next_power_of_two()
+}
+
+/// Overflow-checked [`global_table_size`]: `None` when the doubled
+/// metric has no representable power-of-two ceiling. Used by
+/// [`crate::estimate_memory`] and the batched executor's row-weight
+/// derivation, which adversarial synthetic inputs can reach.
+pub fn global_table_size_checked(metric: usize) -> Option<usize> {
+    metric.max(1).checked_mul(2)?.checked_next_power_of_two()
 }
 
 /// One phase's worth of row grouping: the group table, the per-row
@@ -190,6 +202,15 @@ mod tests {
         let gi = plan.count.groups.group_of(big);
         assert_eq!(plan.count.groups.groups[gi].assignment, Assignment::TbRowGlobal);
         assert_eq!(global_table_size(big), (2 * big).next_power_of_two());
+    }
+
+    #[test]
+    fn checked_table_size_rejects_overflow() {
+        assert_eq!(global_table_size_checked(0), Some(2));
+        assert_eq!(global_table_size_checked(100_000), Some(global_table_size(100_000)));
+        assert_eq!(global_table_size_checked(usize::MAX), None);
+        assert_eq!(global_table_size_checked(usize::MAX / 2), None);
+        assert_eq!(global_table_size_checked(1 << (usize::BITS - 2)), Some(1 << (usize::BITS - 1)));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! promoted to a cacheable object. A fingerprint of both input patterns
 //! guards against executing a plan on matrices it was not built for.
 
-use crate::exec::{Executor, SymbolicOutput};
+use crate::exec::{Execution, Executor, SymbolicOutput};
 use crate::pipeline::{Error, Options, Result};
 use crate::plan::SpgemmPlan;
 use crate::sim::SimExecutor;
@@ -24,8 +24,10 @@ use sparse::{Csr, Scalar};
 use vgpu::{Gpu, SimTime, SpgemmReport};
 
 /// FNV-1a over the structural arrays of a matrix (pattern only — values
-/// are free to change between plan and execute).
-fn pattern_fingerprint<T: Scalar>(m: &Csr<T>) -> u64 {
+/// are free to change between plan and execute). Public because the
+/// engine's plan cache keys on exactly this fingerprint (dims + `rpt` +
+/// `col`).
+pub fn pattern_fingerprint<T: Scalar>(m: &Csr<T>) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     let mut eat = |x: u64| {
         h ^= x;
@@ -76,9 +78,75 @@ impl<T: Scalar> SymbolicPlan<T> {
         })
     }
 
+    /// Build a plan through *any* executor — the backend-neutral form
+    /// the engine's plan cache uses, so a cached symbolic result can be
+    /// produced by (and later replayed on) the sim or host backend
+    /// alike. `plan_time` is zero here: wall-clock backends do not
+    /// charge simulated time.
+    pub fn from_executor<E: Executor<T>>(
+        exec: &mut E,
+        a: &Csr<T>,
+        b: &Csr<T>,
+        opts: &Options,
+    ) -> Result<Self> {
+        let plan = exec.plan(a, b, opts)?;
+        let symbolic = exec.execute_symbolic(&plan, a, b)?;
+        let plan_hash_probes = symbolic.hash_probes;
+        Ok(SymbolicPlan {
+            plan,
+            fingerprint_a: pattern_fingerprint(a),
+            fingerprint_b: pattern_fingerprint(b),
+            symbolic,
+            plan_time: SimTime::ZERO,
+            plan_hash_probes,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
     /// nnz the output will have.
     pub fn output_nnz(&self) -> usize {
         self.symbolic.output_nnz()
+    }
+
+    /// The backend-neutral plan this symbolic result was derived from.
+    pub fn plan(&self) -> &SpgemmPlan {
+        &self.plan
+    }
+
+    /// The cached symbolic (count-phase) result.
+    pub fn symbolic(&self) -> &SymbolicOutput {
+        &self.symbolic
+    }
+
+    /// The structure fingerprints `(A, B)` the plan was built for.
+    pub fn fingerprints(&self) -> (u64, u64) {
+        (self.fingerprint_a, self.fingerprint_b)
+    }
+
+    /// Guard shared by every execution path: the matrices must carry the
+    /// planned patterns (values are free to differ).
+    fn check_patterns(&self, a: &Csr<T>, b: &Csr<T>) -> Result<()> {
+        if pattern_fingerprint(a) != self.fingerprint_a
+            || pattern_fingerprint(b) != self.fingerprint_b
+        {
+            return Err(Error::Planning(sparse::SparseError::DimensionMismatch(
+                "matrix pattern differs from the planned pattern".into(),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Execute the numeric phase on *any* executor — the cache-hit path
+    /// of the engine: the symbolic phase is skipped entirely, only
+    /// output malloc + calc run on the backend.
+    pub fn execute_with<E: Executor<T>>(
+        &self,
+        exec: &mut E,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<Execution<T>> {
+        self.check_patterns(a, b)?;
+        exec.execute_numeric(&self.plan, &self.symbolic, a, b)
     }
 
     /// The output's row pointer (exact, from the symbolic phase).
@@ -90,15 +158,8 @@ impl<T: Scalar> SymbolicPlan<T> {
     /// (values may differ from the planning call). Only output-malloc
     /// and calc time is spent — the point of reusing the plan.
     pub fn execute(&self, gpu: &mut Gpu, a: &Csr<T>, b: &Csr<T>) -> Result<(Csr<T>, SpgemmReport)> {
-        if pattern_fingerprint(a) != self.fingerprint_a
-            || pattern_fingerprint(b) != self.fingerprint_b
-        {
-            return Err(Error::Planning(sparse::SparseError::DimensionMismatch(
-                "matrix pattern differs from the planned pattern".into(),
-            )));
-        }
         let mut exec = SimExecutor::new(gpu);
-        let run = exec.execute_numeric(&self.plan, &self.symbolic, a, b)?;
+        let run = self.execute_with(&mut exec, a, b)?;
         Ok((run.matrix, run.report))
     }
 }
@@ -164,6 +225,27 @@ mod tests {
         // Different pattern: rejected.
         let other = mats(300, 12);
         assert!(plan.execute(&mut gpu, &other, &other).is_err());
+    }
+
+    #[test]
+    fn host_executor_reuses_plans_bitwise() {
+        // The backend-neutral path: plan via the host executor, replay
+        // the numeric phase with changed values — bitwise equal to a
+        // cold host multiply and to the sim backend.
+        let a = mats(350, 9);
+        let mut host = crate::HostParallelExecutor::new(2);
+        let plan = SymbolicPlan::from_executor(&mut host, &a, &a, &Options::default()).unwrap();
+        let a2 = a.scaled(2.5);
+        let hit = plan.execute_with(&mut host, &a2, &a2).unwrap();
+        let cold =
+            Executor::<f64>::multiply(&mut host, &a2, &a2, &Options::default()).unwrap().matrix;
+        let bits = |m: &Csr<f64>| m.val().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(hit.matrix.rpt(), cold.rpt());
+        assert_eq!(hit.matrix.col(), cold.col());
+        assert_eq!(bits(&hit.matrix), bits(&cold));
+        // Wrong pattern still rejected through the generic path.
+        let other = mats(350, 10);
+        assert!(plan.execute_with(&mut host, &other, &other).is_err());
     }
 
     #[test]

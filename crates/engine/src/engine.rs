@@ -1,0 +1,659 @@
+//! The job engine: worker pool, admission control, routing, telemetry.
+//!
+//! Life of a job (DESIGN.md §14):
+//!
+//! 1. [`Engine::submit`] enqueues the spec and returns a [`JobTicket`];
+//!    submission never blocks on device capacity.
+//! 2. A worker validates the spec at the trust boundary
+//!    ([`JobSpec::validate`]) and forecasts its device footprint with
+//!    [`estimate_memory`].
+//! 3. **Admission**: the forecast is reserved against the shared
+//!    [`SharedBudget`]. A job that fits now runs immediately; a job
+//!    that would overcommit waits (the "queued" counter) until running
+//!    jobs release their reservations; a job whose forecast exceeds the
+//!    whole budget can never run in one piece and is routed through the
+//!    row-batched fallback under a full-budget reservation.
+//! 4. **Execution**: direct jobs consult the [`PlanCache`] — a hit
+//!    replays the cached symbolic plan (numeric phase only), a miss
+//!    plans cold and populates the cache. Admitted jobs that still hit
+//!    a recoverable device error ([`Recovery::RetrySmallerBatch`])
+//!    fall back to the batched route instead of failing.
+//! 5. The reservation is released (the budget must drain to zero by
+//!    shutdown — the no-leak gate), latency is recorded, and the
+//!    ticket is fulfilled.
+//!
+//! Every job runs on its own device state (a fresh virtual GPU per job
+//! on the sim backend), so results depend only on the job itself —
+//! never on which worker ran it or what ran before. That is what makes
+//! engine output bitwise identical to standalone `multiply` at any
+//! worker count.
+
+use crate::cache::{CacheStats, PlanCache, PlanKey};
+use crate::job::{CacheOutcome, EffectiveA, JobOutput, JobSpec, Route};
+use crate::Result;
+use nsparse_core::{
+    estimate_memory, Backend, BatchedExecutor, Error, Executor, HostParallelExecutor, Recovery,
+    SimExecutor, SymbolicPlan,
+};
+use sparse::{Csr, Scalar};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use vgpu::{DeviceConfig, Gpu, SharedBudget, SpgemmReport};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads consuming the job queue.
+    pub workers: usize,
+    /// Execution backend every worker uses ([`Backend::parse`] syntax).
+    pub backend: Backend,
+    /// Device class; its memory is the default admission budget.
+    pub device: DeviceConfig,
+    /// Admission budget in bytes (default: the device's memory).
+    pub budget_bytes: Option<u64>,
+    /// Plan-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            backend: Backend::Sim,
+            device: DeviceConfig::p100(),
+            budget_bytes: None,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Latency percentiles over completed jobs (wall-clock microseconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Completed jobs measured.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Slowest job.
+    pub max_us: u64,
+}
+
+/// Snapshot of everything the engine counts.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs admitted whole (direct route).
+    pub admitted: u64,
+    /// Jobs that had to wait for budget before admission.
+    pub queued: u64,
+    /// Jobs routed to the batched fallback because the forecast
+    /// exceeded the whole budget.
+    pub batched: u64,
+    /// Admitted jobs that fell back to the batched route after a
+    /// recoverable device error.
+    pub fallback: u64,
+    /// Jobs that completed with an error.
+    pub failed: u64,
+    /// Cold symbolic (setup + count) phases actually run — cache hits
+    /// skip these, so `symbolic_runs + cache.hits` ≈ direct jobs.
+    pub symbolic_runs: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Per-job latency percentiles.
+    pub latency: LatencySummary,
+    /// Admission budget capacity in bytes.
+    pub budget_capacity: u64,
+    /// High-water mark of concurrent reservations.
+    pub budget_peak: u64,
+    /// `true` iff every reservation was released and accounting stayed
+    /// consistent — the no-leak invariant.
+    pub budget_drained: bool,
+}
+
+impl EngineStats {
+    /// Export the counters into an [`obs::Registry`] (deterministic
+    /// iteration order) for JSONL/report embedding.
+    pub fn to_registry(&self) -> obs::Registry {
+        let mut r = obs::Registry::new();
+        r.counter_add("engine.jobs", self.jobs);
+        r.counter_add("engine.admitted", self.admitted);
+        r.counter_add("engine.queued", self.queued);
+        r.counter_add("engine.batched", self.batched);
+        r.counter_add("engine.fallback", self.fallback);
+        r.counter_add("engine.failed", self.failed);
+        r.counter_add("engine.symbolic_runs", self.symbolic_runs);
+        r.counter_add("engine.cache.hit", self.cache.hits);
+        r.counter_add("engine.cache.miss", self.cache.misses);
+        r.counter_add("engine.cache.evict", self.cache.evictions);
+        r.gauge_set("engine.budget.capacity_bytes", self.budget_capacity as f64);
+        r.gauge_set("engine.budget.peak_bytes", self.budget_peak as f64);
+        r.hist_record("engine.job_latency_us", self.latency.p50_us);
+        r.hist_record("engine.job_latency_us", self.latency.p90_us);
+        r.hist_record("engine.job_latency_us", self.latency.max_us);
+        r
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    jobs: u64,
+    admitted: u64,
+    queued: u64,
+    batched: u64,
+    fallback: u64,
+    failed: u64,
+    symbolic_runs: u64,
+    latencies_us: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Metrics(Mutex<Counters>);
+
+impl Metrics {
+    fn with<R>(&self, f: impl FnOnce(&mut Counters) -> R) -> R {
+        f(&mut self.0.lock().expect("metrics poisoned"))
+    }
+
+    fn latency(&self) -> LatencySummary {
+        let mut us = self.with(|c| c.latencies_us.clone());
+        us.sort_unstable();
+        let pct = |q: f64| {
+            if us.is_empty() {
+                0
+            } else {
+                us[((q * us.len() as f64).ceil() as usize).clamp(1, us.len()) - 1]
+            }
+        };
+        LatencySummary {
+            count: us.len() as u64,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            max_us: us.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+struct Slot<T> {
+    result: Mutex<Option<Result<JobOutput<T>>>>,
+    done: Condvar,
+}
+
+/// Waitable handle to a submitted job.
+pub struct JobTicket<T> {
+    id: u64,
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> JobTicket<T> {
+    /// Submission-order id of this job.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the job completes and take its result.
+    pub fn wait(self) -> Result<JobOutput<T>> {
+        let mut g = self.slot.result.lock().expect("job slot poisoned");
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.slot.done.wait(g).expect("job slot poisoned");
+        }
+    }
+}
+
+struct Pending<T> {
+    spec: JobSpec<T>,
+    slot: Arc<Slot<T>>,
+}
+
+struct Queue<T> {
+    state: Mutex<(VecDeque<Pending<T>>, bool)>,
+    ready: Condvar,
+}
+
+struct Shared<T> {
+    cfg: EngineConfig,
+    queue: Queue<T>,
+    budget: SharedBudget,
+    cache: PlanCache<T>,
+    metrics: Metrics,
+}
+
+/// The SpGEMM job engine. See the [crate docs](crate) for the model.
+pub struct Engine<T: Scalar> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: u64,
+}
+
+impl<T: Scalar> Engine<T> {
+    /// Start the worker pool (at least one worker).
+    pub fn new(cfg: EngineConfig) -> Self {
+        let budget_bytes = cfg.budget_bytes.unwrap_or(cfg.device.device_mem_bytes).max(1);
+        let shared = Arc::new(Shared {
+            budget: SharedBudget::new(budget_bytes),
+            cache: PlanCache::new(cfg.cache_capacity),
+            metrics: Metrics::default(),
+            queue: Queue { state: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() },
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spgemm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine { shared, workers, next_id: 0 }
+    }
+
+    /// Enqueue a job. Never blocks on device capacity — admission
+    /// happens worker-side against the shared budget.
+    pub fn submit(&mut self, spec: JobSpec<T>) -> JobTicket<T> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.shared.metrics.with(|c| c.jobs += 1);
+        let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
+        {
+            let mut g = self.shared.queue.state.lock().expect("queue poisoned");
+            g.0.push_back(Pending { spec, slot: Arc::clone(&slot) });
+        }
+        self.shared.queue.ready.notify_one();
+        JobTicket { id, slot }
+    }
+
+    /// The shared admission budget (for tests and leak gates).
+    pub fn budget(&self) -> &SharedBudget {
+        &self.shared.budget
+    }
+
+    /// Counter snapshot (valid any time; percentiles cover completed
+    /// jobs so far).
+    pub fn stats(&self) -> EngineStats {
+        let m = &self.shared.metrics;
+        let (jobs, admitted, queued, batched, fallback, failed, symbolic_runs) = m.with(|c| {
+            (c.jobs, c.admitted, c.queued, c.batched, c.fallback, c.failed, c.symbolic_runs)
+        });
+        EngineStats {
+            jobs,
+            admitted,
+            queued,
+            batched,
+            fallback,
+            failed,
+            symbolic_runs,
+            cache: self.shared.cache.stats(),
+            latency: m.latency(),
+            budget_capacity: self.shared.budget.capacity(),
+            budget_peak: self.shared.budget.peak_reserved(),
+            budget_drained: self.shared.budget.drained(),
+        }
+    }
+
+    /// Drain the queue, stop the workers and return the final stats.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut g = self.shared.queue.state.lock().expect("queue poisoned");
+            g.1 = true;
+        }
+        self.shared.queue.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<T: Scalar> Drop for Engine<T> {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop<T: Scalar>(shared: &Shared<T>) {
+    loop {
+        let job = {
+            let mut g = shared.queue.state.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = g.0.pop_front() {
+                    break job;
+                }
+                if g.1 {
+                    return;
+                }
+                g = shared.queue.ready.wait(g).expect("queue poisoned");
+            }
+        };
+        let t0 = Instant::now();
+        let result = process_job(shared, &job.spec);
+        let latency = t0.elapsed();
+        shared.metrics.with(|c| {
+            c.latencies_us.push(latency.as_micros().min(u64::MAX as u128) as u64);
+            if result.is_err() {
+                c.failed += 1;
+            }
+        });
+        let output = result.map(|(matrix, report, route, cache)| JobOutput {
+            matrix,
+            report,
+            route,
+            cache,
+            latency,
+        });
+        *job.slot.result.lock().expect("job slot poisoned") = Some(output);
+        job.slot.done.notify_all();
+    }
+}
+
+type Finished<T> = (Csr<T>, SpgemmReport, Route, CacheOutcome);
+
+fn process_job<T: Scalar>(shared: &Shared<T>, spec: &JobSpec<T>) -> Result<Finished<T>> {
+    spec.validate(&shared.cfg.backend)?;
+    let a: EffectiveA<'_, T> = spec.effective_a()?;
+    let a = a.as_ref();
+    let b = spec.b.as_ref();
+    let est = estimate_memory(a, b)?.upper_bound();
+    let capacity = shared.budget.capacity();
+
+    if est > capacity {
+        // Can never fit whole: the batched route owns the full budget
+        // while it runs (its internal batches stay under it).
+        shared.metrics.with(|c| c.batched += 1);
+        reserve(shared, capacity);
+        let r = run_batched(shared, spec, a, b, capacity);
+        shared.budget.release(capacity);
+        return r.map(|(m, rep)| (m, rep, Route::Batched, CacheOutcome::Bypass));
+    }
+
+    reserve(shared, est);
+    shared.metrics.with(|c| c.admitted += 1);
+    let direct = run_direct(shared, spec, a, b, est);
+    match direct {
+        Err(e) if e.recovery() == Recovery::RetrySmallerBatch => {
+            // The forecast was admitted but the device still ran out
+            // (fault injection, adversarial estimates): retry batched.
+            shared.budget.release(est);
+            shared.metrics.with(|c| c.fallback += 1);
+            reserve(shared, capacity);
+            let r = run_batched(shared, spec, a, b, capacity);
+            shared.budget.release(capacity);
+            r.map(|(m, rep)| (m, rep, Route::Batched, CacheOutcome::Bypass))
+        }
+        other => {
+            shared.budget.release(est);
+            other.map(|(m, rep, cache)| (m, rep, Route::Direct, cache))
+        }
+    }
+}
+
+/// Reserve `bytes`, counting the job as queued when it has to wait.
+fn reserve<T: Scalar>(shared: &Shared<T>, bytes: u64) {
+    if !shared.budget.try_reserve(bytes) {
+        shared.metrics.with(|c| c.queued += 1);
+        // `bytes <= capacity` on both call sites, so this cannot fail.
+        assert!(shared.budget.reserve_blocking(bytes), "reservation exceeds budget capacity");
+    }
+}
+
+fn run_direct<T: Scalar>(
+    shared: &Shared<T>,
+    spec: &JobSpec<T>,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    est: u64,
+) -> Result<(Csr<T>, SpgemmReport, CacheOutcome)> {
+    match shared.cfg.backend {
+        Backend::Sim => {
+            // Fresh device per job, capped at the job's reservation, so
+            // concurrent jobs cannot exceed the shared budget in
+            // aggregate and device state never leaks across jobs.
+            let mut dev = shared.cfg.device.clone();
+            dev.device_mem_bytes = est.max(1);
+            let mut gpu = Gpu::new(dev);
+            if let Some(faults) = &spec.faults {
+                gpu.set_fault_plan(faults.clone());
+            }
+            let out = {
+                let mut exec = SimExecutor::new(&mut gpu);
+                run_with_cache(shared, &mut exec, a, b, spec)?
+            };
+            let live = gpu.live_mem_bytes();
+            if live != 0 {
+                return Err(Error::invariant(format!("job leaked {live} B of device memory")));
+            }
+            Ok(out)
+        }
+        Backend::Host { threads } => {
+            let mut exec = HostParallelExecutor::with_config(threads, shared.cfg.device.clone());
+            run_with_cache(shared, &mut exec, a, b, spec)
+        }
+    }
+}
+
+/// The cache-aware direct multiply: hit → numeric phase only, miss →
+/// plan cold and publish the plan.
+fn run_with_cache<T: Scalar, E: Executor<T>>(
+    shared: &Shared<T>,
+    exec: &mut E,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    spec: &JobSpec<T>,
+) -> Result<(Csr<T>, SpgemmReport, CacheOutcome)> {
+    let key = PlanKey::new(a, b, &spec.opts);
+    if let Some(plan) = shared.cache.lookup(&key) {
+        let run = plan.execute_with(exec, a, b)?;
+        return Ok((run.matrix, run.report, CacheOutcome::Hit));
+    }
+    let plan = SymbolicPlan::from_executor(exec, a, b, &spec.opts)?;
+    shared.metrics.with(|c| c.symbolic_runs += 1);
+    let run = plan.execute_with(exec, a, b)?;
+    shared.cache.insert(key, Arc::new(plan));
+    Ok((run.matrix, run.report, CacheOutcome::Miss))
+}
+
+fn run_batched<T: Scalar>(
+    shared: &Shared<T>,
+    spec: &JobSpec<T>,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    capacity: u64,
+) -> Result<(Csr<T>, SpgemmReport)> {
+    let mut dev = shared.cfg.device.clone();
+    dev.device_mem_bytes = capacity.max(1);
+    match shared.cfg.backend {
+        Backend::Sim => {
+            let mut gpu = Gpu::new(dev);
+            if let Some(faults) = &spec.faults {
+                gpu.set_fault_plan(faults.clone());
+            }
+            let run = {
+                let mut exec = BatchedExecutor::sim(&mut gpu);
+                exec.multiply(a, b, &spec.opts)?
+            };
+            let live = gpu.live_mem_bytes();
+            if live != 0 {
+                return Err(Error::invariant(format!("job leaked {live} B of device memory")));
+            }
+            Ok((run.matrix, run.report))
+        }
+        Backend::Host { threads } => {
+            let mut exec = BatchedExecutor::host(threads, dev);
+            let run = exec.multiply(a, b, &spec.opts)?;
+            Ok((run.matrix, run.report))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsparse_core::{multiply, ErrorKind, Options};
+    use vgpu::FaultPlan;
+
+    fn rand_mat(n: usize, seed: u64) -> Arc<Csr<f64>> {
+        Arc::new(matgen::generators::random_uniform(n, 6.0, 24, seed))
+    }
+
+    fn bits(m: &Csr<f64>) -> Vec<u64> {
+        m.val().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn reference(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+        let mut gpu = Gpu::new(DeviceConfig::p100());
+        multiply(&mut gpu, a, b, &Options::default()).unwrap().0
+    }
+
+    #[test]
+    fn jobs_match_standalone_multiply_bitwise() {
+        let a = rand_mat(300, 3);
+        let b = rand_mat(300, 4);
+        let mut eng = Engine::new(EngineConfig { workers: 3, ..EngineConfig::default() });
+        let tickets: Vec<_> = (0..6)
+            .map(|i| {
+                let spec = if i % 2 == 0 {
+                    JobSpec::new(Arc::clone(&a), Arc::clone(&b))
+                } else {
+                    JobSpec::new(Arc::clone(&b), Arc::clone(&a))
+                };
+                eng.submit(spec)
+            })
+            .collect();
+        let outs: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let c_ab = reference(&a, &b);
+        let c_ba = reference(&b, &a);
+        for (i, out) in outs.iter().enumerate() {
+            let want = if i % 2 == 0 { &c_ab } else { &c_ba };
+            assert_eq!(out.matrix.rpt(), want.rpt());
+            assert_eq!(out.matrix.col(), want.col());
+            assert_eq!(bits(&out.matrix), bits(want));
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.jobs, 6);
+        assert!(stats.budget_drained, "budget must drain");
+        // Every direct job either hit the cache or planned cold; with
+        // concurrent workers the same pattern may plan cold more than
+        // once (racing misses), so only the sum is exact.
+        assert_eq!(stats.cache.hits + stats.symbolic_runs, 6);
+        assert!(stats.symbolic_runs >= 2, "two distinct patterns need at least two cold plans");
+    }
+
+    #[test]
+    fn single_worker_cache_counters_are_exact() {
+        let a = rand_mat(180, 17);
+        let mut eng = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let tickets: Vec<_> =
+            (0..5).map(|_| eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)))).collect();
+        let outs: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert_eq!(outs[0].cache, CacheOutcome::Miss);
+        assert!(outs[1..].iter().all(|o| o.cache == CacheOutcome::Hit));
+        let stats = eng.shutdown();
+        // One pattern, FIFO worker: exactly one cold plan, four hits.
+        assert_eq!(stats.symbolic_runs, 1);
+        assert_eq!(stats.cache.hits, 4);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn tiny_budget_routes_through_batched_and_drains() {
+        let a = rand_mat(200, 9);
+        let mut eng = Engine::new(EngineConfig {
+            workers: 2,
+            budget_bytes: Some(64 * 1024),
+            ..EngineConfig::default()
+        });
+        let t1 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let t2 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let o1 = t1.wait().unwrap();
+        let o2 = t2.wait().unwrap();
+        assert_eq!(o1.route, Route::Batched);
+        assert_eq!(o1.cache, CacheOutcome::Bypass);
+        let want = reference(&a, &a);
+        assert_eq!(bits(&o1.matrix), bits(&want));
+        assert_eq!(bits(&o2.matrix), bits(&want));
+        let stats = eng.shutdown();
+        assert_eq!(stats.batched, 2);
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn injected_oom_falls_back_to_batched_with_identical_output() {
+        let a = rand_mat(250, 21);
+        let mut eng = Engine::new(EngineConfig::default());
+        let faults = FaultPlan::parse("seed=5;malloc-oom=1").unwrap();
+        let t = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_faults(faults));
+        let out = t.wait().unwrap();
+        assert_eq!(out.route, Route::Batched);
+        assert_eq!(bits(&out.matrix), bits(&reference(&a, &a)));
+        let stats = eng.shutdown();
+        assert_eq!(stats.fallback, 1);
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn invalid_jobs_fail_with_planning_errors_not_panics() {
+        let a = rand_mat(64, 2);
+        let b = rand_mat(96, 2);
+        let mut eng = Engine::new(EngineConfig::default());
+        let bad_shape = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&b)));
+        let bad_range = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_rows(60..80));
+        let ok = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_rows(0..0));
+        assert_eq!(bad_shape.wait().unwrap_err().kind(), ErrorKind::Planning);
+        assert_eq!(bad_range.wait().unwrap_err().kind(), ErrorKind::Planning);
+        // Zero-row window: a valid empty product, not a panic.
+        let empty = ok.wait().unwrap();
+        assert_eq!(empty.matrix.rows(), 0);
+        assert_eq!(empty.matrix.nnz(), 0);
+        let stats = eng.shutdown();
+        assert_eq!(stats.failed, 2);
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn host_backend_matches_sim_bitwise() {
+        let a = rand_mat(220, 13);
+        // One worker so the second job deterministically hits the cache.
+        let mut eng = Engine::new(EngineConfig {
+            workers: 1,
+            backend: Backend::Host { threads: 2 },
+            ..EngineConfig::default()
+        });
+        let t1 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let t2 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let o1 = t1.wait().unwrap();
+        let o2 = t2.wait().unwrap();
+        let want = reference(&a, &a);
+        assert_eq!(bits(&o1.matrix), bits(&want));
+        assert_eq!(bits(&o2.matrix), bits(&want));
+        let stats = eng.shutdown();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.symbolic_runs, 1);
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn stats_registry_is_deterministic_and_complete() {
+        let a = rand_mat(100, 1);
+        let mut eng = Engine::new(EngineConfig::default());
+        eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a))).wait().unwrap();
+        let stats = eng.shutdown();
+        let reg = stats.to_registry();
+        assert_eq!(reg.counter("engine.jobs"), 1);
+        assert_eq!(reg.counter("engine.cache.miss"), 1);
+        assert!(reg.hist("engine.job_latency_us").is_some());
+    }
+}

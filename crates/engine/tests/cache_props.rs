@@ -1,0 +1,123 @@
+//! Property tests (quickprop) for plan-cache correctness: caching is an
+//! optimization, never an observable behavior change.
+//!
+//! * a repeated structure with fresh values hits the cache and yields a
+//!   product bitwise identical to a cold (cache-less) run;
+//! * equal dims + nnz with a *different* structure must miss — the key
+//!   is the structure fingerprint, not the shape;
+//! * eviction (capacity-1 cache thrashed by alternating patterns) never
+//!   changes any result.
+
+use engine::{CacheOutcome, Engine, EngineConfig, JobSpec, PlanKey};
+use nsparse_core::Options;
+use quickprop::prelude::*;
+use sparse::Csr;
+use std::sync::Arc;
+
+fn bits(m: &Csr<f64>) -> Vec<u64> {
+    m.val().iter().map(|v| v.to_bits()).collect()
+}
+
+fn single_worker(cache_capacity: usize) -> Engine<f64> {
+    Engine::new(EngineConfig { workers: 1, cache_capacity, ..EngineConfig::default() })
+}
+
+/// Same pattern, every column index shifted by one (mod cols): equal
+/// dims and nnz, different structure whenever the pattern is not
+/// shift-invariant.
+fn shift_columns(a: &Csr<f64>) -> Csr<f64> {
+    let mut t = Vec::with_capacity(a.nnz());
+    for r in 0..a.rows() {
+        for i in a.rpt()[r]..a.rpt()[r + 1] {
+            t.push((r, (a.col()[i] + 1) % a.cols() as u32, a.val()[i]));
+        }
+    }
+    Csr::from_triplets(a.rows(), a.cols(), &t).unwrap()
+}
+
+quickprop! {
+    #![config(cases = 16)]
+
+    #[test]
+    fn hit_is_bitwise_identical_to_cold_run(a in sparse_gen::csr_square(80, 420)) {
+        let a = Arc::new(a);
+        let rescaled = Arc::new(a.scaled(1.0 + 1.0 / 3.0));
+        // Warm engine: job 1 plans the pattern cold, job 2 (same
+        // pattern, different values) must hit.
+        let mut warm = single_worker(16);
+        let t1 = warm.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let t2 = warm.submit(JobSpec::new(Arc::clone(&rescaled), Arc::clone(&a)));
+        let first = t1.wait().unwrap();
+        let hit = t2.wait().unwrap();
+        prop_assert_eq!(first.cache, CacheOutcome::Miss);
+        prop_assert_eq!(hit.cache, CacheOutcome::Hit);
+        // Cold engine: the same rescaled job with an empty cache.
+        let mut cold = single_worker(16);
+        let cold_out =
+            cold.submit(JobSpec::new(Arc::clone(&rescaled), Arc::clone(&a))).wait().unwrap();
+        prop_assert_eq!(cold_out.cache, CacheOutcome::Miss);
+        prop_assert_eq!(hit.matrix.rpt(), cold_out.matrix.rpt());
+        prop_assert_eq!(hit.matrix.col(), cold_out.matrix.col());
+        prop_assert_eq!(bits(&hit.matrix), bits(&cold_out.matrix));
+        let stats = warm.shutdown();
+        prop_assert_eq!(stats.symbolic_runs, 1);
+        prop_assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn equal_shape_different_structure_misses(a in sparse_gen::csr_square(60, 300)) {
+        let shifted = shift_columns(&a);
+        prop_assert_eq!(a.nnz(), shifted.nnz());
+        // Shift-invariant patterns (e.g. empty) legitimately share a key.
+        let opts = Options::default();
+        prop_assume!(PlanKey::new(&a, &a, &opts) != PlanKey::new(&shifted, &shifted, &opts));
+        let a = Arc::new(a);
+        let shifted = Arc::new(shifted);
+        let mut eng = single_worker(16);
+        let t1 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let t2 = eng.submit(JobSpec::new(Arc::clone(&shifted), Arc::clone(&shifted)));
+        prop_assert_eq!(t1.wait().unwrap().cache, CacheOutcome::Miss);
+        prop_assert_eq!(t2.wait().unwrap().cache, CacheOutcome::Miss);
+        let stats = eng.shutdown();
+        prop_assert_eq!(stats.cache.hits, 0);
+        prop_assert_eq!(stats.symbolic_runs, 2);
+    }
+
+    #[test]
+    fn eviction_never_changes_results(a in sparse_gen::csr_square(60, 300)) {
+        let a = Arc::new(a);
+        let shifted = Arc::new(shift_columns(&a));
+        // Capacity-1 cache thrashed by alternating patterns vs a cache
+        // big enough to keep both: identical outputs job for job.
+        let jobs = |eng: &mut Engine<f64>| -> Vec<Csr<f64>> {
+            (0..6)
+                .map(|i| {
+                    let base = if i % 2 == 0 { &a } else { &shifted };
+                    let m = Arc::new(base.scaled(1.0 + i as f64 / 7.0));
+                    eng.submit(JobSpec::new(m, Arc::clone(base)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.wait().unwrap().matrix)
+                .collect()
+        };
+        let mut thrash = single_worker(1);
+        let mut roomy = single_worker(16);
+        let got = jobs(&mut thrash);
+        let want = jobs(&mut roomy);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.rpt(), w.rpt());
+            prop_assert_eq!(g.col(), w.col());
+            prop_assert_eq!(bits(g), bits(w));
+        }
+        let ts = thrash.shutdown();
+        prop_assert!(ts.budget_drained);
+        // Distinct alternating patterns against capacity 1 must evict
+        // (when the two patterns actually differ).
+        if PlanKey::new(&a, &a, &Options::default())
+            != PlanKey::new(&shifted, &shifted, &Options::default())
+        {
+            prop_assert!(ts.cache.evictions > 0);
+        }
+    }
+}

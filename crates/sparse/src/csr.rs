@@ -298,22 +298,35 @@ impl<T: Scalar> Csr<T> {
     /// The sub-matrix of rows `range` (same column space): row pointers
     /// rebased to 0, entries copied. Used by the batched executor to
     /// carve `A` into row ranges whose working set fits the device.
+    ///
+    /// Panics on an out-of-range `range`; callers holding *untrusted*
+    /// ranges (the engine's job-submission boundary) must use
+    /// [`Csr::try_slice_rows`] instead.
     pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Self {
-        assert!(
-            range.start <= range.end && range.end <= self.rows,
-            "slice_rows {range:?} out of bounds for {} rows",
-            self.rows
-        );
+        self.try_slice_rows(range.clone())
+            .unwrap_or_else(|_| panic!("slice_rows {range:?} out of bounds for {} rows", self.rows))
+    }
+
+    /// Fallible [`Csr::slice_rows`]: an inverted or out-of-range row
+    /// range is an error, never a panic — the form service boundaries
+    /// validating caller-supplied ranges must use.
+    pub fn try_slice_rows(&self, range: std::ops::Range<usize>) -> Result<Self> {
+        if range.start > range.end || range.end > self.rows {
+            return Err(SparseError::RowOutOfBounds {
+                row: range.start.max(range.end),
+                rows: self.rows,
+            });
+        }
         let base = self.rpt[range.start];
         let rpt: Vec<usize> = self.rpt[range.start..=range.end].iter().map(|&p| p - base).collect();
         let span = base..self.rpt[range.end];
-        Csr {
+        Ok(Csr {
             rows: range.len(),
             cols: self.cols,
             rpt,
             col: self.col[span.clone()].to_vec(),
             val: self.val[span].to_vec(),
-        }
+        })
     }
 
     /// Drop explicitly-stored zeros.
@@ -633,5 +646,21 @@ mod tests {
     fn scaled_multiplies_values() {
         let m = sample().scaled(2.0);
         assert_eq!(m.val(), &[2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn try_slice_rows_rejects_bad_ranges() {
+        let m = sample();
+        // Valid slices agree with the panicking form.
+        for range in [0..0, 0..3, 1..2, 3..3] {
+            let s = m.try_slice_rows(range.clone()).unwrap();
+            assert_eq!(s, m.slice_rows(range));
+        }
+        // Out-of-range / inverted ranges are errors, not aborts.
+        assert!(matches!(m.try_slice_rows(0..4), Err(SparseError::RowOutOfBounds { .. })));
+        assert!(matches!(m.try_slice_rows(5..9), Err(SparseError::RowOutOfBounds { .. })));
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = m.try_slice_rows(2..1);
+        assert!(matches!(inverted, Err(SparseError::RowOutOfBounds { .. })));
     }
 }

@@ -48,6 +48,10 @@ pub enum SparseError {
     DuplicateEntry { row: usize, col: u32 },
     /// Dimension mismatch between operands (`A.cols != B.rows` etc.).
     DimensionMismatch(String),
+    /// A size/byte computation would overflow its integer type
+    /// (adversarially large synthetic inputs; planning must reject them
+    /// instead of wrapping around).
+    Overflow(String),
     /// I/O or parse failure when reading Matrix Market data.
     Parse(String),
 }
@@ -67,6 +71,7 @@ impl std::fmt::Display for SparseError {
                 write!(f, "duplicate entry at ({row}, {col})")
             }
             SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::Overflow(msg) => write!(f, "size overflow: {msg}"),
             SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }

@@ -28,6 +28,7 @@
 //! Simulated time ([`SimTime`]) — never wall-clock — is the metric all
 //! benchmarks report, which keeps every figure bit-reproducible.
 
+pub mod budget;
 pub mod config;
 pub mod cost;
 pub mod device;
@@ -40,6 +41,7 @@ pub mod report;
 pub mod sched;
 pub mod simtime;
 
+pub use budget::SharedBudget;
 pub use config::DeviceConfig;
 pub use cost::{BlockCost, BlockCostBuilder, CostModel};
 pub use device::{Gpu, KernelDesc, StreamId};

@@ -1,0 +1,94 @@
+//! Integration: the SpGEMM job engine must be a transparent wrapper —
+//! identical products to standalone `multiply` at any worker count, on
+//! both backends, under cache hits, batched routing and injected
+//! faults, with the shared admission budget drained at shutdown.
+
+use engine::{run_driver, DriverConfig, Engine, EngineConfig, JobSpec, Route};
+use nsparse_core::{multiply, Backend, Options};
+use sparse::Csr;
+use std::sync::Arc;
+use vgpu::{DeviceConfig, Gpu};
+
+fn bits(m: &Csr<f64>) -> Vec<u64> {
+    m.val().iter().map(|v| v.to_bits()).collect()
+}
+
+fn reference(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+    let mut gpu = Gpu::new(DeviceConfig::p100());
+    multiply(&mut gpu, a, b, &Options::default()).unwrap().0
+}
+
+#[test]
+fn engine_products_are_bitwise_identical_across_worker_counts() {
+    for workers in [1, 4] {
+        let cfg = DriverConfig { jobs: 14, workers, seed: 42, dim: 200, ..DriverConfig::default() };
+        let rep = run_driver::<f64>(&cfg);
+        assert_eq!(rep.mismatches, 0, "{workers} workers: outputs diverged from multiply");
+        assert_eq!(rep.failures, 0);
+        assert!(rep.stats.budget_drained);
+        assert!(rep.stats.cache.hits > 0, "repeated patterns must hit the plan cache");
+        assert!(
+            rep.stats.symbolic_runs < rep.stats.jobs,
+            "cache hits must skip symbolic phases ({} runs for {} jobs)",
+            rep.stats.symbolic_runs,
+            rep.stats.jobs
+        );
+    }
+}
+
+#[test]
+fn host_backend_engine_matches_sim_reference() {
+    let a = Arc::new(matgen::generators::random_uniform::<f64>(300, 7.0, 28, 99));
+    let want = reference(&a, &a);
+    let mut eng: Engine<f64> = Engine::new(EngineConfig {
+        workers: 2,
+        backend: Backend::Host { threads: 3 },
+        ..EngineConfig::default()
+    });
+    let tickets: Vec<_> =
+        (0..4).map(|_| eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)))).collect();
+    for t in tickets {
+        let out = t.wait().unwrap();
+        assert_eq!(out.route, Route::Direct);
+        assert_eq!(bits(&out.matrix), bits(&want));
+    }
+    assert!(eng.shutdown().budget_drained);
+}
+
+#[test]
+fn fault_injected_mix_recovers_and_leaks_nothing() {
+    let cfg = DriverConfig {
+        jobs: 15,
+        workers: 3,
+        seed: 7,
+        dim: 160,
+        faults: true,
+        ..DriverConfig::default()
+    };
+    let rep = run_driver::<f64>(&cfg);
+    assert_eq!(rep.failures, 0, "injected OOM must fall back to the batched route");
+    assert_eq!(rep.mismatches, 0);
+    assert!(rep.stats.fallback >= 1);
+    assert!(rep.stats.budget_drained, "shared budget leaked after the fault mix");
+}
+
+#[test]
+fn tiny_budget_serializes_jobs_through_batched_route() {
+    let a = Arc::new(matgen::generators::random_uniform::<f64>(220, 6.0, 24, 5));
+    let want = reference(&a, &a);
+    let mut eng: Engine<f64> = Engine::new(EngineConfig {
+        workers: 4,
+        budget_bytes: Some(96 * 1024),
+        ..EngineConfig::default()
+    });
+    let tickets: Vec<_> =
+        (0..3).map(|_| eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)))).collect();
+    for t in tickets {
+        let out = t.wait().unwrap();
+        assert_eq!(out.route, Route::Batched);
+        assert_eq!(bits(&out.matrix), bits(&want));
+    }
+    let stats = eng.shutdown();
+    assert_eq!(stats.batched, 3);
+    assert!(stats.budget_drained);
+}
