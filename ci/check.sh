@@ -110,4 +110,32 @@ grep -q "^verify      : ok" "$smoke/serve-faults.out"
 ! grep -q " 0 oom-fallback" "$smoke/serve-faults.out"
 grep -q "^leak check  : ok (budget drained)$" "$smoke/serve-faults.out"
 
+echo "== job tracing (flight dumps byte-deterministic, retry visible) ==" >&2
+# DESIGN.md §15: traces use logical + simulated clocks only, so two
+# identical seeded fault-injected runs must dump byte-identical JSONL,
+# and the faulted job's tree must show the budget-halving batch retry.
+for i in 1 2; do
+  cargo run -q --release --offline -p bench --bin spgemm -- \
+    serve --jobs 10 --seed 7 --workers 1 --dim 128 --faults --no-verify \
+    --trace-jobs "$smoke/flight$i.jsonl" > /dev/null
+done
+cmp "$smoke/flight1.jsonl" "$smoke/flight2.jsonl"
+cmp "$smoke/flight1.jsonl.chrome.json" "$smoke/flight2.jsonl.chrome.json"
+grep -q '"kind":"batch_retry"' "$smoke/flight1.jsonl"
+grep -q '"status":"complete"' "$smoke/flight1.jsonl"
+
+echo "== perf observatory (baseline holds, slowdown canary trips) ==" >&2
+# The committed baseline must pass against a fresh sim-backend run, and
+# a deliberately slowed run (test-only multiplier) must fail exit 1 —
+# proving the regression gate actually rejects.
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  bench --check-regression > "$smoke/bench.out"
+grep -q "^regression  : none" "$smoke/bench.out"
+if NSPARSE_BENCH_SLOWDOWN=2.0 cargo run -q --release --offline -p bench \
+  --bin spgemm -- bench --check-regression > "$smoke/bench-slow.out"; then
+  echo "regression gate failed to trip on a 2x slowdown" >&2
+  exit 1
+fi
+grep -q "REGRESSED" "$smoke/bench-slow.out"
+
 echo "ci/check.sh: all checks passed" >&2

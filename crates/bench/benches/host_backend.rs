@@ -9,14 +9,14 @@
 //! * `<dataset>/host:N` — real median wall-clock of
 //!   [`nsparse_core::HostParallelExecutor`] with N worker threads.
 //!
-//! Thread counts 1/2/8 chart the scaling curve; on a single-core runner
+//! Thread counts 1/2/4/8 chart the scaling curve; on a single-core runner
 //! the three coincide (the executor is low-overhead, not magic) and the
 //! CSV records that honestly.
 
 use bench::harness;
 
 const DATASETS: &[&str] = &["Protein", "QCD", "Economics", "Circuit", "Epidemiology"];
-const THREADS: &[usize] = &[1, 2, 8];
+const THREADS: &[usize] = &[1, 2, 4, 8];
 
 fn main() {
     let mut g = harness::group("host_backend");

@@ -445,13 +445,17 @@ fn run_host_constrained<T: Scalar>(args: &Args, a: &Csr<T>, threads: usize) {
 fn main() {
     // `spgemm trace ...` delegates to the telemetry inspection CLI
     // (also available as the standalone `trace` binary); `spgemm serve`
-    // to the job-engine serving mode.
+    // to the job-engine serving mode; `spgemm bench` to the
+    // perf-regression observatory.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace") {
         std::process::exit(bench::tracecli::run_trace(&argv[1..]));
     }
     if argv.first().map(String::as_str) == Some("serve") {
         std::process::exit(bench::servecli::run_serve(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        std::process::exit(bench::benchcli::run_bench(&argv[1..]));
     }
     let args = parse_args();
     if args.precision == "f64" {

@@ -11,6 +11,8 @@
 //! ([`matrix_f32`]/[`matrix_f64`]) — generation is seeded and
 //! deterministic, so caching cannot change results.
 
+pub mod baseline;
+pub mod benchcli;
 pub mod experiments;
 pub mod harness;
 pub mod report;

@@ -21,6 +21,7 @@ struct ServeArgs {
     driver: DriverConfig,
     precision: String,
     out_dir: Option<String>,
+    trace_jobs: Option<String>,
 }
 
 fn usage() -> ! {
@@ -28,12 +29,14 @@ fn usage() -> ! {
         "usage: spgemm serve [--jobs N] [--workers N] [--seed S] \
          [--backend sim|host|host:N] [--dim N] [--nnz-per-row F] [--patterns N] \
          [--budget BYTES[K|M|G]] [--cache N] [--precision f32|f64] \
-         [--faults] [--no-verify] [--out-dir DIR]\n\
+         [--faults] [--no-verify] [--out-dir DIR] [--trace-jobs PATH]\n\
          Runs the deterministic multi-job driver through the SpGEMM engine:\n\
          admission control against a shared device-memory budget, plan cache\n\
          keyed on sparsity structure, batched fallback for oversized or\n\
          faulted jobs. --out-dir writes each job's product as jobNN.mtx;\n\
-         verification diffs every output bitwise against standalone multiply."
+         verification diffs every output bitwise against standalone multiply.\n\
+         --trace-jobs enables per-job span trees and writes the engine\n\
+         flight-recorder dump as JSONL to PATH (plus PATH.chrome.json)."
     );
     std::process::exit(2);
 }
@@ -50,8 +53,12 @@ fn parse_bytes(s: &str) -> Option<u64> {
 }
 
 fn parse_serve_args(argv: &[String]) -> ServeArgs {
-    let mut args =
-        ServeArgs { driver: DriverConfig::default(), precision: "f64".into(), out_dir: None };
+    let mut args = ServeArgs {
+        driver: DriverConfig::default(),
+        precision: "f64".into(),
+        out_dir: None,
+        trace_jobs: None,
+    };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
@@ -83,6 +90,10 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
             "--faults" => args.driver.faults = true,
             "--no-verify" => args.driver.verify = false,
             "--out-dir" => args.out_dir = Some(value()),
+            "--trace-jobs" => {
+                args.trace_jobs = Some(value());
+                args.driver.trace = true;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -133,6 +144,10 @@ fn print_report<T: Scalar>(args: &ServeArgs, rep: &DriverReport<T>) -> i32 {
         "latency     : p50 {} us, p90 {} us, p99 {} us, max {} us over {} jobs",
         s.latency.p50_us, s.latency.p90_us, s.latency.p99_us, s.latency.max_us, s.latency.count
     );
+    println!(
+        "queue wait  : p50 {} us, p90 {} us, p99 {} us, max {} us",
+        s.queue_wait.p50_us, s.queue_wait.p90_us, s.queue_wait.p99_us, s.queue_wait.max_us
+    );
     println!("budget      : {} B capacity, peak {} B reserved", s.budget_capacity, s.budget_peak);
     if args.driver.verify {
         if rep.mismatches == 0 {
@@ -150,6 +165,22 @@ fn print_report<T: Scalar>(args: &ServeArgs, rep: &DriverReport<T>) -> i32 {
             }
         }
         println!("outputs     : {dir}/jobNN.mtx");
+    }
+    if let Some(path) = &args.trace_jobs {
+        let dump = rep.flight_dump.as_deref().expect("trace enabled but no flight dump");
+        for (i, line) in dump.lines().enumerate() {
+            obs::json::validate(line)
+                .unwrap_or_else(|e| panic!("flight dump line {} is not valid JSON: {e}", i + 1));
+        }
+        std::fs::write(path, dump).expect("write --trace-jobs dump");
+        let chrome_path = format!("{path}.chrome.json");
+        let chrome = rep.flight_chrome.as_deref().expect("trace enabled but no chrome export");
+        obs::json::validate(chrome).expect("chrome export is not valid JSON");
+        std::fs::write(&chrome_path, chrome).expect("write chrome trace");
+        println!("job traces  : {path} ({} jobs), chrome trace {chrome_path}", s.jobs);
+        if let Some(t) = &rep.flight_trigger {
+            println!("flight trig : {t}");
+        }
     }
     if s.budget_drained {
         println!("leak check  : ok (budget drained)");

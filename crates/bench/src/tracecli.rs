@@ -33,6 +33,11 @@ fn usage() -> ! {
          [--algorithm proposal|cusparse|cusp|bhsparse] [--precision f32|f64] \
          [--device p100|v100|vega64] [--tiny] \
          [--jsonl OUT.jsonl] [--chrome-trace OUT.json] [--check]\n\
+         or:    trace --per-job [--jobs N] [--workers N] [--seed S] \
+         [--dim N] [--patterns N] [--faults] [--precision f32|f64]\n\
+         --per-job runs the seeded engine driver with job tracing and\n\
+         prints a per-job stage table (queue-wait, plan cache, symbolic,\n\
+         numeric, batched retries) plus p50/p90/p99 per stage.\n\
          datasets: {}",
         matgen::standard_datasets()
             .iter()
@@ -159,11 +164,130 @@ fn print_histogram(name: &str, h: &obs::Log2Histogram) {
 /// Execute the traced run and print every table. Returns the process
 /// exit code (non-zero when `--check` finds invalid output).
 pub fn run_trace(argv: &[String]) -> i32 {
+    if argv.iter().any(|a| a == "--per-job") {
+        return run_per_job(argv);
+    }
     let args = parse_args(argv);
     if args.precision == "f64" {
         run::<f64>(&args)
     } else {
         run::<f32>(&args)
+    }
+}
+
+/// Nearest-rank percentile over a sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p / 100.0).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// `trace --per-job`: the seeded driver with job tracing, rendered as a
+/// per-job stage table. Queue-wait and latency are wall-clock (vary run
+/// to run); symbolic/numeric are simulated device time (deterministic).
+fn run_per_job(argv: &[String]) -> i32 {
+    let mut cfg = engine::DriverConfig { trace: true, ..engine::DriverConfig::default() };
+    let mut precision = "f64".to_string();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--per-job" => {}
+            "--jobs" => cfg.jobs = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--dim" => cfg.dim = value().parse().unwrap_or_else(|_| usage()),
+            "--patterns" => cfg.patterns = value().parse().unwrap_or_else(|_| usage()),
+            "--faults" => cfg.faults = true,
+            "--precision" => precision = value().to_ascii_lowercase(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}' in --per-job mode");
+                usage()
+            }
+        }
+    }
+    if cfg.jobs == 0 || cfg.dim < 2 {
+        eprintln!("--jobs must be > 0 and --dim at least 2");
+        usage();
+    }
+    match precision.as_str() {
+        "f64" => per_job_report(&engine::run_driver::<f64>(&cfg), &cfg),
+        "f32" => per_job_report(&engine::run_driver::<f32>(&cfg), &cfg),
+        _ => {
+            eprintln!("precision must be f32 or f64");
+            usage()
+        }
+    }
+}
+
+fn per_job_report<T: Scalar>(rep: &engine::DriverReport<T>, cfg: &engine::DriverConfig) -> i32 {
+    println!(
+        "== per-job stages (seed {}, {} jobs, {} workers, faults {}) ==",
+        cfg.seed,
+        cfg.jobs,
+        cfg.workers,
+        if cfg.faults { "on" } else { "off" }
+    );
+    println!(
+        "  {:>3} {:>8} {:>7} {:>14} {:>12} {:>12} {:>12} {:>8}",
+        "job",
+        "route",
+        "cache",
+        "queue-wait us",
+        "latency us",
+        "symbolic us",
+        "numeric us",
+        "retries"
+    );
+    for (i, r) in rep.records.iter().enumerate() {
+        let route = match r.route {
+            Some(engine::Route::Direct) => "direct",
+            Some(engine::Route::Batched) => "batched",
+            None => "failed",
+        };
+        let cache = match r.cache {
+            Some(engine::CacheOutcome::Hit) => "hit",
+            Some(engine::CacheOutcome::Miss) => "miss",
+            Some(engine::CacheOutcome::Bypass) => "bypass",
+            None => "-",
+        };
+        println!(
+            "  {i:>3} {route:>8} {cache:>7} {:>14} {:>12} {:>12.1} {:>12.1} {:>8}",
+            r.queue_wait_us, r.latency_us, r.symbolic_us, r.numeric_us, r.retries
+        );
+    }
+    let stages: [(&str, Vec<f64>); 4] = [
+        ("queue-wait us", rep.records.iter().map(|r| r.queue_wait_us as f64).collect()),
+        ("latency us", rep.records.iter().map(|r| r.latency_us as f64).collect()),
+        ("symbolic us", rep.records.iter().map(|r| r.symbolic_us).collect()),
+        ("numeric us", rep.records.iter().map(|r| r.numeric_us).collect()),
+    ];
+    println!("\n  {:14} {:>12} {:>12} {:>12}", "stage", "p50", "p90", "p99");
+    for (name, mut v) in stages {
+        v.sort_by(f64::total_cmp);
+        println!(
+            "  {name:14} {:>12.1} {:>12.1} {:>12.1}",
+            percentile(&v, 50.0),
+            percentile(&v, 90.0),
+            percentile(&v, 99.0)
+        );
+    }
+    let retries: u32 = rep.records.iter().map(|r| r.retries).sum();
+    println!(
+        "\n  batched retries: {retries} total; {} of {} jobs failed",
+        rep.failures,
+        rep.records.len()
+    );
+    if let Some(t) = &rep.flight_trigger {
+        println!("  flight trig  : {t}");
+    }
+    if rep.failures > 0 {
+        1
+    } else {
+        0
     }
 }
 

@@ -53,6 +53,7 @@ pub struct BatchedExecutor<E> {
     capacity: u64,
     max_retries: u32,
     last_batches: usize,
+    last_retries: u32,
 }
 
 impl<E> BatchedExecutor<E> {
@@ -61,7 +62,13 @@ impl<E> BatchedExecutor<E> {
 
     /// Wrap `inner`, constraining every batch to `capacity` bytes.
     pub fn new(inner: E, capacity: u64) -> Self {
-        BatchedExecutor { inner, capacity, max_retries: Self::DEFAULT_MAX_RETRIES, last_batches: 0 }
+        BatchedExecutor {
+            inner,
+            capacity,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            last_batches: 0,
+            last_retries: 0,
+        }
     }
 
     /// Override the retry budget.
@@ -79,6 +86,13 @@ impl<E> BatchedExecutor<E> {
     /// (1 = ran unbatched; 0 = no multiply yet).
     pub fn batches_used(&self) -> usize {
         self.last_batches
+    }
+
+    /// Budget-halving retries the most recent successful multiply
+    /// consumed (0 = first attempt — or the unbatched fast path —
+    /// succeeded).
+    pub fn retries_used(&self) -> u32 {
+        self.last_retries
     }
 
     /// The wrapped executor.
@@ -311,6 +325,11 @@ impl<E> BatchedExecutor<E> {
         }
         let matrix = ops::vstack(&mats)
             .map_err(|e| Error::invariant(format!("batch stitch failed: {e}")))?;
+        self.emit::<T>(
+            obs::Event::new("stitch")
+                .u64("batches", batches.len() as u64)
+                .u64("rows", matrix.rows() as u64),
+        );
         let report = merge_reports::<T>(&reports, batches.len());
         let wall = merge_walls(&walls);
         Ok(Execution { matrix, report, wall })
@@ -361,6 +380,7 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
             // report merge with no batches (the old panic), and without
             // touching the device at all — there is nothing to compute.
             self.last_batches = 0;
+            self.last_retries = 0;
             let matrix = Csr::zeros(0, plan.cols);
             return Ok(Execution { matrix, report: zeroed_report::<T>(0), wall: None });
         }
@@ -371,6 +391,7 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
             .ok_or_else(|| crate::pipeline::overflow_err("whole-multiply byte estimate"))?;
         let capacity = self.capacity;
         self.last_batches = 0;
+        self.last_retries = 0;
 
         // Fast path: forecast fits — run unbatched; fall through to the
         // batched loop only on a recoverable (OOM) failure.
@@ -408,6 +429,14 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
                         format!("row {row} alone needs {need} B of device memory"),
                     )
                 })?;
+            // One span per attempt so the per-batch runs (and every
+            // device event they produce) nest under the retry that
+            // issued them. The attempt index doubles as the logical
+            // timestamp — the batched layer has no clock of its own.
+            let attempt_span = self.inner.telemetry_mut().map(|t| {
+                let span = t.span_begin("attempt", attempts as f64);
+                (span, t.set_parent(Some(span)))
+            });
             self.emit::<T>(
                 obs::Event::new("batched_plan")
                     .u64("attempt", attempts as u64)
@@ -416,9 +445,17 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
                     .u64("estimate_upper", estimate_upper)
                     .u64("capacity", capacity),
             );
-            match self.run_batches(a, b, opts, &batches) {
+            let res = self.run_batches(a, b, opts, &batches);
+            if let Some((span, prev)) = attempt_span {
+                if let Some(t) = self.inner.telemetry_mut() {
+                    t.set_parent(prev);
+                    t.span_end(span, attempts as f64 + 1.0);
+                }
+            }
+            match res {
                 Ok(run) => {
                     self.last_batches = batches.len();
+                    self.last_retries = attempts - 1;
                     return Ok(run);
                 }
                 Err(e) if e.recovery() == Recovery::RetrySmallerBatch => {

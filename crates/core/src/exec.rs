@@ -186,6 +186,15 @@ pub trait Executor<T: Scalar> {
     fn telemetry_mut(&mut self) -> Option<&mut obs::Telemetry> {
         None
     }
+
+    /// The backend's clock in simulated microseconds, when it has one.
+    /// The sim backend reports its device timeline (deterministic — a
+    /// pure function of the inputs); wall-clock backends return `None`.
+    /// Callers (the engine's per-phase accounting) subtract two reads to
+    /// attribute device time to a phase that spans several trait calls.
+    fn device_elapsed_us(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Exclusive prefix sum of per-row counts into a CSR row pointer.

@@ -131,9 +131,24 @@ impl HostParallelExecutor {
         }
     }
 
+    /// Install an existing telemetry session (the engine threads a
+    /// per-job session through the executor stack so engine spans and
+    /// backend events share one id space). Replaces any current one.
+    pub fn set_telemetry(&mut self, t: obs::Telemetry) {
+        self.telemetry = Some(Box::new(t));
+    }
+
     /// Detach the telemetry session (capture stops).
     pub fn take_telemetry(&mut self) -> Option<obs::Telemetry> {
         self.telemetry.take().map(|b| *b)
+    }
+
+    /// Record a deterministic stage marker (no wall times — traces must
+    /// stay byte-identical across runs) when telemetry is enabled.
+    fn mark_stage(&mut self, name: &str) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.emit(obs::Event::new("stage").str("name", name));
+        }
     }
 }
 
@@ -265,10 +280,12 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
         let setup = t0.elapsed();
 
         let t1 = Instant::now();
+        self.mark_stage("symbolic");
         let symbolic = self.execute_symbolic(&plan, a, b)?;
         let count = t1.elapsed();
 
         let t2 = Instant::now();
+        self.mark_stage("numeric");
         let mut run = self.execute_numeric(&plan, &symbolic, a, b)?;
         let calc = t2.elapsed();
 

@@ -153,16 +153,33 @@ impl<T: Scalar> Executor<T> for SimExecutor<'_> {
         self.gpu.telemetry_mut()
     }
 
+    fn device_elapsed_us(&self) -> Option<f64> {
+        Some(self.gpu.elapsed().us())
+    }
+
     fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>> {
         let plan = Executor::<T>::plan(self, a, b, opts)?;
         let mut allocs = OwnedAllocs::new();
-        match multiply_inner(self.gpu, &plan, a, b, &mut allocs) {
-            Ok(out) => {
-                allocs.free_all(self.gpu);
-                Ok(out)
+        // Open the run span here (not in the inner body) so it closes on
+        // error paths too, and make it the ambient parent so every
+        // device event of this run lands under it in the span tree.
+        let t_run0 = self.gpu.elapsed().us();
+        let run_span = self.gpu.telemetry_mut().map(|t| {
+            let span = t.span_begin("spgemm", t_run0);
+            (span, t.set_parent(Some(span)))
+        });
+        let res = multiply_inner(self.gpu, &plan, a, b, &mut allocs);
+        allocs.free_all(self.gpu);
+        let t_run1 = self.gpu.elapsed().us();
+        if let Some((span, prev)) = run_span {
+            if let Some(t) = self.gpu.telemetry_mut() {
+                t.set_parent(prev);
+                t.span_end(span, t_run1);
             }
+        }
+        match res {
+            Ok(out) => Ok(out),
             Err(e) => {
-                allocs.free_all(self.gpu);
                 self.gpu.set_phase(Phase::Other);
                 Err(e)
             }
@@ -206,8 +223,6 @@ fn multiply_inner<T: Scalar>(
 ) -> Result<Execution<T>> {
     let m = a.rows();
     let phase_before = gpu.profiler().phase_times();
-    let t_run0 = gpu.elapsed().us();
-    let run_span = gpu.telemetry_mut().map(|t| t.span_begin("spgemm", t_run0));
 
     // Device inputs; allocation time is outside the measured phases (the
     // paper's breakdown starts at its setup phase).
@@ -250,12 +265,6 @@ fn multiply_inner<T: Scalar>(
     gpu.set_phase(Phase::Calc);
     let (col_c, val_c, calc_probes) = run_numeric(gpu, a, b, plan, &nnz_row, &rpt_c)?;
     gpu.set_phase(Phase::Other);
-    if let Some(span) = run_span {
-        let t_run1 = gpu.elapsed().us();
-        if let Some(t) = gpu.telemetry_mut() {
-            t.span_end(span, t_run1);
-        }
-    }
     // Assemble the report from the profiler delta of this call.
     let report = report_from_delta(
         gpu,

@@ -49,6 +49,9 @@ pub struct DriverConfig {
     pub faults: bool,
     /// Recompute every job standalone and compare bitwise.
     pub verify: bool,
+    /// Build per-job span trees and a flight-recorder dump
+    /// ([`DriverReport::flight_dump`], DESIGN.md §15).
+    pub trace: bool,
 }
 
 impl Default for DriverConfig {
@@ -66,6 +69,7 @@ impl Default for DriverConfig {
             patterns: 3,
             faults: false,
             verify: true,
+            trace: false,
         }
     }
 }
@@ -79,6 +83,17 @@ pub struct JobRecord<T> {
     pub route: Option<Route>,
     /// Cache outcome (None when the job failed).
     pub cache: Option<CacheOutcome>,
+    /// Wall-clock submit → pickup wait in microseconds.
+    pub queue_wait_us: u64,
+    /// Wall-clock pickup → completion latency in microseconds.
+    pub latency_us: u64,
+    /// Simulated symbolic time (Setup + Count phases) in microseconds
+    /// (0 on the host backend, which has no simulated clock).
+    pub symbolic_us: f64,
+    /// Simulated numeric time (Malloc + Calc phases) in microseconds.
+    pub numeric_us: f64,
+    /// Budget-halving retries the batched route consumed.
+    pub retries: u32,
 }
 
 /// Everything a driver run produced.
@@ -94,6 +109,12 @@ pub struct DriverReport<T> {
     pub mismatches: usize,
     /// Jobs that completed with an error.
     pub failures: usize,
+    /// Flight-recorder JSONL dump (with [`DriverConfig::trace`]).
+    pub flight_dump: Option<String>,
+    /// Flight-recorder chrome-trace export (with `trace`).
+    pub flight_chrome: Option<String>,
+    /// Why the flight recorder tripped, if it did.
+    pub flight_trigger: Option<String>,
 }
 
 fn lcg(s: &mut u64) -> u64 {
@@ -132,8 +153,15 @@ fn job_mix<T: Scalar>(cfg: &DriverConfig) -> Vec<JobSpec<T>> {
                 spec = spec.with_rows(lo..hi.min(cfg.dim));
             }
             if cfg.faults && matches!(cfg.backend, Backend::Sim) && i % 5 == 4 {
-                let plan = FaultPlan::parse(&format!("seed={};malloc-oom=1", cfg.seed + i as u64))
-                    .expect("static fault spec");
+                // Two one-shot OOMs: the first trips the direct route
+                // into the batched fallback, the second fails the
+                // fallback's first attempt so it exercises the
+                // budget-halving retry before succeeding.
+                let plan = FaultPlan::parse(&format!(
+                    "seed={};malloc-oom=1;malloc-oom=2",
+                    cfg.seed + i as u64
+                ))
+                .expect("static fault spec");
                 spec = spec.with_faults(plan);
             }
             spec
@@ -178,22 +206,55 @@ pub fn run_driver<T: Scalar>(cfg: &DriverConfig) -> DriverReport<T> {
         device: cfg.device.clone(),
         budget_bytes: cfg.budget_bytes,
         cache_capacity: cfg.cache_capacity,
+        trace: cfg.trace,
+        ..EngineConfig::default()
     });
     let tickets: Vec<_> = specs.iter().map(|spec| eng.submit(spec.clone())).collect();
     let mut records = Vec::with_capacity(specs.len());
     let mut failures = 0;
+    let us = |d: std::time::Duration| d.as_micros().min(u64::MAX as u128) as u64;
+    let phase_us = |out: &crate::JobOutput<T>, phases: &[vgpu::Phase]| -> f64 {
+        out.report
+            .phase_times
+            .iter()
+            .filter(|(p, _)| phases.contains(p))
+            .map(|&(_, t)| t.us())
+            .sum::<f64>()
+            .max(0.0)
+    };
     for t in tickets {
         records.push(match t.wait() {
-            Ok(out) => {
-                JobRecord { output: Ok(out.matrix), route: Some(out.route), cache: Some(out.cache) }
-            }
+            Ok(out) => JobRecord {
+                queue_wait_us: us(out.queue_wait),
+                latency_us: us(out.latency),
+                symbolic_us: phase_us(&out, &[vgpu::Phase::Setup, vgpu::Phase::Count]),
+                numeric_us: phase_us(&out, &[vgpu::Phase::Malloc, vgpu::Phase::Calc]),
+                retries: out.batched_retries,
+                route: Some(out.route),
+                cache: Some(out.cache),
+                output: Ok(out.matrix),
+            },
             Err(e) => {
                 failures += 1;
-                JobRecord { output: Err(e.to_string()), route: None, cache: None }
+                JobRecord {
+                    output: Err(e.to_string()),
+                    route: None,
+                    cache: None,
+                    queue_wait_us: 0,
+                    latency_us: 0,
+                    symbolic_us: 0.0,
+                    numeric_us: 0.0,
+                    retries: 0,
+                }
             }
         });
     }
+    let flight = cfg.trace.then(|| eng.flight());
     let stats = eng.shutdown();
+    let (flight_dump, flight_chrome, flight_trigger) = match flight {
+        Some(rec) => (Some(rec.dump(&stats)), Some(rec.chrome()), rec.triggered()),
+        None => (None, None, None),
+    };
     let mut mismatches = 0;
     if cfg.verify {
         for (spec, rec) in specs.iter().zip(&records) {
@@ -205,7 +266,15 @@ pub fn run_driver<T: Scalar>(cfg: &DriverConfig) -> DriverReport<T> {
             }
         }
     }
-    DriverReport { records, stats, mismatches, failures }
+    DriverReport {
+        records,
+        stats,
+        mismatches,
+        failures,
+        flight_dump,
+        flight_chrome,
+        flight_trigger,
+    }
 }
 
 #[cfg(test)]

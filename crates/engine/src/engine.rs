@@ -30,6 +30,7 @@
 
 use crate::cache::{CacheStats, PlanCache, PlanKey};
 use crate::job::{CacheOutcome, EffectiveA, JobOutput, JobSpec, Route};
+use crate::recorder::{FlightRecorder, PhaseSpan, TraceBuilder};
 use crate::Result;
 use nsparse_core::{
     estimate_memory, Backend, BatchedExecutor, Error, Executor, HostParallelExecutor, Recovery,
@@ -39,8 +40,12 @@ use sparse::{Csr, Scalar};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vgpu::{DeviceConfig, Gpu, SharedBudget, SpgemmReport};
+
+/// The per-job tracer threaded through the worker's routing path:
+/// `None` when tracing is off (the untraced path pays nothing).
+type Tracer = Option<TraceBuilder>;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -55,6 +60,12 @@ pub struct EngineConfig {
     pub budget_bytes: Option<u64>,
     /// Plan-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Build a per-job span tree for every job and feed the flight
+    /// recorder (DESIGN.md §15). Off by default: tracing allocates a
+    /// telemetry session per job.
+    pub trace: bool,
+    /// Flight-recorder ring capacity (recent job traces retained).
+    pub flight_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +76,8 @@ impl Default for EngineConfig {
             device: DeviceConfig::p100(),
             budget_bytes: None,
             cache_capacity: 64,
+            trace: false,
+            flight_capacity: 64,
         }
     }
 }
@@ -106,8 +119,16 @@ pub struct EngineStats {
     pub symbolic_runs: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
-    /// Per-job latency percentiles.
+    /// Per-job latency percentiles (worker pickup → completion).
     pub latency: LatencySummary,
+    /// Per-job queue-wait percentiles (submit → worker pickup) — the
+    /// admission wait that job latency alone never showed.
+    pub queue_wait: LatencySummary,
+    /// Every completed job's latency, bucketed (not synthetic samples —
+    /// the histogram the registry export merges).
+    pub latency_hist: obs::Log2Histogram,
+    /// Every completed job's queue wait, bucketed.
+    pub queue_wait_hist: obs::Log2Histogram,
     /// Admission budget capacity in bytes.
     pub budget_capacity: u64,
     /// High-water mark of concurrent reservations.
@@ -134,9 +155,12 @@ impl EngineStats {
         r.counter_add("engine.cache.evict", self.cache.evictions);
         r.gauge_set("engine.budget.capacity_bytes", self.budget_capacity as f64);
         r.gauge_set("engine.budget.peak_bytes", self.budget_peak as f64);
-        r.hist_record("engine.job_latency_us", self.latency.p50_us);
-        r.hist_record("engine.job_latency_us", self.latency.p90_us);
-        r.hist_record("engine.job_latency_us", self.latency.max_us);
+        // Every completed job's sample, not three synthetic percentile
+        // values: the exported histogram now has the job count and real
+        // bucket shape.
+        r.hist_merge("engine.job_latency_us", &self.latency_hist);
+        r.hist_merge("engine.queue_wait_us", &self.queue_wait_hist);
+        r.counter_add("engine.queue_wait_us_total", self.queue_wait_hist.sum());
         r
     }
 }
@@ -151,10 +175,31 @@ struct Counters {
     failed: u64,
     symbolic_runs: u64,
     latencies_us: Vec<u64>,
+    queue_waits_us: Vec<u64>,
+    latency_hist: obs::Log2Histogram,
+    queue_wait_hist: obs::Log2Histogram,
 }
 
 #[derive(Debug, Default)]
 struct Metrics(Mutex<Counters>);
+
+fn summarize(mut us: Vec<u64>) -> LatencySummary {
+    us.sort_unstable();
+    let pct = |q: f64| {
+        if us.is_empty() {
+            0
+        } else {
+            us[((q * us.len() as f64).ceil() as usize).clamp(1, us.len()) - 1]
+        }
+    };
+    LatencySummary {
+        count: us.len() as u64,
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        max_us: us.last().copied().unwrap_or(0),
+    }
+}
 
 impl Metrics {
     fn with<R>(&self, f: impl FnOnce(&mut Counters) -> R) -> R {
@@ -162,22 +207,11 @@ impl Metrics {
     }
 
     fn latency(&self) -> LatencySummary {
-        let mut us = self.with(|c| c.latencies_us.clone());
-        us.sort_unstable();
-        let pct = |q: f64| {
-            if us.is_empty() {
-                0
-            } else {
-                us[((q * us.len() as f64).ceil() as usize).clamp(1, us.len()) - 1]
-            }
-        };
-        LatencySummary {
-            count: us.len() as u64,
-            p50_us: pct(0.50),
-            p90_us: pct(0.90),
-            p99_us: pct(0.99),
-            max_us: us.last().copied().unwrap_or(0),
-        }
+        summarize(self.with(|c| c.latencies_us.clone()))
+    }
+
+    fn queue_wait(&self) -> LatencySummary {
+        summarize(self.with(|c| c.queue_waits_us.clone()))
     }
 }
 
@@ -211,8 +245,10 @@ impl<T> JobTicket<T> {
 }
 
 struct Pending<T> {
+    id: u64,
     spec: JobSpec<T>,
     slot: Arc<Slot<T>>,
+    submitted: Instant,
 }
 
 struct Queue<T> {
@@ -226,6 +262,7 @@ struct Shared<T> {
     budget: SharedBudget,
     cache: PlanCache<T>,
     metrics: Metrics,
+    recorder: Arc<FlightRecorder>,
 }
 
 /// The SpGEMM job engine. See the [crate docs](crate) for the model.
@@ -244,6 +281,7 @@ impl<T: Scalar> Engine<T> {
             cache: PlanCache::new(cfg.cache_capacity),
             metrics: Metrics::default(),
             queue: Queue { state: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() },
+            recorder: Arc::new(FlightRecorder::new(cfg.flight_capacity)),
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -267,7 +305,7 @@ impl<T: Scalar> Engine<T> {
         let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
         {
             let mut g = self.shared.queue.state.lock().expect("queue poisoned");
-            g.0.push_back(Pending { spec, slot: Arc::clone(&slot) });
+            g.0.push_back(Pending { id, spec, slot: Arc::clone(&slot), submitted: Instant::now() });
         }
         self.shared.queue.ready.notify_one();
         JobTicket { id, slot }
@@ -281,24 +319,13 @@ impl<T: Scalar> Engine<T> {
     /// Counter snapshot (valid any time; percentiles cover completed
     /// jobs so far).
     pub fn stats(&self) -> EngineStats {
-        let m = &self.shared.metrics;
-        let (jobs, admitted, queued, batched, fallback, failed, symbolic_runs) = m.with(|c| {
-            (c.jobs, c.admitted, c.queued, c.batched, c.fallback, c.failed, c.symbolic_runs)
-        });
-        EngineStats {
-            jobs,
-            admitted,
-            queued,
-            batched,
-            fallback,
-            failed,
-            symbolic_runs,
-            cache: self.shared.cache.stats(),
-            latency: m.latency(),
-            budget_capacity: self.shared.budget.capacity(),
-            budget_peak: self.shared.budget.peak_reserved(),
-            budget_drained: self.shared.budget.drained(),
-        }
+        stats_of(&self.shared)
+    }
+
+    /// The engine's flight recorder — keep a clone of the [`Arc`] to
+    /// dump it after [`Engine::shutdown`] (which returns final stats).
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
     }
 
     /// Drain the queue, stop the workers and return the final stats.
@@ -316,6 +343,49 @@ impl<T: Scalar> Engine<T> {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Budget-leak detection: with every worker joined, all
+        // reservations must have been released. A leak trips the
+        // flight recorder so the last traces survive for diagnosis.
+        if !self.shared.budget.drained() {
+            self.shared.recorder.trigger("budget leak at shutdown", &stats_of(&self.shared));
+        }
+    }
+}
+
+/// Snapshot the counters (shared by [`Engine::stats`] and the worker
+/// threads, which need stats at flight-recorder trigger time).
+fn stats_of<T: Scalar>(shared: &Shared<T>) -> EngineStats {
+    let m = &shared.metrics;
+    let (jobs, admitted, queued, batched, fallback, failed, symbolic_runs, lat_h, qw_h) =
+        m.with(|c| {
+            (
+                c.jobs,
+                c.admitted,
+                c.queued,
+                c.batched,
+                c.fallback,
+                c.failed,
+                c.symbolic_runs,
+                c.latency_hist.clone(),
+                c.queue_wait_hist.clone(),
+            )
+        });
+    EngineStats {
+        jobs,
+        admitted,
+        queued,
+        batched,
+        fallback,
+        failed,
+        symbolic_runs,
+        cache: shared.cache.stats(),
+        latency: m.latency(),
+        queue_wait: m.queue_wait(),
+        latency_hist: lat_h,
+        queue_wait_hist: qw_h,
+        budget_capacity: shared.budget.capacity(),
+        budget_peak: shared.budget.peak_reserved(),
+        budget_drained: shared.budget.drained(),
     }
 }
 
@@ -340,29 +410,63 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
             }
         };
         let t0 = Instant::now();
-        let result = process_job(shared, &job.spec);
+        let queue_wait = t0.duration_since(job.submitted);
+        let mut tracer: Tracer = shared.cfg.trace.then(|| TraceBuilder::new(job.id));
+        if let Some(tb) = tracer.as_mut() {
+            // The wait is over the moment the worker picks the job up;
+            // the span records *that it happened and where* — the wall
+            // duration is scheduling-dependent and lives only in the
+            // aggregate queue-wait metrics, never in the trace.
+            let qs = tb.begin("queue_wait");
+            tb.end(qs);
+        }
+        let result = process_job(shared, &job.spec, &mut tracer);
         let latency = t0.elapsed();
+        let us = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
         shared.metrics.with(|c| {
-            c.latencies_us.push(latency.as_micros().min(u64::MAX as u128) as u64);
+            c.latencies_us.push(us(latency));
+            c.latency_hist.record(us(latency));
+            c.queue_waits_us.push(us(queue_wait));
+            c.queue_wait_hist.record(us(queue_wait));
             if result.is_err() {
                 c.failed += 1;
             }
         });
-        let output = result.map(|(matrix, report, route, cache)| JobOutput {
+        if let Some(tb) = tracer.take() {
+            let err = result.as_ref().err().map(|e| e.to_string());
+            shared.recorder.record(tb.finish(err.as_deref()));
+        }
+        if let Err(e) = &result {
+            if e.recovery() == Recovery::Fatal {
+                // Non-retryable failure: trip the flight recorder with
+                // the counter state as of this moment.
+                shared.recorder.trigger(
+                    &format!("job {} failed (non-retryable): {e}", job.id),
+                    &stats_of(shared),
+                );
+            }
+        }
+        let output = result.map(|(matrix, report, route, cache, batched_retries)| JobOutput {
             matrix,
             report,
             route,
             cache,
             latency,
+            queue_wait,
+            batched_retries,
         });
         *job.slot.result.lock().expect("job slot poisoned") = Some(output);
         job.slot.done.notify_all();
     }
 }
 
-type Finished<T> = (Csr<T>, SpgemmReport, Route, CacheOutcome);
+type Finished<T> = (Csr<T>, SpgemmReport, Route, CacheOutcome, u32);
 
-fn process_job<T: Scalar>(shared: &Shared<T>, spec: &JobSpec<T>) -> Result<Finished<T>> {
+fn process_job<T: Scalar>(
+    shared: &Shared<T>,
+    spec: &JobSpec<T>,
+    tr: &mut Tracer,
+) -> Result<Finished<T>> {
     spec.validate(&shared.cfg.backend)?;
     let a: EffectiveA<'_, T> = spec.effective_a()?;
     let a = a.as_ref();
@@ -374,30 +478,97 @@ fn process_job<T: Scalar>(shared: &Shared<T>, spec: &JobSpec<T>) -> Result<Finis
         // Can never fit whole: the batched route owns the full budget
         // while it runs (its internal batches stay under it).
         shared.metrics.with(|c| c.batched += 1);
+        let adm = t_begin(tr, "admission");
+        t_emit(tr, obs::Event::new("reserve").u64("bytes", capacity).str("route", "batched"));
         reserve(shared, capacity);
-        let r = run_batched(shared, spec, a, b, capacity);
+        t_end(tr, adm);
+        let r = run_batched(shared, spec, a, b, capacity, tr);
         shared.budget.release(capacity);
-        return r.map(|(m, rep)| (m, rep, Route::Batched, CacheOutcome::Bypass));
+        return r.map(|(m, rep, retries)| (m, rep, Route::Batched, CacheOutcome::Bypass, retries));
     }
 
+    let adm = t_begin(tr, "admission");
+    t_emit(tr, obs::Event::new("reserve").u64("bytes", est).str("route", "direct"));
     reserve(shared, est);
+    t_end(tr, adm);
     shared.metrics.with(|c| c.admitted += 1);
-    let direct = run_direct(shared, spec, a, b, est);
+    let direct = run_direct(shared, spec, a, b, est, tr);
     match direct {
         Err(e) if e.recovery() == Recovery::RetrySmallerBatch => {
             // The forecast was admitted but the device still ran out
             // (fault injection, adversarial estimates): retry batched.
             shared.budget.release(est);
             shared.metrics.with(|c| c.fallback += 1);
+            t_emit(tr, obs::Event::new("fallback").str("cause", &e.to_string()));
+            let adm = t_begin(tr, "admission");
+            t_emit(tr, obs::Event::new("reserve").u64("bytes", capacity).str("route", "fallback"));
             reserve(shared, capacity);
-            let r = run_batched(shared, spec, a, b, capacity);
+            t_end(tr, adm);
+            let r = run_batched(shared, spec, a, b, capacity, tr);
             shared.budget.release(capacity);
-            r.map(|(m, rep)| (m, rep, Route::Batched, CacheOutcome::Bypass))
+            r.map(|(m, rep, retries)| (m, rep, Route::Batched, CacheOutcome::Bypass, retries))
         }
         other => {
             shared.budget.release(est);
-            other.map(|(m, rep, cache)| (m, rep, Route::Direct, cache))
+            other.map(|(m, rep, cache)| (m, rep, Route::Direct, cache, 0))
         }
+    }
+}
+
+// ---- tracer helpers ----
+//
+// `t_*` operate on the TraceBuilder's own session (engine-side spans,
+// before/after the session is installed into a backend). `x_*` operate
+// through `Executor::telemetry_mut` — the same session, reached inside
+// the device while it is installed — but draw timestamps from the
+// TraceBuilder's logical clock so the sequence stays a pure function of
+// the code path.
+
+fn t_begin(tr: &mut Tracer, name: &str) -> Option<PhaseSpan> {
+    tr.as_mut().and_then(|tb| tb.begin(name))
+}
+
+fn t_end(tr: &mut Tracer, phase: Option<PhaseSpan>) {
+    if let Some(tb) = tr.as_mut() {
+        tb.end(phase);
+    }
+}
+
+fn t_emit(tr: &mut Tracer, event: obs::Event) {
+    if let Some(tb) = tr.as_mut() {
+        tb.emit(event);
+    }
+}
+
+fn x_begin<T: Scalar, E: Executor<T>>(
+    exec: &mut E,
+    tr: &mut Tracer,
+    name: &str,
+) -> Option<PhaseSpan> {
+    let tb = tr.as_mut()?;
+    let t_us = tb.tick();
+    exec.telemetry_mut().map(|t| {
+        let span = t.span_begin(name, t_us);
+        let prev = t.set_parent(Some(span));
+        PhaseSpan { span, prev }
+    })
+}
+
+fn x_end<T: Scalar, E: Executor<T>>(exec: &mut E, tr: &mut Tracer, phase: Option<PhaseSpan>) {
+    let Some(tb) = tr.as_mut() else { return };
+    let t_us = tb.tick();
+    if let (Some(p), Some(t)) = (phase, exec.telemetry_mut()) {
+        t.set_parent(p.prev);
+        t.span_end(p.span, t_us);
+    }
+}
+
+fn x_emit<T: Scalar, E: Executor<T>>(exec: &mut E, tr: &mut Tracer, event: obs::Event) {
+    if tr.is_none() {
+        return;
+    }
+    if let Some(t) = exec.telemetry_mut() {
+        t.emit(event);
     }
 }
 
@@ -416,6 +587,7 @@ fn run_direct<T: Scalar>(
     a: &Csr<T>,
     b: &Csr<T>,
     est: u64,
+    tr: &mut Tracer,
 ) -> Result<(Csr<T>, SpgemmReport, CacheOutcome)> {
     match shared.cfg.backend {
         Backend::Sim => {
@@ -428,10 +600,20 @@ fn run_direct<T: Scalar>(
             if let Some(faults) = &spec.faults {
                 gpu.set_fault_plan(faults.clone());
             }
+            // Install the job's telemetry session into the device so
+            // engine spans and device events build one tree; always
+            // retrieve it before propagating errors.
+            if let Some(tb) = tr.as_mut() {
+                gpu.set_telemetry(tb.take_tel());
+            }
             let out = {
                 let mut exec = SimExecutor::new(&mut gpu);
-                run_with_cache(shared, &mut exec, a, b, spec)?
+                run_with_cache(shared, &mut exec, a, b, spec, tr)
             };
+            if let Some(tb) = tr.as_mut() {
+                tb.put_tel(gpu.take_telemetry());
+            }
+            let out = out?;
             let live = gpu.live_mem_bytes();
             if live != 0 {
                 return Err(Error::invariant(format!("job leaked {live} B of device memory")));
@@ -440,28 +622,56 @@ fn run_direct<T: Scalar>(
         }
         Backend::Host { threads } => {
             let mut exec = HostParallelExecutor::with_config(threads, shared.cfg.device.clone());
-            run_with_cache(shared, &mut exec, a, b, spec)
+            if let Some(tb) = tr.as_mut() {
+                exec.set_telemetry(tb.take_tel());
+            }
+            let out = run_with_cache(shared, &mut exec, a, b, spec, tr);
+            if let Some(tb) = tr.as_mut() {
+                tb.put_tel(exec.take_telemetry());
+            }
+            out
         }
     }
 }
 
 /// The cache-aware direct multiply: hit → numeric phase only, miss →
-/// plan cold and publish the plan.
+/// plan cold and publish the plan. Phase spans go through the
+/// executor's telemetry — the job session lives inside the device here.
 fn run_with_cache<T: Scalar, E: Executor<T>>(
     shared: &Shared<T>,
     exec: &mut E,
     a: &Csr<T>,
     b: &Csr<T>,
     spec: &JobSpec<T>,
+    tr: &mut Tracer,
 ) -> Result<(Csr<T>, SpgemmReport, CacheOutcome)> {
     let key = PlanKey::new(a, b, &spec.opts);
     if let Some(plan) = shared.cache.lookup(&key) {
-        let run = plan.execute_with(exec, a, b)?;
+        x_emit(exec, tr, obs::Event::new("plan_cache").str("outcome", "hit"));
+        let ns = x_begin(exec, tr, "numeric");
+        let run = plan.execute_with(exec, a, b);
+        x_end(exec, tr, ns);
+        let run = run?;
         return Ok((run.matrix, run.report, CacheOutcome::Hit));
     }
-    let plan = SymbolicPlan::from_executor(exec, a, b, &spec.opts)?;
+    x_emit(exec, tr, obs::Event::new("plan_cache").str("outcome", "miss"));
+    let sym0 = exec.device_elapsed_us();
+    let ss = x_begin(exec, tr, "symbolic");
+    let plan = SymbolicPlan::from_executor(exec, a, b, &spec.opts);
+    x_end(exec, tr, ss);
+    let plan = plan?;
+    let sym_us = exec.device_elapsed_us().zip(sym0).map(|(t1, t0)| t1 - t0);
     shared.metrics.with(|c| c.symbolic_runs += 1);
-    let run = plan.execute_with(exec, a, b)?;
+    let ns = x_begin(exec, tr, "numeric");
+    let run = plan.execute_with(exec, a, b);
+    x_end(exec, tr, ns);
+    let mut run = run?;
+    // The numeric report only covers `execute_with`; attribute the
+    // planning window (setup + count) back into it so per-job stage
+    // accounting sees the symbolic cost a cache hit would have skipped.
+    if let Some(us) = sym_us {
+        run.report.phase_times.push((vgpu::Phase::Setup, vgpu::SimTime::from_us(us)));
+    }
     shared.cache.insert(key, Arc::new(plan));
     Ok((run.matrix, run.report, CacheOutcome::Miss))
 }
@@ -472,7 +682,8 @@ fn run_batched<T: Scalar>(
     a: &Csr<T>,
     b: &Csr<T>,
     capacity: u64,
-) -> Result<(Csr<T>, SpgemmReport)> {
+    tr: &mut Tracer,
+) -> Result<(Csr<T>, SpgemmReport, u32)> {
     let mut dev = shared.cfg.device.clone();
     dev.device_mem_bytes = capacity.max(1);
     match shared.cfg.backend {
@@ -481,20 +692,40 @@ fn run_batched<T: Scalar>(
             if let Some(faults) = &spec.faults {
                 gpu.set_fault_plan(faults.clone());
             }
-            let run = {
+            if let Some(tb) = tr.as_mut() {
+                gpu.set_telemetry(tb.take_tel());
+            }
+            let (run, retries) = {
                 let mut exec = BatchedExecutor::sim(&mut gpu);
-                exec.multiply(a, b, &spec.opts)?
+                let bs = x_begin::<T, _>(&mut exec, tr, "batched");
+                let run = Executor::<T>::multiply(&mut exec, a, b, &spec.opts);
+                x_end::<T, _>(&mut exec, tr, bs);
+                (run, exec.retries_used())
             };
+            if let Some(tb) = tr.as_mut() {
+                tb.put_tel(gpu.take_telemetry());
+            }
+            let run = run?;
             let live = gpu.live_mem_bytes();
             if live != 0 {
                 return Err(Error::invariant(format!("job leaked {live} B of device memory")));
             }
-            Ok((run.matrix, run.report))
+            Ok((run.matrix, run.report, retries))
         }
         Backend::Host { threads } => {
             let mut exec = BatchedExecutor::host(threads, dev);
-            let run = exec.multiply(a, b, &spec.opts)?;
-            Ok((run.matrix, run.report))
+            if let Some(tb) = tr.as_mut() {
+                exec.inner_mut().set_telemetry(tb.take_tel());
+            }
+            let bs = x_begin::<T, _>(&mut exec, tr, "batched");
+            let run = Executor::<T>::multiply(&mut exec, a, b, &spec.opts);
+            x_end::<T, _>(&mut exec, tr, bs);
+            let retries = exec.retries_used();
+            if let Some(tb) = tr.as_mut() {
+                tb.put_tel(exec.inner_mut().take_telemetry());
+            }
+            let run = run?;
+            Ok((run.matrix, run.report, retries))
         }
     }
 }

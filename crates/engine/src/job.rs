@@ -158,6 +158,12 @@ pub struct JobOutput<T> {
     pub cache: CacheOutcome,
     /// Wall-clock latency from worker pickup to completion.
     pub latency: Duration,
+    /// Wall-clock wait from submission to worker pickup — the queue
+    /// time `latency` never included.
+    pub queue_wait: Duration,
+    /// Budget-halving retries the batched route consumed (0 on the
+    /// direct route or when the first batched attempt succeeded).
+    pub batched_retries: u32,
 }
 
 #[cfg(test)]

@@ -53,11 +53,13 @@ pub mod cache;
 pub mod driver;
 mod engine;
 pub mod job;
+pub mod recorder;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use driver::{run_driver, DriverConfig, DriverReport, JobRecord};
 pub use engine::{Engine, EngineConfig, EngineStats, JobTicket, LatencySummary};
 pub use job::{CacheOutcome, JobOutput, JobSpec, Route};
+pub use recorder::{FlightRecorder, JobTrace, TraceBuilder};
 
 /// Jobs fail with the core pipeline's classified error taxonomy.
 pub type Result<T> = std::result::Result<T, nsparse_core::Error>;

@@ -47,17 +47,39 @@ pub struct Telemetry {
     pub events: EventLog,
     open_spans: Vec<OpenSpan>,
     next_span: u64,
+    parent: Option<u64>,
 }
 
 /// Handle to a span opened with [`Telemetry::span_begin`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanId(u64);
 
+impl SpanId {
+    /// The raw span id (the `id` field of the emitted `span` event).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Job-scoped trace context: which job the current work belongs to and
+/// the span new spans and events should be parented under. The engine
+/// constructs one per job at worker pickup and threads it through the
+/// executor stack into device telemetry, producing one causal span tree
+/// per job (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Submission-order job id.
+    pub job: u64,
+    /// The job's root span; children parent under it by default.
+    pub parent: SpanId,
+}
+
 #[derive(Debug, Clone)]
 struct OpenSpan {
     id: u64,
     name: String,
     start_us: f64,
+    parent: Option<u64>,
 }
 
 impl Telemetry {
@@ -66,33 +88,65 @@ impl Telemetry {
         Self::default()
     }
 
-    /// Record a structured event.
+    /// Record a structured event. When a parent span context is set
+    /// ([`Telemetry::set_parent`]), a `parent` field carrying that span's
+    /// id is appended, so device events land under the phase that issued
+    /// them in the reconstructed span tree.
     pub fn emit(&mut self, event: Event) {
+        let event = match self.parent {
+            Some(p) if event.field("parent").is_none() => event.u64("parent", p),
+            _ => event,
+        };
         self.events.push(event);
     }
 
-    /// Open a named span at simulated time `t_us` (microseconds).
-    /// Close it with [`Telemetry::span_end`]; nesting and interleaving
-    /// are allowed (spans are matched by id, not by a stack).
+    /// Open a named span at simulated time `t_us` (microseconds),
+    /// parented under the current context span (if any). Close it with
+    /// [`Telemetry::span_end`]; nesting and interleaving are allowed
+    /// (spans are matched by id, not by a stack).
     pub fn span_begin(&mut self, name: &str, t_us: f64) -> SpanId {
         let id = self.next_span;
         self.next_span += 1;
-        self.open_spans.push(OpenSpan { id, name: name.to_string(), start_us: t_us });
+        self.open_spans.push(OpenSpan {
+            id,
+            name: name.to_string(),
+            start_us: t_us,
+            parent: self.parent,
+        });
         SpanId(id)
     }
 
-    /// Close a span at time `t_us`, emitting its `span` event. Unknown
-    /// ids are ignored (a span may have been dropped by a reset).
+    /// Close a span at time `t_us`, emitting its `span` event (with the
+    /// span's `id` and, when parented, its `parent` id). Unknown ids are
+    /// ignored (a span may have been dropped by a reset).
     pub fn span_end(&mut self, span: SpanId, t_us: f64) {
         if let Some(pos) = self.open_spans.iter().position(|s| s.id == span.0) {
             let s = self.open_spans.remove(pos);
-            self.emit(
-                Event::new("span")
-                    .str("name", &s.name)
-                    .f64("t_us", s.start_us)
-                    .f64("dur_us", t_us - s.start_us),
-            );
+            let mut e = Event::new("span").str("name", &s.name).u64("id", s.id);
+            if let Some(p) = s.parent {
+                e = e.u64("parent", p);
+            }
+            // Push directly: the span's parent was fixed at begin time,
+            // not by whatever context is ambient at end time.
+            self.events.push(e.f64("t_us", s.start_us).f64("dur_us", t_us - s.start_us));
         }
+    }
+
+    /// Set the parent span new spans and events attach under; returns
+    /// the previous context so callers can restore it (scoped use).
+    pub fn set_parent(&mut self, parent: Option<SpanId>) -> Option<SpanId> {
+        std::mem::replace(&mut self.parent, parent.map(|s| s.0)).map(SpanId)
+    }
+
+    /// The current parent span context.
+    pub fn parent(&self) -> Option<SpanId> {
+        self.parent.map(SpanId)
+    }
+
+    /// Spans begun but not yet ended — 0 after a well-formed capture
+    /// (every `span_begin` matched by a `span_end`).
+    pub fn open_span_count(&self) -> usize {
+        self.open_spans.len()
     }
 
     /// Snapshot of the registry for embedding into reports.
@@ -125,6 +179,50 @@ mod tests {
         assert!(lines[0].contains("\"dur_us\":2"));
         assert!(lines[1].contains("\"name\":\"count\""));
         assert!(lines[1].contains("\"dur_us\":10"));
+    }
+
+    #[test]
+    fn spans_and_events_parent_under_the_context_span() {
+        let mut t = Telemetry::new();
+        let root = t.span_begin("job", 0.0);
+        let prev = t.set_parent(Some(root));
+        assert_eq!(prev, None);
+        let child = t.span_begin("numeric", 1.0);
+        t.set_parent(Some(child));
+        t.emit(Event::new("alloc").u64("bytes", 64));
+        t.set_parent(Some(root));
+        t.span_end(child, 2.0);
+        t.set_parent(None);
+        t.span_end(root, 3.0);
+        let text = t.to_jsonl();
+        let lines: Vec<&str> = text.lines().map(str::trim).collect::<Vec<_>>();
+        // The alloc event carries the numeric span's id as parent.
+        assert!(lines[0].contains(&format!("\"parent\":{}", child.raw())), "{}", lines[0]);
+        // The numeric span is parented under the root; the root has no
+        // parent field (it was begun with no context set).
+        assert!(lines[1].contains(&format!("\"id\":{}", child.raw())));
+        assert!(lines[1].contains(&format!("\"parent\":{}", root.raw())));
+        assert!(lines[2].contains(&format!("\"id\":{}", root.raw())));
+        assert!(!lines[2].contains("\"parent\""));
+        assert_eq!(t.open_span_count(), 0);
+        for line in &lines {
+            json::validate(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn span_parent_is_fixed_at_begin_not_end() {
+        let mut t = Telemetry::new();
+        let a = t.span_begin("a", 0.0);
+        t.set_parent(Some(a));
+        let b = t.span_begin("b", 1.0);
+        // Even with a different ambient context at end time, b's parent
+        // stays a.
+        t.set_parent(None);
+        t.span_end(b, 2.0);
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains(&format!("\"parent\":{}", a.raw())));
+        assert_eq!(t.open_span_count(), 1);
     }
 
     #[test]

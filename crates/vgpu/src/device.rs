@@ -149,6 +149,15 @@ impl Gpu {
         self.mem.enable_tracking();
     }
 
+    /// Install an existing telemetry session — the engine hands each
+    /// job's trace (root span already open, parent context set) to the
+    /// device so allocs, kernels and faults land in the job's span tree.
+    /// Take it back with [`Gpu::take_telemetry`].
+    pub fn set_telemetry(&mut self, t: obs::Telemetry) {
+        self.telemetry = Some(Box::new(t));
+        self.mem.enable_tracking();
+    }
+
     /// Whether telemetry capture is on.
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry.is_some()

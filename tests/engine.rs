@@ -73,6 +73,88 @@ fn fault_injected_mix_recovers_and_leaks_nothing() {
 }
 
 #[test]
+fn job_traces_are_byte_identical_across_runs_and_worker_counts() {
+    // Caching disabled: hit/miss outcomes are the one part of a job's
+    // trace that depends on scheduling order, so with it off every
+    // job's tree is a pure function of the job spec — identical at any
+    // worker count. Timestamps are already schedule-free by design
+    // (logical sequence clock + per-job simulated time).
+    let cfg = |workers| DriverConfig {
+        jobs: 8,
+        workers,
+        seed: 11,
+        dim: 96,
+        cache_capacity: 0,
+        verify: false,
+        trace: true,
+        ..DriverConfig::default()
+    };
+    let one = run_driver::<f64>(&cfg(1));
+    let again = run_driver::<f64>(&cfg(1));
+    let four = run_driver::<f64>(&cfg(4));
+    let dump = one.flight_dump.expect("tracing produces a dump");
+    assert_eq!(dump, again.flight_dump.unwrap(), "identical runs must dump identical bytes");
+    assert_eq!(dump, four.flight_dump.unwrap(), "worker count must not change job traces");
+    assert!(dump.lines().count() > 8, "one header plus a tree per job");
+    for line in dump.lines() {
+        obs::json::validate(line).expect("dump is valid JSONL");
+    }
+    assert_eq!(one.flight_chrome.unwrap(), four.flight_chrome.unwrap());
+}
+
+#[test]
+fn faulted_job_trace_shows_retry_and_batched_completion() {
+    // Job 4 carries the injected double OOM: its trace must tell the
+    // whole recovery story under one job id — direct attempt, fallback,
+    // failed first batched attempt, budget-halving retry, completion.
+    let cfg = DriverConfig {
+        jobs: 5,
+        workers: 1,
+        seed: 7,
+        dim: 128,
+        faults: true,
+        verify: false,
+        trace: true,
+        ..DriverConfig::default()
+    };
+    let rep = run_driver::<f64>(&cfg);
+    assert_eq!(rep.failures, 0);
+    let dump = rep.flight_dump.unwrap();
+    let job4: Vec<&str> = dump.lines().filter(|l| l.starts_with("{\"job\":4,")).collect();
+    assert!(!job4.is_empty());
+    let has = |kind: &str| job4.iter().any(|l| l.contains(&format!("\"kind\":\"{kind}\"")));
+    assert!(has("fault"), "injected fault must appear in the trace");
+    assert!(has("fallback"), "the OOM must route the job to the fallback");
+    assert!(has("batch_retry"), "the second OOM must halve the batch budget");
+    assert!(job4.iter().any(|l| l.contains("\"status\":\"complete\"")), "job must complete");
+    assert!(rep.records[4].retries >= 1, "the retry must surface in the job record");
+    // A recoverable fault is not a flight-recorder trigger.
+    assert!(rep.flight_trigger.is_none());
+}
+
+#[test]
+fn fatal_job_failure_trips_the_flight_recorder() {
+    let a = Arc::new(matgen::generators::random_uniform::<f64>(96, 5.0, 20, 3));
+    let mut eng: Engine<f64> =
+        Engine::new(EngineConfig { workers: 1, trace: true, ..EngineConfig::default() });
+    let ok = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+    // A shape mismatch is classified at the submission boundary as a
+    // planning error — non-retryable, so it must trip the recorder.
+    let b = Arc::new(matgen::generators::random_uniform::<f64>(80, 5.0, 20, 4));
+    let bad = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&b)));
+    assert!(ok.wait().is_ok());
+    assert!(bad.wait().is_err(), "a shape mismatch is not recoverable");
+    let rec = eng.flight();
+    let stats = eng.shutdown();
+    let trigger = rec.triggered().expect("non-retryable failure must trip the recorder");
+    assert!(trigger.contains("non-retryable"), "{trigger}");
+    let dump = rec.dump(&stats);
+    assert!(dump.lines().next().unwrap().contains("\"trigger\""));
+    assert!(dump.contains("\"status\":\"failed\""), "the failed job's trace is in the snapshot");
+    assert!(dump.contains("\"status\":\"complete\""), "the earlier good job rode along");
+}
+
+#[test]
 fn tiny_budget_serializes_jobs_through_batched_route() {
     let a = Arc::new(matgen::generators::random_uniform::<f64>(220, 6.0, 24, 5));
     let want = reference(&a, &a);

@@ -119,6 +119,94 @@ fn telemetry_exports_are_byte_deterministic() {
     obs::json::validate(&c1).expect("chrome trace is valid JSON");
 }
 
+/// Integer field extractor for the hand-rolled trace JSON (the dump
+/// format is produced by this workspace, so a full parser is overkill).
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+mod span_tree_props {
+    use super::field_u64;
+    use quickprop::prelude::*;
+
+    quickprop! {
+        #![config(cases = 40)]
+
+        /// Arbitrary interleavings of begin/end/emit ops must always
+        /// yield a closed, strictly nested, deterministic span tree:
+        /// unique span ids, every child id greater than its parent's,
+        /// every child's `span` event preceding its parent's in the log
+        /// (ends are emitted innermost-first), every plain event
+        /// parented, and byte-identical output for identical ops.
+        #[test]
+        fn span_trees_are_closed_nested_and_deterministic(
+            ops in collection::vec(0u8..3, 1..48)
+        ) {
+            let build = |ops: &[u8]| {
+                let mut tb = engine::TraceBuilder::new(9);
+                let mut stack = Vec::new();
+                for (i, op) in ops.iter().enumerate() {
+                    match *op {
+                        0 => stack.push(tb.begin(["admission", "symbolic", "numeric"][i % 3])),
+                        1 => {
+                            if let Some(s) = stack.pop() {
+                                tb.end(s);
+                            }
+                        }
+                        _ => tb.emit(obs::Event::new("marker").u64("i", i as u64)),
+                    }
+                }
+                while let Some(s) = stack.pop() {
+                    tb.end(s);
+                }
+                tb.finish(None).to_jsonl()
+            };
+            let text = build(&ops);
+            prop_assert_eq!(&text, &build(&ops), "identical ops must give identical bytes");
+
+            let lines: Vec<&str> = text.lines().collect();
+            let mut span_line = std::collections::HashMap::new();
+            for (idx, line) in lines.iter().enumerate() {
+                prop_assert!(obs::json::validate(line).is_ok(), "invalid JSON: {}", line);
+                if line.contains("\"kind\":\"span\"") {
+                    let id = field_u64(line, "id").expect("span has an id");
+                    prop_assert!(
+                        span_line.insert(id, idx).is_none(),
+                        "span id {} ended twice", id
+                    );
+                }
+            }
+            // Every begin was matched: spans = begins (+ the root).
+            let begins = ops.iter().filter(|&&op| op == 0).count();
+            prop_assert_eq!(span_line.len(), begins + 1);
+            // The root `job` span (id 0) closes last.
+            prop_assert_eq!(span_line.get(&0), Some(&(lines.len() - 1)));
+            for (idx, line) in lines.iter().enumerate() {
+                let parent = field_u64(line, "parent");
+                if line.contains("\"kind\":\"span\"") {
+                    let id = field_u64(line, "id").unwrap();
+                    if id == 0 {
+                        prop_assert_eq!(parent, None, "root span has no parent");
+                        continue;
+                    }
+                    let p = parent.expect("non-root span has a parent");
+                    prop_assert!(p < id, "child id {} not greater than parent {}", id, p);
+                    let p_idx = span_line.get(&p).expect("parent span closed");
+                    prop_assert!(idx < *p_idx, "child must close before its parent");
+                } else {
+                    // Plain events always carry the ambient parent.
+                    let p = parent.expect("event is parented");
+                    prop_assert!(span_line.contains_key(&p), "event parent {} never closed", p);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn memory_timeline_peak_matches_report() {
     let a = tiny("Epidemiology");
