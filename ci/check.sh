@@ -138,4 +138,59 @@ if NSPARSE_BENCH_SLOWDOWN=2.0 cargo run -q --release --offline -p bench \
 fi
 grep -q "REGRESSED" "$smoke/bench-slow.out"
 
+echo "== estimator invariant (exact vs sampled bitwise, both backends) ==" >&2
+# DESIGN.md §16: the estimator may only change planning cost and table
+# sizes — never a byte of the product. Two datasets x both backends.
+for ds in QCD Economics; do
+  for backend in sim host:2; do
+    tag="${backend/:/_}"
+    cargo run -q --release --offline -p bench --bin spgemm -- \
+      --dataset "$ds" --tiny --backend "$backend" --estimator exact \
+      --output "$smoke/est-$ds-$tag-exact.mtx" >/dev/null 2>&1
+    cargo run -q --release --offline -p bench --bin spgemm -- \
+      --dataset "$ds" --tiny --backend "$backend" --estimator sampled:64 \
+      --output "$smoke/est-$ds-$tag-sampled.mtx" >/dev/null 2>&1
+    cmp "$smoke/est-$ds-$tag-exact.mtx" "$smoke/est-$ds-$tag-sampled.mtx"
+  done
+done
+
+echo "== estimator replan path (forced under-estimate, visible in trace) ==" >&2
+# sampled:1 on a skewed matrix must under-size some tables; the replan
+# funnel corrects them (replan events in the trace) and the output must
+# still match the exact-estimator run byte for byte.
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  trace --dataset Circuit --tiny --estimator sampled:1 \
+  --jsonl "$smoke/replan.jsonl" > "$smoke/replan.out" 2>/dev/null
+grep -q '"kind":"replan"' "$smoke/replan.jsonl"
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  --dataset Circuit --tiny --estimator sampled:1 \
+  --output "$smoke/circuit-sampled.mtx" >/dev/null 2>&1
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  --dataset Circuit --tiny --estimator exact \
+  --output "$smoke/circuit-exact.mtx" >/dev/null 2>&1
+cmp "$smoke/circuit-exact.mtx" "$smoke/circuit-sampled.mtx"
+
+echo "== estimator bench (sampled planning beats exact, CSV recorded) ==" >&2
+cargo bench -q -p bench --bench estimator >/dev/null 2>&1
+test -s results/bench_estimator.csv
+# For every matrix, the sampled Setup phase must be cheaper than the
+# exact count pass (simulated time, deterministic).
+awk -F, '
+  $1 ~ /\/planning$/ {
+    split($1, p, "/"); t[p[1] "/" p[2]] = $3; m[p[1]] = 1
+  }
+  END {
+    bad = 0
+    for (id in m) {
+      if (!(id "/exact" in t) || !(id "/sampled64" in t)) {
+        print "missing planning rows for " id; bad = 1
+      } else if (t[id "/sampled64"] + 0 >= t[id "/exact"] + 0) {
+        print id ": sampled planning " t[id "/sampled64"] \
+              " not below exact " t[id "/exact"]; bad = 1
+      }
+    }
+    if (!length(m)) { print "no planning rows found"; bad = 1 }
+    exit bad
+  }' results/bench_estimator.csv
+
 echo "ci/check.sh: all checks passed" >&2

@@ -49,12 +49,26 @@ impl Algorithm {
         }
     }
 
-    /// Run this algorithm on the given device.
+    /// Run this algorithm on the given device with default options.
     pub fn run<T: sparse::Scalar>(
         self,
         gpu: &mut vgpu::Gpu,
         a: &sparse::Csr<T>,
         b: &sparse::Csr<T>,
+    ) -> nsparse_core::pipeline::Result<(sparse::Csr<T>, vgpu::SpgemmReport)> {
+        self.run_with_opts(gpu, a, b, &nsparse_core::Options::default())
+    }
+
+    /// Run this algorithm under explicit multiply options. Only the
+    /// proposal consumes them (estimator mode, algorithm policy, hash
+    /// variant); the baselines model fixed published algorithms and
+    /// ignore `opts`.
+    pub fn run_with_opts<T: sparse::Scalar>(
+        self,
+        gpu: &mut vgpu::Gpu,
+        a: &sparse::Csr<T>,
+        b: &sparse::Csr<T>,
+        opts: &nsparse_core::Options,
     ) -> nsparse_core::pipeline::Result<(sparse::Csr<T>, vgpu::SpgemmReport)> {
         match self {
             Algorithm::Proposal => {
@@ -62,7 +76,7 @@ impl Algorithm {
                 // the proposal on the simulated backend explicitly.
                 use nsparse_core::Executor;
                 let mut exec = nsparse_core::SimExecutor::new(gpu);
-                let run = exec.multiply(a, b, &nsparse_core::Options::default())?;
+                let run = exec.multiply(a, b, opts)?;
                 Ok((run.matrix, run.report))
             }
             Algorithm::Cusparse => cusparse_multiply(gpu, a, b),

@@ -1,0 +1,84 @@
+//! Estimation-based planning cost: exact count pass vs. seeded row
+//! sampling (DESIGN.md §16) on hub-heavy synthetic graphs, where the
+//! sampled estimator's bounded per-row work pays off most.
+//!
+//! Rows landing in `results/bench_estimator.csv`:
+//!
+//! * `<matrix>/<estimator>/planning` — simulated device time of the
+//!   Setup phase (the count-products pass the estimator replaces;
+//!   deterministic — this is the pair CI compares);
+//! * `<matrix>/<estimator>/count` — simulated symbolic-count time, so
+//!   the cost of sampled padding (larger tables, occasional replans)
+//!   is on the record next to the planning saving;
+//! * `<matrix>/<estimator>/total` — whole-multiply simulated time;
+//! * `<matrix>/<estimator>/estimate_wall` — real host wall-clock of
+//!   the estimate pass alone ([`nsparse_core::Estimator::row_products`]).
+//!
+//! The product is bitwise identical across estimators (asserted here on
+//! every pair); only planning cost and table sizes may differ.
+
+use bench::harness;
+use nsparse_core::{Estimator, Executor, Options, SimExecutor};
+use sparse::Csr;
+use vgpu::{DeviceConfig, Gpu, Phase};
+
+const SAMPLE: usize = 64;
+
+fn matrices() -> Vec<(String, Csr<f64>)> {
+    // Dense-ish hub-heavy rows: sampling truncates the count pass to
+    // `SAMPLE` draws per row, so the saving scales with how far the
+    // mean row length sits past the sample budget.
+    vec![
+        ("rmat_16k".into(), {
+            matgen::generators::rmat(1 << 14, 1 << 22, 8192, (0.7, 0.15, 0.1, 0.05), 42)
+        }),
+        // Zipf power-law: the webbase family, hub-out × hub-in.
+        ("powlaw_8k".into(), {
+            matgen::generators::power_law(1 << 13, 96.0, 4096, 1.1, 0.5, 64, 3)
+        }),
+    ]
+}
+
+fn main() {
+    let mut g = harness::group("estimator");
+    g.sample_size(3);
+    for (id, a) in matrices() {
+        let mut baseline_bits: Option<Vec<u64>> = None;
+        for est in [Estimator::Exact, Estimator::Sampled { sample: SAMPLE }] {
+            let tag = match est {
+                Estimator::Exact => "exact".to_string(),
+                Estimator::Sampled { sample } => format!("sampled{sample}"),
+            };
+            let opts = Options { estimator: est, ..Options::default() };
+            let mut gpu = Gpu::new(DeviceConfig::p100());
+            let run = {
+                let mut exec = SimExecutor::new(&mut gpu);
+                exec.multiply(&a, &a, &opts).expect("proposal multiply")
+            };
+            let planning = run.report.phase_time(Phase::Setup);
+            g.bench_sim(&format!("{id}/{tag}/planning"), planning);
+            g.bench_sim(&format!("{id}/{tag}/count"), run.report.phase_time(Phase::Count));
+            g.bench_sim(&format!("{id}/{tag}/total"), run.report.total_time);
+            // Invariant gate: the estimator must never change the product.
+            let bits: Vec<u64> = run.matrix.val().iter().map(|v| v.to_bits()).collect();
+            match &baseline_bits {
+                None => {
+                    eprintln!(
+                        "{id}: {} nnz out, planning {} under {tag} ({} replanned rows)",
+                        run.matrix.nnz(),
+                        planning,
+                        run.replans
+                    );
+                    baseline_bits = Some(bits);
+                }
+                Some(want) => assert_eq!(want, &bits, "{id}: sampled output diverged"),
+            }
+            // Real wall-clock of the estimate pass itself.
+            g.bench_wall(&format!("{id}/{tag}/estimate_wall"), || {
+                let n = est.row_products(&a, &a).expect("estimate").len();
+                std::hint::black_box(n);
+            });
+        }
+    }
+    g.finish();
+}

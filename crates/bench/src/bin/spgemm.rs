@@ -13,7 +13,9 @@
 //! optionally writes the result and a chrome://tracing timeline.
 
 use baselines::Algorithm;
-use nsparse_core::{Backend, BatchedExecutor, Executor, HostParallelExecutor};
+use nsparse_core::{
+    AlgorithmPolicy, Backend, BatchedExecutor, Estimator, Executor, HostParallelExecutor, Options,
+};
 use sparse::{Csr, Scalar};
 use vgpu::{DeviceConfig, FaultPlan, Gpu, Phase};
 
@@ -53,6 +55,15 @@ struct Args {
     tiny: bool,
     max_device_mem: Option<MemLimit>,
     faults: Option<FaultPlan>,
+    estimator: Estimator,
+    policy: AlgorithmPolicy,
+}
+
+impl Args {
+    /// Multiply options for the proposal pipeline, from the planner flags.
+    fn opts(&self) -> Options {
+        Options { estimator: self.estimator, policy: self.policy, ..Options::default() }
+    }
 }
 
 fn usage() -> ! {
@@ -62,11 +73,15 @@ fn usage() -> ! {
          [--precision f32|f64] \
          [--device p100|v100|vega64] [--trace OUT.json] [--output OUT.mtx] \
          [--include-transfers] [--tiny] \
-         [--max-device-mem BYTES[K|M|G]|FRACx] [--faults SPEC]\n\
+         [--max-device-mem BYTES[K|M|G]|FRACx] [--faults SPEC] \
+         [--estimator exact|sampled[:K]] [--policy hash|adaptive]\n\
          --max-device-mem caps device memory (e.g. 256M, or 0.25x = a quarter\n\
          of the memory estimate) and runs the proposal through the row-batched\n\
          fallback; --faults injects deterministic device faults\n\
          (e.g. 'seed=7;malloc-oom=3;kernel-fail=NAME;memcpy-fail=2', sim only)\n\
+         --estimator sampled[:K] plans from K sampled rows instead of an exact\n\
+         count pass; --policy adaptive picks hash/ESC/merge per row group.\n\
+         Both change planning cost only — the product stays bitwise identical\n\
        spgemm trace ...  (telemetry inspection; `spgemm trace --help`)\n\
        spgemm serve ...  (job-engine serving mode; `spgemm serve --help`)\n\
          datasets: {}",
@@ -94,6 +109,8 @@ fn parse_args() -> Args {
         tiny: false,
         max_device_mem: None,
         faults: None,
+        estimator: Estimator::Exact,
+        policy: AlgorithmPolicy::HashOnly,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -140,6 +157,20 @@ fn parse_args() -> Args {
                     usage()
                 }));
             }
+            "--estimator" => {
+                let spec = value(&mut it);
+                args.estimator = Estimator::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --estimator '{spec}': {e}");
+                    usage()
+                });
+            }
+            "--policy" => {
+                let spec = value(&mut it);
+                args.policy = AlgorithmPolicy::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --policy '{spec}': {e}");
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -173,6 +204,12 @@ fn parse_args() -> Args {
         && args.algorithm != Algorithm::Proposal
     {
         eprintln!("--max-device-mem / --faults need --algorithm proposal (the batched fallback)");
+        usage();
+    }
+    if (args.estimator != Estimator::Exact || args.policy != AlgorithmPolicy::HashOnly)
+        && args.algorithm != Algorithm::Proposal
+    {
+        eprintln!("--estimator / --policy need --algorithm proposal (baselines plan exactly)");
         usage();
     }
     args
@@ -238,7 +275,7 @@ fn run<T: Scalar>(args: &Args) {
     if args.include_transfers {
         gpu.memcpy(2 * a.device_bytes(), true).expect("memcpy cannot fail without fault injection");
     }
-    let (c, report) = match args.algorithm.run::<T>(&mut gpu, &a, &a) {
+    let (c, report) = match args.algorithm.run_with_opts::<T>(&mut gpu, &a, &a, &args.opts()) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("{} failed: {e}", args.algorithm.name());
@@ -255,6 +292,9 @@ fn run<T: Scalar>(args: &Args) {
 
     println!("device      : {}", gpu.config().name);
     println!("algorithm   : {} ({})", args.algorithm.name(), report.precision);
+    if args.algorithm == Algorithm::Proposal {
+        println!("planner     : {} estimator, {} policy", args.estimator, args.policy);
+    }
     println!("output nnz  : {}", c.nnz());
     println!("intermediate: {}", report.intermediate_products);
     println!("kernel time : {}", report.total_time);
@@ -315,7 +355,7 @@ fn run_constrained<T: Scalar>(args: &Args, a: &Csr<T>) {
 
     let (result, batches) = {
         let mut exec = BatchedExecutor::sim(&mut gpu);
-        let result = exec.multiply(a, a, &nsparse_core::Options::default());
+        let result = exec.multiply(a, a, &args.opts());
         (result, exec.batches_used())
     };
 
@@ -371,7 +411,7 @@ fn run_host<T: Scalar>(args: &Args, a: &Csr<T>) {
         return;
     }
     let mut exec = HostParallelExecutor::with_config(threads, device_config(&args.device));
-    let run = match exec.multiply(a, a, &nsparse_core::Options::default()) {
+    let run = match exec.multiply(a, a, &args.opts()) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("host backend failed: {e}");
@@ -381,6 +421,10 @@ fn run_host<T: Scalar>(args: &Args, a: &Csr<T>) {
     let wall = run.wall.as_ref().expect("host backend reports wall time");
     println!("backend     : host ({} threads)", exec.threads());
     println!("algorithm   : {} ({})", args.algorithm.name(), run.report.precision);
+    println!(
+        "planner     : {} estimator ({} replanned rows), {} policy",
+        args.estimator, run.replans, args.policy
+    );
     println!("output nnz  : {}", run.matrix.nnz());
     println!("intermediate: {}", run.report.intermediate_products);
     println!("wall time   : {:.3} us", wall.total.as_secs_f64() * 1e6);
@@ -413,7 +457,7 @@ fn run_host_constrained<T: Scalar>(args: &Args, a: &Csr<T>, threads: usize) {
     let mut cfg = device_config(&args.device);
     cfg.device_mem_bytes = capacity;
     let mut exec = BatchedExecutor::host(threads, cfg);
-    let result = exec.multiply(a, a, &nsparse_core::Options::default());
+    let result = exec.multiply(a, a, &args.opts());
     println!("backend     : host ({} threads, capped at {capacity} B)", {
         let caps: nsparse_core::BackendCaps = Executor::<T>::capabilities(&exec);
         caps.threads

@@ -13,7 +13,7 @@
 //! 3 budget leak.
 
 use engine::{run_driver, DriverConfig, DriverReport};
-use nsparse_core::Backend;
+use nsparse_core::{Backend, Estimator};
 use sparse::Scalar;
 use vgpu::DeviceConfig;
 
@@ -29,6 +29,7 @@ fn usage() -> ! {
         "usage: spgemm serve [--jobs N] [--workers N] [--seed S] \
          [--backend sim|host|host:N] [--dim N] [--nnz-per-row F] [--patterns N] \
          [--budget BYTES[K|M|G]] [--cache N] [--precision f32|f64] \
+         [--estimator exact|sampled[:K]] \
          [--faults] [--no-verify] [--out-dir DIR] [--trace-jobs PATH]\n\
          Runs the deterministic multi-job driver through the SpGEMM engine:\n\
          admission control against a shared device-memory budget, plan cache\n\
@@ -86,6 +87,13 @@ fn parse_serve_args(argv: &[String]) -> ServeArgs {
                 }));
             }
             "--cache" => args.driver.cache_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--estimator" => {
+                let spec = value();
+                args.driver.opts.estimator = Estimator::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --estimator '{spec}': {e}");
+                    usage()
+                });
+            }
             "--precision" => args.precision = value().to_ascii_lowercase(),
             "--faults" => args.driver.faults = true,
             "--no-verify" => args.driver.verify = false,
@@ -139,6 +147,10 @@ fn print_report<T: Scalar>(args: &ServeArgs, rep: &DriverReport<T>) -> i32 {
     println!(
         "symbolic    : {} cold runs for {} direct jobs ({} skipped via cache)",
         s.symbolic_runs, s.admitted, s.cache.hits
+    );
+    println!(
+        "estimator   : {} ({} sampled plans, {} replanned rows)",
+        args.driver.opts.estimator, s.sampled_plans, s.replanned_rows
     );
     println!(
         "latency     : p50 {} us, p90 {} us, p99 {} us, max {} us over {} jobs",

@@ -11,6 +11,7 @@
 //! identical arguments produce byte-identical exports.
 
 use baselines::Algorithm;
+use nsparse_core::{AlgorithmPolicy, Estimator, Options};
 use sparse::{Csr, Scalar};
 use vgpu::{DeviceConfig, Gpu, Phase, SimTime};
 
@@ -25,6 +26,8 @@ struct Args {
     jsonl: Option<String>,
     chrome_trace: Option<String>,
     check: bool,
+    estimator: Estimator,
+    policy: AlgorithmPolicy,
 }
 
 fn usage() -> ! {
@@ -32,6 +35,7 @@ fn usage() -> ! {
         "usage: trace (--dataset NAME | --matrix FILE.mtx) \
          [--algorithm proposal|cusparse|cusp|bhsparse] [--precision f32|f64] \
          [--device p100|v100|vega64] [--tiny] \
+         [--estimator exact|sampled[:K]] [--policy hash|adaptive] \
          [--jsonl OUT.jsonl] [--chrome-trace OUT.json] [--check]\n\
          or:    trace --per-job [--jobs N] [--workers N] [--seed S] \
          [--dim N] [--patterns N] [--faults] [--precision f32|f64]\n\
@@ -60,6 +64,8 @@ fn parse_args(argv: &[String]) -> Args {
         jsonl: None,
         chrome_trace: None,
         check: false,
+        estimator: Estimator::Exact,
+        policy: AlgorithmPolicy::HashOnly,
     };
     let mut it = argv.iter().cloned();
     while let Some(flag) = it.next() {
@@ -85,6 +91,20 @@ fn parse_args(argv: &[String]) -> Args {
             "--jsonl" => args.jsonl = Some(value(&mut it)),
             "--chrome-trace" => args.chrome_trace = Some(value(&mut it)),
             "--check" => args.check = true,
+            "--estimator" => {
+                let spec = value(&mut it);
+                args.estimator = Estimator::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --estimator '{spec}': {e}");
+                    usage()
+                });
+            }
+            "--policy" => {
+                let spec = value(&mut it);
+                args.policy = AlgorithmPolicy::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --policy '{spec}': {e}");
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -98,6 +118,12 @@ fn parse_args(argv: &[String]) -> Args {
     }
     if !matches!(args.precision.as_str(), "f32" | "f64") {
         eprintln!("precision must be f32 or f64");
+        usage();
+    }
+    if (args.estimator != Estimator::Exact || args.policy != AlgorithmPolicy::HashOnly)
+        && args.algorithm != Algorithm::Proposal
+    {
+        eprintln!("--estimator / --policy need --algorithm proposal (baselines plan exactly)");
         usage();
     }
     args
@@ -299,7 +325,8 @@ fn run<T: Scalar>(args: &Args) -> i32 {
     }
     let mut gpu = Gpu::new(device_config(&args.device));
     gpu.enable_telemetry();
-    let (c, report) = match args.algorithm.run::<T>(&mut gpu, &a, &a) {
+    let opts = Options { estimator: args.estimator, policy: args.policy, ..Options::default() };
+    let (c, report) = match args.algorithm.run_with_opts::<T>(&mut gpu, &a, &a, &opts) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("{} failed: {e}", args.algorithm.name());
@@ -310,6 +337,9 @@ fn run<T: Scalar>(args: &Args) -> i32 {
     println!("== run ==");
     println!("device      : {}", gpu.config().name);
     println!("algorithm   : {} ({})", args.algorithm.name(), report.precision);
+    if args.algorithm == Algorithm::Proposal {
+        println!("planner     : {} estimator, {} policy", args.estimator, args.policy);
+    }
     println!("matrix      : {} rows, {} nnz", a.rows(), a.nnz());
     println!("output nnz  : {}", c.nnz());
     println!("kernel time : {}", report.total_time);

@@ -149,9 +149,19 @@ fn row_weights<T: Scalar>(a: &Csr<T>, b: &Csr<T>, plan: &SpgemmPlan) -> Result<(
         true,
     );
     let shared_max = groups.groups[0].lower - 1;
+    // Batch gating is a *memory* forecast, so it always uses exact
+    // products — a sampled plan's padded metric would inflate (or, after
+    // clamping, wreck) the byte estimate the budget is checked against.
+    let exact_nprod: Vec<usize>;
+    let nprod: &[usize] = if plan.opts.estimator.is_sampled() {
+        exact_nprod = crate::plan::Estimator::Exact.row_products(a, b)?;
+        &exact_nprod
+    } else {
+        plan.nprod()
+    };
     let weights = (0..a.rows())
         .map(|r| {
-            let p = plan.nprod()[r];
+            let p = nprod[r];
             let input = entry * a.row_nnz(r) as u64 + ix; // A entries + rpt slot
             let working = 3 * ix; // d_nprod + group_rows + rpt_c slots
                                   // C rpt slot + entries upper bound.
@@ -308,6 +318,7 @@ impl<E> BatchedExecutor<E> {
         let mut mats = Vec::with_capacity(batches.len());
         let mut reports = Vec::with_capacity(batches.len());
         let mut walls = Vec::with_capacity(batches.len());
+        let mut replans = 0u64;
         for (i, range) in batches.iter().enumerate() {
             self.emit::<T>(
                 obs::Event::new("batch")
@@ -322,6 +333,7 @@ impl<E> BatchedExecutor<E> {
             mats.push(run.matrix);
             reports.push(run.report);
             walls.push(run.wall);
+            replans += run.replans;
         }
         let matrix = ops::vstack(&mats)
             .map_err(|e| Error::invariant(format!("batch stitch failed: {e}")))?;
@@ -332,7 +344,7 @@ impl<E> BatchedExecutor<E> {
         );
         let report = merge_reports::<T>(&reports, batches.len());
         let wall = merge_walls(&walls);
-        Ok(Execution { matrix, report, wall })
+        Ok(Execution { matrix, report, wall, replans })
     }
 }
 
@@ -382,7 +394,7 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
             self.last_batches = 0;
             self.last_retries = 0;
             let matrix = Csr::zeros(0, plan.cols);
-            return Ok(Execution { matrix, report: zeroed_report::<T>(0), wall: None });
+            return Ok(Execution { matrix, report: zeroed_report::<T>(0), wall: None, replans: 0 });
         }
         let (fixed, weights) = row_weights(a, b, &plan)?;
         let estimate_upper = weights

@@ -83,12 +83,16 @@ pub struct SymbolicOutput {
     pub rpt: Vec<usize>,
     /// Hash-probe steps observed during the phase.
     pub hash_probes: u64,
+    /// Rows whose sampled-estimate table under-sized and were recounted
+    /// with exact products (always 0 under [`crate::Estimator::Exact`];
+    /// DESIGN.md §16's replan contract).
+    pub replans: u64,
 }
 
 impl SymbolicOutput {
-    pub(crate) fn from_nnz_row(nnz_row: Vec<u32>, hash_probes: u64) -> Self {
+    pub(crate) fn from_nnz_row(nnz_row: Vec<u32>, hash_probes: u64, replans: u64) -> Self {
         let rpt = prefix_sum(&nnz_row);
-        SymbolicOutput { nnz_row, rpt, hash_probes }
+        SymbolicOutput { nnz_row, rpt, hash_probes, replans }
     }
 
     /// Total nnz of the output matrix.
@@ -137,6 +141,10 @@ pub struct Execution<T> {
     /// Real elapsed time (`None` on the simulated backend, whose time
     /// is model time, not wall time).
     pub wall: Option<WallClock>,
+    /// Replanned rows of the symbolic pass this execution consumed
+    /// (see [`SymbolicOutput::replans`]; summed across batches by the
+    /// batched executor).
+    pub replans: u64,
 }
 
 /// A backend that can execute an [`SpgemmPlan`].
@@ -227,11 +235,12 @@ mod tests {
 
     #[test]
     fn symbolic_output_scans_counts() {
-        let s = SymbolicOutput::from_nnz_row(vec![2, 0, 3], 7);
+        let s = SymbolicOutput::from_nnz_row(vec![2, 0, 3], 7, 0);
         assert_eq!(s.rpt, vec![0, 2, 2, 5]);
         assert_eq!(s.output_nnz(), 5);
         assert_eq!(s.hash_probes, 7);
-        let empty = SymbolicOutput::from_nnz_row(vec![], 0);
+        assert_eq!(s.replans, 0);
+        let empty = SymbolicOutput::from_nnz_row(vec![], 0, 0);
         assert_eq!(empty.output_nnz(), 0);
     }
 

@@ -19,6 +19,7 @@
 //! 4. Rows exceeding the group-1 table go to group 0: same launch shape
 //!    as group 1 but with the hash table spilled to global memory.
 
+use crate::rowalg::AlgorithmChoice;
 use vgpu::occupancy::occupancy;
 use vgpu::DeviceConfig;
 
@@ -56,6 +57,11 @@ pub struct GroupSpec {
     pub table_size: usize,
     /// Shared memory bytes per block this group's kernel declares.
     pub shared_bytes: usize,
+    /// The row algorithm this group's kernels run. `build_groups`
+    /// always assigns [`AlgorithmChoice::Hash`] (the paper's pipeline);
+    /// the adaptive policy (DESIGN.md §16) may rewrite it after the
+    /// rows are bucketed — selection never affects bucketing.
+    pub algorithm: AlgorithmChoice,
 }
 
 /// The phase a grouping is built for; determines entry width and
@@ -137,6 +143,7 @@ pub fn build_groups(
             GroupPhase::Count => t_numeric_max * table_scale * entry_bytes,
             GroupPhase::Numeric => 0, // numeric group 0 works in global memory
         },
+        algorithm: AlgorithmChoice::Hash,
     });
 
     // TB/ROW groups: halve table and block size until 32 blocks/SM.
@@ -153,6 +160,7 @@ pub fn build_groups(
             block_threads,
             table_size,
             shared_bytes: table_size * entry_bytes,
+            algorithm: AlgorithmChoice::Hash,
         });
         // Stop once the *count-phase* residency hits the per-SM block cap
         // (§III-D; the paper derives the group count from the count-phase
@@ -201,6 +209,7 @@ pub fn build_groups(
             block_threads,
             table_size: per_row_table,
             shared_bytes: rows_per_block * per_row_table * entry_bytes,
+            algorithm: AlgorithmChoice::Hash,
         });
     }
     GroupTable { groups, phase }
@@ -224,24 +233,31 @@ pub struct GroupOccupancy {
 impl GroupTable {
     /// Bucket `metric` (one entry per row) into the groups and summarize
     /// each group's row population. Entries align with `self.groups`.
+    ///
+    /// Derived from [`GroupTable::bucket_rows`] — the one classification
+    /// path every backend executes — so the occupancy telemetry can
+    /// never disagree with the actual row assignment (the two used to
+    /// classify independently; `crates/core/tests/group_invariants.rs`
+    /// pins the agreement as a property).
     pub fn summarize(&self, metric: &[usize]) -> Vec<GroupOccupancy> {
-        let mut out: Vec<GroupOccupancy> = self
-            .groups
+        self.groups
             .iter()
-            .map(|g| GroupOccupancy {
-                id: g.id,
-                rows: 0,
-                metric_total: 0,
-                metric_hist: obs::Log2Histogram::new(),
+            .zip(self.bucket_rows(metric))
+            .map(|(g, rows)| {
+                let mut o = GroupOccupancy {
+                    id: g.id,
+                    rows: rows.len() as u64,
+                    metric_total: 0,
+                    metric_hist: obs::Log2Histogram::new(),
+                };
+                for &r in &rows {
+                    let v = metric[r as usize] as u64;
+                    o.metric_total += v;
+                    o.metric_hist.record(v);
+                }
+                o
             })
-            .collect();
-        for &v in metric {
-            let o = &mut out[self.group_of(v)];
-            o.rows += 1;
-            o.metric_total += v as u64;
-            o.metric_hist.record(v as u64);
-        }
-        out
+            .collect()
     }
 
     /// Bucket rows into groups by their metric (one entry per row):

@@ -29,10 +29,15 @@ use crate::exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, Wal
 use crate::hash::HashTable;
 use crate::kernels::{tb_numeric_row, tb_symbolic_row};
 use crate::partition::JobQueue;
-use crate::pipeline::{Error, Options, Result};
-use crate::plan::SpgemmPlan;
+use crate::pipeline::{overflow_err, Error, Options, Result};
+use crate::plan::{exact_row_products, global_table_size_checked, SpgemmPlan};
+use crate::rowalg::{
+    esc_numeric_row, esc_symbolic_row, merge_numeric_row, merge_symbolic_row, AlgorithmChoice,
+    RowAlgScratch,
+};
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 use vgpu::{DeviceConfig, Phase, SimTime, SpgemmReport};
 
@@ -190,26 +195,78 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
         }
         let workers = self.threads.min(jobs.len());
         let queue = JobQueue::new(jobs);
+        // Rows whose sampled-estimate table overflowed; collected across
+        // workers, replanned sequentially below.
+        let overflow = Mutex::new(Vec::<u32>::new());
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| {
                     let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
+                    let mut scratch = RowAlgScratch::<T>::new();
                     let mut local = 0u64;
+                    let mut local_overflow = Vec::new();
                     while let Some((range, out)) = queue.next() {
                         for (slot, r) in out.iter_mut().zip(range) {
-                            let stats =
-                                tb_symbolic_row(a, b, r, plan.count.table_size_for(r), &mut table);
-                            debug_assert!(!stats.overflowed, "plan-sized table cannot overflow");
-                            *slot = stats.nnz;
-                            local += stats.probes;
+                            match plan.count.algorithm_for(r) {
+                                AlgorithmChoice::Esc => {
+                                    *slot = esc_symbolic_row(a, b, r, &mut scratch).nnz;
+                                }
+                                AlgorithmChoice::Merge => {
+                                    *slot = merge_symbolic_row(a, b, r, &mut scratch).nnz;
+                                }
+                                AlgorithmChoice::Hash => {
+                                    let stats = tb_symbolic_row(
+                                        a,
+                                        b,
+                                        r,
+                                        plan.count.table_size_for(r),
+                                        &mut table,
+                                    );
+                                    local += stats.probes;
+                                    if stats.overflowed {
+                                        local_overflow.push(r as u32);
+                                    } else {
+                                        *slot = stats.nnz;
+                                    }
+                                }
+                            }
                         }
                     }
                     probes.fetch_add(local, Ordering::Relaxed);
+                    if !local_overflow.is_empty() {
+                        overflow.lock().unwrap().extend(local_overflow);
+                    }
                 });
             }
         });
         drop(queue); // releases the borrows of `nnz_row`
-        Ok(SymbolicOutput::from_nnz_row(nnz_row, probes.into_inner()))
+        let mut total_probes = probes.into_inner();
+        let mut overflow = overflow.into_inner().unwrap();
+        let replans = overflow.len() as u64;
+        if !overflow.is_empty() {
+            if !plan.opts.estimator.is_sampled() {
+                return Err(Error::invariant(
+                    "exact-estimator symbolic table overflowed its planned capacity",
+                ));
+            }
+            // Arrival order depends on worker scheduling; sort so the
+            // replan pass is identical for every thread count.
+            overflow.sort_unstable();
+            let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
+            for &r in &overflow {
+                let prod = exact_row_products(a, b, r as usize);
+                let cap = global_table_size_checked(prod)
+                    .ok_or_else(|| overflow_err("global hash-table size"))?;
+                let stats = tb_symbolic_row(a, b, r as usize, cap, &mut table);
+                debug_assert!(!stats.overflowed, "exact-cap replan table cannot overflow");
+                nnz_row[r as usize] = stats.nnz;
+                total_probes += stats.probes;
+            }
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.emit(obs::Event::new("replan").str("phase", "count").u64("rows", replans));
+            }
+        }
+        Ok(SymbolicOutput::from_nnz_row(nnz_row, total_probes, replans))
     }
 
     fn execute_numeric(
@@ -220,7 +277,7 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
         b: &Csr<T>,
     ) -> Result<Execution<T>> {
         let t0 = Instant::now();
-        let numeric = plan.numeric_phase(&symbolic.nnz_row);
+        let numeric = plan.numeric_phase(&symbolic.nnz_row)?;
         let nnz_c = symbolic.output_nnz();
         let mut col_c = vec![0u32; nnz_c];
         let mut val_c = vec![T::ZERO; nnz_c];
@@ -242,22 +299,47 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
             for _ in 0..workers {
                 s.spawn(|| {
                     let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
+                    let mut scratch = RowAlgScratch::<T>::new();
                     let mut local = 0u64;
                     while let Some((range, cols, vals)) = queue.next() {
                         let base = symbolic.rpt[range.start];
                         for r in range {
                             let lo = symbolic.rpt[r] - base;
                             let hi = symbolic.rpt[r + 1] - base;
-                            let stats = tb_numeric_row(
-                                a,
-                                b,
-                                r,
-                                numeric.table_size_for(r),
-                                &mut table,
-                                &mut cols[lo..hi],
-                                &mut vals[lo..hi],
-                            );
-                            local += stats.probes;
+                            match numeric.algorithm_for(r) {
+                                AlgorithmChoice::Esc => {
+                                    esc_numeric_row(
+                                        a,
+                                        b,
+                                        r,
+                                        &mut scratch,
+                                        &mut cols[lo..hi],
+                                        &mut vals[lo..hi],
+                                    );
+                                }
+                                AlgorithmChoice::Merge => {
+                                    merge_numeric_row(
+                                        a,
+                                        b,
+                                        r,
+                                        &mut scratch,
+                                        &mut cols[lo..hi],
+                                        &mut vals[lo..hi],
+                                    );
+                                }
+                                AlgorithmChoice::Hash => {
+                                    let stats = tb_numeric_row(
+                                        a,
+                                        b,
+                                        r,
+                                        numeric.table_size_for(r),
+                                        &mut table,
+                                        &mut cols[lo..hi],
+                                        &mut vals[lo..hi],
+                                    );
+                                    local += stats.probes;
+                                }
+                            }
                         }
                     }
                     probes.fetch_add(local, Ordering::Relaxed);
@@ -271,7 +353,7 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
         let c = Csr::from_parts_unchecked(plan.rows, plan.cols, symbolic.rpt.clone(), col_c, val_c)
             .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
         let wall = WallClock { total: calc, phases: vec![(Phase::Calc, calc)] };
-        Ok(Execution { matrix: c, report, wall: Some(wall) })
+        Ok(Execution { matrix: c, report, wall: Some(wall), replans: symbolic.replans })
     }
 
     fn multiply(&mut self, a: &Csr<T>, b: &Csr<T>, opts: &Options) -> Result<Execution<T>> {

@@ -222,6 +222,10 @@ pub(crate) struct PwarpRowStats {
     pub probes: u64,
     /// Distinct columns.
     pub nnz: u32,
+    /// Symbolic walk ran out of table space (possible only when the
+    /// grouping metric was a sampling under-estimate; the row is then
+    /// recounted exactly by the replan path).
+    pub overflowed: bool,
     /// A-row length.
     pub a_len: u64,
 }
@@ -244,15 +248,22 @@ pub(crate) fn pwarp_row<T: Scalar>(
     let (acols, avals) = a.row(row);
     let mut s = PwarpRowStats { a_len: acols.len() as u64, ..Default::default() };
     let mut lane_steps = vec![0u64; width];
-    for (idx, (&k, &av)) in acols.iter().zip(avals).enumerate() {
+    'outer: for (idx, (&k, &av)) in acols.iter().zip(avals).enumerate() {
         let lane = idx % width;
         let (bcols, bvals) = b.row(k as usize);
         s.products += bcols.len() as u64;
         for (&j, &bv) in bcols.iter().zip(bvals) {
             if numeric {
-                table.insert_numeric(j, av * bv);
-            } else {
-                table.insert_symbolic(j);
+                let r = table.insert_numeric(j, av * bv);
+                debug_assert_ne!(r, Insert::Overflow, "numeric table sized from symbolic nnz");
+            } else if table.insert_symbolic(j) == Insert::Overflow {
+                // Same contract as the TB/ROW first pass: terminate and
+                // hand the row to the exact recount.
+                s.overflowed = true;
+                let probes = table.take_probes();
+                s.probes += probes;
+                lane_steps[lane] += 1 + probes;
+                break 'outer;
             }
         }
         let probes = table.take_probes();

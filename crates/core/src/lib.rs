@@ -60,6 +60,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod plan;
 pub mod reuse;
+pub mod rowalg;
 pub mod sim;
 pub mod spmv;
 
@@ -73,7 +74,8 @@ pub use pipeline::{
     estimate_memory, multiply, CapacityDiagnostic, Error, ErrorKind, MemoryEstimate, Options,
     Recovery,
 };
-pub use plan::{global_table_size, global_table_size_checked, PhasePlan, SpgemmPlan};
+pub use plan::{global_table_size_checked, Estimator, PhasePlan, SpgemmPlan};
 pub use reuse::{pattern_fingerprint, SymbolicPlan};
+pub use rowalg::{AlgorithmChoice, AlgorithmPolicy};
 pub use sim::SimExecutor;
 pub use spmv::{spmv, BlockedMatrix};

@@ -68,7 +68,8 @@ pub fn multiply_masked<T: Scalar>(
     let mut blocks = Vec::with_capacity(m);
     for i in 0..m {
         let (mcols, _) = mask.row(i);
-        let cap = crate::plan::global_table_size(mcols.len());
+        let cap = crate::plan::global_table_size_checked(mcols.len())
+            .ok_or_else(|| crate::pipeline::overflow_err("masked hash-table size"))?;
         table.reset(cap);
         for &c in mcols {
             table.insert_numeric(c, T::ZERO);

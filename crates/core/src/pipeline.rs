@@ -43,11 +43,27 @@ pub struct Options {
     /// Apply the multiplicative `HASH_SCAL` scrambling (ablation; the
     /// paper always scrambles).
     pub use_mul_hash: bool,
+    /// How the count-phase metric is obtained (DESIGN.md §16). The
+    /// default, [`Estimator::Exact`], is byte-identical to the paper's
+    /// pipeline; a sampled estimator trades table-sizing accuracy for
+    /// planning cost, with per-row replans absorbing under-estimates.
+    pub estimator: crate::plan::Estimator,
+    /// Per-group row-algorithm selection (DESIGN.md §16). The default
+    /// runs the paper's hash kernels everywhere; `Adaptive` may pick
+    /// ESC or merge per group. Output is bitwise identical either way.
+    pub policy: crate::rowalg::AlgorithmPolicy,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { use_streams: true, use_pwarp: true, pwarp_width: 4, use_mul_hash: true }
+        Options {
+            use_streams: true,
+            use_pwarp: true,
+            pwarp_width: 4,
+            use_mul_hash: true,
+            estimator: crate::plan::Estimator::Exact,
+            policy: crate::rowalg::AlgorithmPolicy::HashOnly,
+        }
     }
 }
 

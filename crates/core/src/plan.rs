@@ -14,7 +14,8 @@
 //! that could diverge is made exactly once, here.
 
 use crate::groups::{build_groups, Assignment, GroupPhase, GroupTable};
-use crate::pipeline::{Options, Result};
+use crate::pipeline::{overflow_err, Options, Result};
+use crate::rowalg::AlgorithmChoice;
 use sparse::spgemm_ref::row_intermediate_products;
 use sparse::{Csr, Scalar};
 use std::ops::Range;
@@ -24,20 +25,142 @@ use vgpu::{DeviceConfig, StreamId};
 /// Global-memory hash-table size for an overflow (group 0) row with the
 /// given metric: next power of two above `2 × metric` (≤50% load factor,
 /// "set based on the number of intermediate products", §III-B-2).
-///
-/// Panics (debug) or wraps (release) when `2 × metric` overflows
-/// `usize`; forecasting paths fed untrusted metrics must use
-/// [`global_table_size_checked`].
-pub fn global_table_size(metric: usize) -> usize {
-    (2 * metric.max(1)).next_power_of_two()
-}
-
-/// Overflow-checked [`global_table_size`]: `None` when the doubled
-/// metric has no representable power-of-two ceiling. Used by
-/// [`crate::estimate_memory`] and the batched executor's row-weight
-/// derivation, which adversarial synthetic inputs can reach.
+/// `None` when the doubled metric has no representable power-of-two
+/// ceiling — every caller surfaces that as a structured
+/// `SparseError::Overflow` planning error instead of wrapping (the
+/// engine's admission path feeds untrusted metrics through here).
 pub fn global_table_size_checked(metric: usize) -> Option<usize> {
     metric.max(1).checked_mul(2)?.checked_next_power_of_two()
+}
+
+/// How the count-phase metric (intermediate products per row, Alg. 2)
+/// is obtained: the paper's exact count, or a seeded row-sampling
+/// upper-bound estimate (OCEAN-style, PAPERS.md) that is O(sample) per
+/// row instead of O(nnz(A-row)).
+///
+/// Estimation changes **only planning cost and hash-table sizes** —
+/// never values: the symbolic pass still computes exact output counts,
+/// and rows whose padded table under-estimated recover through the
+/// replan path (exact recount for just those rows; see
+/// `SymbolicOutput::replans`). Output is bitwise identical across
+/// estimator modes and backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Estimator {
+    /// Exact Alg. 2 count (the paper's pipeline; the default).
+    #[default]
+    Exact,
+    /// Sample up to `sample` A-row elements per row; rows at most
+    /// `sample` long are counted exactly. The extrapolated mean is
+    /// doubled (the padding that makes under-estimates rare).
+    Sampled {
+        /// A-row elements sampled per long row (≥ 1).
+        sample: usize,
+    },
+}
+
+/// Seed of the sampling stream; fixed so every backend and every run
+/// draws identical samples (plans must be deterministic).
+const ESTIMATE_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Estimator {
+    /// Default sample size of `sampled` without an explicit `:K`.
+    pub const DEFAULT_SAMPLE: usize = 64;
+
+    /// The sampled estimator at the default sample size.
+    pub fn sampled() -> Self {
+        Estimator::Sampled { sample: Self::DEFAULT_SAMPLE }
+    }
+
+    /// True for any `Sampled` configuration.
+    pub fn is_sampled(&self) -> bool {
+        matches!(self, Estimator::Sampled { .. })
+    }
+
+    /// Parse a CLI spelling: `exact`, `sampled`, or `sampled:K`.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "exact" => Ok(Estimator::Exact),
+            "sampled" => Ok(Estimator::sampled()),
+            other => match other.strip_prefix("sampled:") {
+                Some(k) => match k.parse::<usize>() {
+                    Ok(sample) if sample >= 1 => Ok(Estimator::Sampled { sample }),
+                    _ => Err(format!("bad sample size '{k}' (need an integer >= 1)")),
+                },
+                None => Err(format!("unknown estimator '{other}' (exact|sampled|sampled:K)")),
+            },
+        }
+    }
+
+    /// The count-phase metric for every row of `C = A · B`: exact
+    /// intermediate products, or the padded sampling estimate.
+    pub fn row_products<T: Scalar>(&self, a: &Csr<T>, b: &Csr<T>) -> Result<Vec<usize>> {
+        match *self {
+            Estimator::Exact => Ok(row_intermediate_products(a, b)?),
+            Estimator::Sampled { sample } => sampled_row_products(a, b, sample.max(1)),
+        }
+    }
+}
+
+impl std::fmt::Display for Estimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Estimator::Exact => f.write_str("exact"),
+            Estimator::Sampled { sample } => write!(f, "sampled:{sample}"),
+        }
+    }
+}
+
+/// Exact intermediate products of one row (Alg. 2 restricted to `row`)
+/// — what the replan path recounts when a sampled table overflowed.
+pub(crate) fn exact_row_products<T: Scalar>(a: &Csr<T>, b: &Csr<T>, row: usize) -> usize {
+    let rpt_b = b.rpt();
+    let (acols, _) = a.row(row);
+    acols.iter().map(|&k| rpt_b[k as usize + 1] - rpt_b[k as usize]).sum()
+}
+
+/// The sampled estimator: rows with at most `sample` A-elements are
+/// counted exactly; longer rows extrapolate the mean B-row length of
+/// `sample` seeded draws and double it (`est = 2·⌈mean · a_len⌉`).
+/// Arithmetic runs in `u128` and clamps to `usize::MAX` — a clamped
+/// estimate is caught by the plan's checked table-size validation.
+fn sampled_row_products<T: Scalar>(a: &Csr<T>, b: &Csr<T>, sample: usize) -> Result<Vec<usize>> {
+    if a.cols() != b.rows() {
+        return Err(sparse::SparseError::DimensionMismatch(format!(
+            "spgemm: A is {}x{}, B is {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        ))
+        .into());
+    }
+    let rpt_b = b.rpt();
+    let blen = |k: u32| rpt_b[k as usize + 1] - rpt_b[k as usize];
+    let mut out = vec![0usize; a.rows()];
+    for (r, np) in out.iter_mut().enumerate() {
+        let (acols, _) = a.row(r);
+        if acols.len() <= sample {
+            *np = acols.iter().map(|&k| blen(k)).sum();
+        } else {
+            let mut state = ESTIMATE_SEED ^ r as u64;
+            let mut sum: u128 = 0;
+            for _ in 0..sample {
+                let idx = (splitmix64(&mut state) % acols.len() as u64) as usize;
+                sum += blen(acols[idx]) as u128;
+            }
+            let est = (sum * acols.len() as u128).div_ceil(sample as u128).saturating_mul(2);
+            *np = est.min(usize::MAX as u128) as usize;
+        }
+    }
+    Ok(out)
 }
 
 /// One phase's worth of row grouping: the group table, the per-row
@@ -54,9 +177,21 @@ pub struct PhasePlan {
 }
 
 impl PhasePlan {
-    fn new(groups: GroupTable, metric: Vec<usize>) -> Self {
+    /// Bucket `metric` into `groups` and validate every group-0 row's
+    /// global-table size up front, so [`PhasePlan::table_size_for`] is
+    /// infallible afterwards; an unrepresentable size is a structured
+    /// `SparseError::Overflow` planning error.
+    fn new(groups: GroupTable, metric: Vec<usize>) -> Result<Self> {
         let rows_by_group = groups.bucket_rows(&metric);
-        PhasePlan { groups, metric, rows_by_group }
+        for (gi, g) in groups.groups.iter().enumerate() {
+            if g.assignment == Assignment::TbRowGlobal {
+                for &r in &rows_by_group[gi] {
+                    global_table_size_checked(metric[r as usize])
+                        .ok_or_else(|| overflow_err("global hash-table size"))?;
+                }
+            }
+        }
+        Ok(PhasePlan { groups, metric, rows_by_group })
     }
 
     /// Hash-table capacity a backend must use for `row` in this phase:
@@ -67,9 +202,18 @@ impl PhasePlan {
     pub fn table_size_for(&self, row: usize) -> usize {
         let spec = &self.groups.groups[self.groups.group_of(self.metric[row])];
         match spec.assignment {
-            Assignment::TbRowGlobal => global_table_size(self.metric[row]),
+            Assignment::TbRowGlobal => {
+                global_table_size_checked(self.metric[row]).expect("validated at plan construction")
+            }
             _ => spec.table_size,
         }
+    }
+
+    /// The row algorithm a backend must dispatch for `row` in this
+    /// phase (the per-group choice of DESIGN.md §16; `Hash` unless the
+    /// adaptive policy selected otherwise).
+    pub fn algorithm_for(&self, row: usize) -> AlgorithmChoice {
+        self.groups.groups[self.groups.group_of(self.metric[row])].algorithm
     }
 
     /// Split `0..rows` into at most `parts` contiguous ranges of roughly
@@ -114,34 +258,41 @@ impl SpgemmPlan {
         b: &Csr<T>,
         opts: &Options,
     ) -> Result<Self> {
-        let nprod = row_intermediate_products(a, b)?;
+        let nprod = opts.estimator.row_products(a, b)?;
         let total_products: u64 = nprod.iter().map(|&x| x as u64).sum();
         let count_groups =
             build_groups(cfg, T::BYTES, GroupPhase::Count, opts.pwarp_width, opts.use_pwarp);
         let numeric_groups =
             build_groups(cfg, T::BYTES, GroupPhase::Numeric, opts.pwarp_width, opts.use_pwarp);
+        let mut count = PhasePlan::new(count_groups, nprod)?;
+        crate::rowalg::select_count(opts.policy, &mut count);
         Ok(SpgemmPlan {
             rows: a.rows(),
             cols: b.cols(),
             value_bytes: T::BYTES,
             opts: opts.clone(),
             total_products,
-            count: PhasePlan::new(count_groups, nprod),
+            count,
             numeric_groups,
         })
     }
 
-    /// Per-row intermediate products (the count-phase metric).
+    /// Per-row intermediate products (the count-phase metric; an upper
+    /// -bound estimate under a sampled [`Estimator`]).
     pub fn nprod(&self) -> &[usize] {
         &self.count.metric
     }
 
     /// Derive the numeric-phase bucketing from the symbolic result
     /// (per-row output nnz), regrouping rows by their output size —
-    /// step (6) of Figure 1.
-    pub fn numeric_phase(&self, nnz_row: &[u32]) -> PhasePlan {
+    /// step (6) of Figure 1. The metric here is always *exact* (the
+    /// symbolic pass counted real output rows, whatever the estimator),
+    /// so numeric tables can never under-size.
+    pub fn numeric_phase(&self, nnz_row: &[u32]) -> Result<PhasePlan> {
         let metric: Vec<usize> = nnz_row.iter().map(|&n| n as usize).collect();
-        PhasePlan::new(self.numeric_groups.clone(), metric)
+        let mut phase = PhasePlan::new(self.numeric_groups.clone(), metric)?;
+        crate::rowalg::select_numeric(self.opts.policy, &mut phase, self.nprod());
+        Ok(phase)
     }
 
     /// The CUDA stream group `gi` launches on (§IV-C): its own stream
@@ -201,16 +352,60 @@ mod tests {
         let big = 100_000usize;
         let gi = plan.count.groups.group_of(big);
         assert_eq!(plan.count.groups.groups[gi].assignment, Assignment::TbRowGlobal);
-        assert_eq!(global_table_size(big), (2 * big).next_power_of_two());
+        assert_eq!(global_table_size_checked(big), Some((2 * big).next_power_of_two()));
     }
 
     #[test]
     fn checked_table_size_rejects_overflow() {
         assert_eq!(global_table_size_checked(0), Some(2));
-        assert_eq!(global_table_size_checked(100_000), Some(global_table_size(100_000)));
+        assert_eq!(global_table_size_checked(100_000), Some(262_144));
         assert_eq!(global_table_size_checked(usize::MAX), None);
         assert_eq!(global_table_size_checked(usize::MAX / 2), None);
         assert_eq!(global_table_size_checked(1 << (usize::BITS - 2)), Some(1 << (usize::BITS - 1)));
+    }
+
+    #[test]
+    fn estimator_parses_and_displays() {
+        assert_eq!(Estimator::parse("exact").unwrap(), Estimator::Exact);
+        assert_eq!(Estimator::parse("sampled").unwrap(), Estimator::Sampled { sample: 64 });
+        assert_eq!(Estimator::parse("sampled:8").unwrap(), Estimator::Sampled { sample: 8 });
+        assert!(Estimator::parse("sampled:0").is_err());
+        assert!(Estimator::parse("magic").is_err());
+        assert_eq!(Estimator::Exact.to_string(), "exact");
+        assert_eq!(Estimator::Sampled { sample: 16 }.to_string(), "sampled:16");
+        assert_eq!(Estimator::default(), Estimator::Exact);
+        assert!(Estimator::sampled().is_sampled());
+        assert!(!Estimator::Exact.is_sampled());
+    }
+
+    #[test]
+    fn sampled_metric_is_exact_for_short_rows_and_deterministic() {
+        let a = mat(400, 6);
+        let exact = Estimator::Exact.row_products(&a, &a).unwrap();
+        // Every row has 6 A-elements ≤ 64 → sampled falls back to exact.
+        let sampled = Estimator::sampled().row_products(&a, &a).unwrap();
+        assert_eq!(sampled, exact);
+        // Force sampling (sample < a_len): deterministic across calls,
+        // and the padding doubles the extrapolated mean.
+        let s1 = Estimator::Sampled { sample: 2 }.row_products(&a, &a).unwrap();
+        let s2 = Estimator::Sampled { sample: 2 }.row_products(&a, &a).unwrap();
+        assert_eq!(s1, s2);
+        // Uniform 6-nnz rows: every sampled estimate is 2 × exact.
+        for (r, (&s, &e)) in s1.iter().zip(&exact).enumerate() {
+            assert_eq!(s, 2 * e, "row {r}");
+        }
+        // Dimension mismatch is still a planning error under sampling.
+        let bad = Csr::<f64>::zeros(4, 5);
+        assert!(Estimator::sampled().row_products(&bad, &bad).is_err());
+    }
+
+    #[test]
+    fn exact_row_products_matches_alg2() {
+        let a = mat(120, 5);
+        let nprod = Estimator::Exact.row_products(&a, &a).unwrap();
+        for (r, &n) in nprod.iter().enumerate() {
+            assert_eq!(exact_row_products(&a, &a, r), n);
+        }
     }
 
     #[test]
@@ -234,7 +429,7 @@ mod tests {
         let a = mat(200, 4);
         let plan = SpgemmPlan::new(&DeviceConfig::p100(), &a, &a, &Options::default()).unwrap();
         let nnz_row = vec![3u32; 200];
-        let numeric = plan.numeric_phase(&nnz_row);
+        let numeric = plan.numeric_phase(&nnz_row).unwrap();
         assert_eq!(numeric.metric, vec![3usize; 200]);
         let total: usize = numeric.rows_by_group.iter().map(|v| v.len()).sum();
         assert_eq!(total, 200);

@@ -16,8 +16,14 @@ use crate::kernels::{
     count_products_block_cost, pwarp_block_cost, pwarp_row, tb_block_cost, tb_global_block_cost,
     tb_numeric_row, tb_symbolic_row, PwarpRowStats,
 };
-use crate::pipeline::{Error, Options, Result};
-use crate::plan::{global_table_size, PhasePlan, SpgemmPlan};
+use crate::pipeline::{overflow_err, Error, Options, Result};
+use crate::plan::{
+    exact_row_products, global_table_size_checked, Estimator, PhasePlan, SpgemmPlan,
+};
+use crate::rowalg::{
+    esc_block_cost, esc_numeric_row, esc_symbolic_row, merge_block_cost, merge_numeric_row,
+    merge_symbolic_row, AlgorithmChoice, RowAlgScratch,
+};
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
 use vgpu::device::DEFAULT_STREAM;
 use vgpu::{primitives, AllocId, Gpu, KernelDesc, Phase, SimTime, SpgemmReport};
@@ -106,8 +112,8 @@ impl<T: Scalar> Executor<T> for SimExecutor<'_> {
         gpu.set_phase(Phase::Other);
         gpu.free(d_nprod);
         gpu.free(grp);
-        let (nnz_row, probes) = res?;
-        Ok(SymbolicOutput::from_nnz_row(nnz_row, probes))
+        let (nnz_row, probes, replans) = res?;
+        Ok(SymbolicOutput::from_nnz_row(nnz_row, probes, replans))
     }
 
     /// Standalone numeric phase against a cached symbolic result (the
@@ -146,7 +152,7 @@ impl<T: Scalar> Executor<T> for SimExecutor<'_> {
         );
         let c = Csr::from_parts_unchecked(m, plan.cols, symbolic.rpt.clone(), col_c, val_c)
             .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
-        Ok(Execution { matrix: c, report, wall: None })
+        Ok(Execution { matrix: c, report, wall: None, replans: symbolic.replans })
     }
 
     fn telemetry_mut(&mut self) -> Option<&mut obs::Telemetry> {
@@ -233,14 +239,29 @@ fn multiply_inner<T: Scalar>(
     gpu.set_phase(Phase::Setup);
     allocs.push(gpu.malloc(DEVICE_INDEX_BYTES * (m as u64 + 1), "d_nprod")?);
     {
-        // Kernel (1): 256 rows per block, Alg. 2 traffic per row.
+        // Kernel (1): 256 rows per block; Alg. 2 traffic per row under
+        // the exact estimator, only the sampled prefix under sampled:K
+        // (the planning-cost saving the estimator stage buys).
+        let (kernel, per_row_cap) = match plan.opts.estimator {
+            Estimator::Exact => ("count_products", usize::MAX),
+            Estimator::Sampled { sample } => ("estimate_products", sample.max(1)),
+        };
         let mut blocks = Vec::with_capacity(m.div_ceil(256));
         for start in (0..m).step_by(256) {
             let end = (start + 256).min(m);
-            let a_elems: u64 = (start..end).map(|r| a.row_nnz(r) as u64).sum();
+            let a_elems: u64 = (start..end).map(|r| a.row_nnz(r).min(per_row_cap) as u64).sum();
             blocks.push(count_products_block_cost(gpu, a_elems, (end - start) as u64));
         }
-        gpu.launch(KernelDesc::new("count_products", DEFAULT_STREAM, 256, 0), blocks)?;
+        gpu.launch(KernelDesc::new(kernel, DEFAULT_STREAM, 256, 0), blocks)?;
+        if plan.opts.estimator.is_sampled() {
+            if let Some(t) = gpu.telemetry_mut() {
+                t.emit(
+                    obs::Event::new("estimate")
+                        .str("estimator", &plan.opts.estimator.to_string())
+                        .u64("rows", m as u64),
+                );
+            }
+        }
     }
     // Group arrays (the algorithm's only sizable extra memory, §III-A).
     allocs.push(gpu.malloc(DEVICE_INDEX_BYTES * m as u64, "group_rows")?);
@@ -248,7 +269,7 @@ fn multiply_inner<T: Scalar>(
 
     // ---------------- Count: (3) symbolic hash per group ----------------
     gpu.set_phase(Phase::Count);
-    let (nnz_row, count_probes) = run_count(gpu, a, b, plan)?;
+    let (nnz_row, count_probes, replans) = run_count(gpu, a, b, plan)?;
     // (4) scan row counts into the output row pointer.
     primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64 + 1, DEVICE_INDEX_BYTES as u32)?;
     let rpt_c = prefix_sum(&nnz_row);
@@ -277,19 +298,22 @@ fn multiply_inner<T: Scalar>(
     );
     let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c)
         .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
-    Ok(Execution { matrix: c, report, wall: None })
+    Ok(Execution { matrix: c, report, wall: None, replans })
 }
 
-/// The symbolic (count) phase: run the per-group hash kernels from the
-/// plan's count-phase bucketing, handle global-table overflow rows.
-/// Returns the exact nnz of every output row plus the total hash-probe
-/// steps observed. The caller sets the device phase.
+/// The symbolic (count) phase: run the per-group row kernels (hash,
+/// ESC or merge per the plan's [`AlgorithmChoice`]) from the count-phase
+/// bucketing, handle global-table overflow rows, and — under a sampled
+/// estimator — replan rows whose padded table still under-sized.
+/// Returns the exact nnz of every output row, the total hash-probe
+/// steps observed, and the replanned-row count. The caller sets the
+/// device phase.
 pub(crate) fn run_count<T: Scalar>(
     gpu: &mut Gpu,
     a: &Csr<T>,
     b: &Csr<T>,
     plan: &SpgemmPlan,
-) -> Result<(Vec<u32>, u64)> {
+) -> Result<(Vec<u32>, u64, u64)> {
     let count = &plan.count;
     let nprod = &count.metric;
     emit_group_summary(gpu, &count.groups, nprod, "count");
@@ -297,6 +321,7 @@ pub(crate) fn run_count<T: Scalar>(
     let mut nnz_row = vec![0u32; m];
     let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
     table.observe_probes(gpu.telemetry_enabled());
+    let mut scratch = RowAlgScratch::<T>::new();
     let mut total_probes = 0u64;
     let mut count_overflow: Vec<u32> = Vec::new();
     for (gi, spec) in count.groups.groups.iter().enumerate() {
@@ -306,6 +331,40 @@ pub(crate) fn run_count<T: Scalar>(
         }
         let stream = plan.stream_for(gi);
         match spec.assignment {
+            // ESC rows expand into shared memory and sort — no table,
+            // no overflow, exact counts on the first pass.
+            Assignment::TbRow if spec.algorithm == AlgorithmChoice::Esc => {
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let s = esc_symbolic_row(a, b, r as usize, &mut scratch);
+                    nnz_row[r as usize] = s.nnz;
+                    blocks.push(esc_block_cost(gpu, spec.block_threads, &s, None));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("symbolic_esc_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+            // Merge rows fold B-rows into a global sorted accumulator —
+            // they skip both the doomed shared attempt and the global
+            // hash fallback entirely.
+            Assignment::TbRowGlobal if spec.algorithm == AlgorithmChoice::Merge => {
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let s = merge_symbolic_row(a, b, r as usize, &mut scratch);
+                    nnz_row[r as usize] = s.nnz;
+                    blocks.push(merge_block_cost(gpu, &s, None));
+                }
+                gpu.launch(
+                    KernelDesc::new(format!("symbolic_merge_g{gi}"), stream, spec.block_threads, 0),
+                    blocks,
+                )?;
+            }
             Assignment::TbRow | Assignment::TbRowGlobal => {
                 let mut blocks = Vec::with_capacity(rows.len());
                 for &r in rows {
@@ -335,7 +394,7 @@ pub(crate) fn run_count<T: Scalar>(
                     let stats: Vec<PwarpRowStats> = chunk
                         .iter()
                         .map(|&r| {
-                            let s = pwarp_row(
+                            pwarp_row(
                                 a,
                                 b,
                                 r as usize,
@@ -344,11 +403,18 @@ pub(crate) fn run_count<T: Scalar>(
                                 &mut table,
                                 false,
                                 None,
-                            );
-                            nnz_row[r as usize] = s.nnz;
-                            s
+                            )
                         })
                         .collect();
+                    for (&r, s) in chunk.iter().zip(&stats) {
+                        // A sampled under-estimate can misplace a fat row
+                        // into PWARP; it funnels into the global pass.
+                        if s.overflowed {
+                            count_overflow.push(r);
+                        } else {
+                            nnz_row[r as usize] = s.nnz;
+                        }
+                    }
                     total_probes += stats.iter().map(|s| s.probes).sum::<u64>();
                     blocks.push(pwarp_block_cost(gpu, spec, width, &stats, None));
                 }
@@ -367,22 +433,33 @@ pub(crate) fn run_count<T: Scalar>(
     }
     // Second pass for rows whose table overflowed shared memory:
     // per-row global tables sized from their intermediate products.
+    let mut replans = 0u64;
     if !count_overflow.is_empty() {
-        let table_bytes: u64 = count_overflow
-            .iter()
-            .map(|&r| DEVICE_INDEX_BYTES * global_table_size(nprod[r as usize]) as u64)
-            .sum();
+        // Capacities up front (the `?` must run before the malloc).
+        let mut caps = Vec::with_capacity(count_overflow.len());
+        for &r in &count_overflow {
+            caps.push(
+                global_table_size_checked(nprod[r as usize])
+                    .ok_or_else(|| overflow_err("global hash-table size"))?,
+            );
+        }
+        let table_bytes: u64 = caps.iter().map(|&c| DEVICE_INDEX_BYTES * c as u64).sum();
         let gt = gpu.malloc(table_bytes, "count_global_tables")?;
         // From here the table must be freed on *every* exit — an
         // injected memset/launch fault must not leak it.
         let memset_res = primitives::memset(gpu, DEFAULT_STREAM, table_bytes);
         let mut blocks = Vec::with_capacity(count_overflow.len());
-        for &r in &count_overflow {
-            let cap = global_table_size(nprod[r as usize]);
+        let mut replan_rows: Vec<u32> = Vec::new();
+        for (&r, &cap) in count_overflow.iter().zip(&caps) {
             let s = tb_symbolic_row(a, b, r as usize, cap, &mut table);
             total_probes += s.probes;
-            debug_assert!(!s.overflowed);
-            nnz_row[r as usize] = s.nnz;
+            if s.overflowed {
+                // Only possible when `cap` came from a sampled estimate
+                // that under-shot the row's true products.
+                replan_rows.push(r);
+            } else {
+                nnz_row[r as usize] = s.nnz;
+            }
             blocks.push(tb_global_block_cost(gpu, &s, cap, None));
         }
         let launch_res = memset_res.and_then(|()| {
@@ -400,8 +477,57 @@ pub(crate) fn run_count<T: Scalar>(
         launch_res?;
         // The second pass re-runs group-0 rows with global tables.
         drain_probe_stats(gpu, &mut table, "count", 0);
+
+        // Third pass (DESIGN.md §16's replan contract): recount the
+        // under-estimated rows with tables sized from *exact* products.
+        // An exact cap is ≥ 2 × the row's true products ≥ its nnz, so
+        // this pass cannot overflow — at most one replan per row.
+        if !replan_rows.is_empty() {
+            if !plan.opts.estimator.is_sampled() {
+                return Err(Error::invariant(
+                    "exact-estimator symbolic table overflowed its global capacity",
+                ));
+            }
+            replans = replan_rows.len() as u64;
+            let mut exact_caps = Vec::with_capacity(replan_rows.len());
+            for &r in &replan_rows {
+                let prod = exact_row_products(a, b, r as usize);
+                exact_caps.push(
+                    global_table_size_checked(prod)
+                        .ok_or_else(|| overflow_err("global hash-table size"))?,
+                );
+            }
+            let replan_bytes: u64 = exact_caps.iter().map(|&c| DEVICE_INDEX_BYTES * c as u64).sum();
+            let gt = gpu.malloc(replan_bytes, "replan_global_tables")?;
+            let memset_res = primitives::memset(gpu, DEFAULT_STREAM, replan_bytes);
+            let mut blocks = Vec::with_capacity(replan_rows.len());
+            for (&r, &cap) in replan_rows.iter().zip(&exact_caps) {
+                let s = tb_symbolic_row(a, b, r as usize, cap, &mut table);
+                total_probes += s.probes;
+                debug_assert!(!s.overflowed, "exact-cap replan table cannot overflow");
+                nnz_row[r as usize] = s.nnz;
+                blocks.push(tb_global_block_cost(gpu, &s, cap, None));
+            }
+            let launch_res = memset_res.and_then(|()| {
+                gpu.launch(
+                    KernelDesc::new(
+                        "symbolic_replan",
+                        DEFAULT_STREAM,
+                        gpu.config().max_threads_per_block,
+                        0,
+                    ),
+                    blocks,
+                )
+            });
+            gpu.free(gt);
+            launch_res?;
+            drain_probe_stats(gpu, &mut table, "count", 0);
+            if let Some(t) = gpu.telemetry_mut() {
+                t.emit(obs::Event::new("replan").str("phase", "count").u64("rows", replans));
+            }
+        }
     }
-    Ok((nnz_row, total_probes))
+    Ok((nnz_row, total_probes, replans))
 }
 
 /// The numeric (calc) phase: regroup rows by output nnz via the plan,
@@ -420,8 +546,9 @@ pub(crate) fn run_numeric<T: Scalar>(
     let nnz_c = *rpt_c.last().unwrap();
     let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
     table.observe_probes(gpu.telemetry_enabled());
+    let mut scratch = RowAlgScratch::<T>::new();
     let mut total_probes = 0u64;
-    let numeric: PhasePlan = plan.numeric_phase(nnz_row);
+    let numeric: PhasePlan = plan.numeric_phase(nnz_row)?;
     emit_group_summary(gpu, &numeric.groups, &numeric.metric, "calc");
     grouping_kernel(gpu, m)?;
 
@@ -434,6 +561,60 @@ pub(crate) fn run_numeric<T: Scalar>(
         }
         let stream = plan.stream_for(gi);
         match spec.assignment {
+            Assignment::TbRow if spec.algorithm == AlgorithmChoice::Esc => {
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                    let s = esc_numeric_row(
+                        a,
+                        b,
+                        r as usize,
+                        &mut scratch,
+                        &mut col_c[span.clone()],
+                        &mut val_c[span],
+                    );
+                    blocks.push(esc_block_cost(gpu, spec.block_threads, &s, Some(T::BYTES)));
+                }
+                gpu.launch(
+                    KernelDesc::new(
+                        format!("numeric_esc_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        spec.shared_bytes,
+                    ),
+                    blocks,
+                )?;
+            }
+            Assignment::TbRowGlobal if spec.algorithm == AlgorithmChoice::Merge => {
+                // Ping-pong accumulator buffers in global memory, sized
+                // from the (exact) output nnz of the group's rows.
+                let buf_bytes: u64 = rows
+                    .iter()
+                    .map(|&r| {
+                        (DEVICE_INDEX_BYTES + T::BYTES as u64) * 2 * nnz_row[r as usize] as u64
+                    })
+                    .sum();
+                let gt = gpu.malloc(buf_bytes, "numeric_merge_buffers")?;
+                let mut blocks = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
+                    let s = merge_numeric_row(
+                        a,
+                        b,
+                        r as usize,
+                        &mut scratch,
+                        &mut col_c[span.clone()],
+                        &mut val_c[span],
+                    );
+                    blocks.push(merge_block_cost(gpu, &s, Some(T::BYTES)));
+                }
+                let launch_res = gpu.launch(
+                    KernelDesc::new(format!("numeric_merge_g{gi}"), stream, spec.block_threads, 0),
+                    blocks,
+                );
+                gpu.free(gt);
+                launch_res?;
+            }
             Assignment::TbRow => {
                 let mut blocks = Vec::with_capacity(rows.len());
                 for &r in rows {
@@ -461,11 +642,13 @@ pub(crate) fn run_numeric<T: Scalar>(
                 )?;
             }
             Assignment::TbRowGlobal => {
+                // The numeric metric is the exact symbolic nnz, so the
+                // checked size was validated at phase construction.
                 let table_bytes: u64 = rows
                     .iter()
                     .map(|&r| {
                         (DEVICE_INDEX_BYTES + T::BYTES as u64)
-                            * global_table_size(nnz_row[r as usize] as usize) as u64
+                            * numeric.table_size_for(r as usize) as u64
                     })
                     .sum();
                 let gt = gpu.malloc(table_bytes, "numeric_global_tables")?;
@@ -474,7 +657,7 @@ pub(crate) fn run_numeric<T: Scalar>(
                 let memset_res = primitives::memset(gpu, stream, table_bytes);
                 let mut blocks = Vec::with_capacity(rows.len());
                 for &r in rows {
-                    let cap = global_table_size(nnz_row[r as usize] as usize);
+                    let cap = numeric.table_size_for(r as usize);
                     let span = rpt_c[r as usize]..rpt_c[r as usize + 1];
                     let s = tb_numeric_row(
                         a,
@@ -572,6 +755,7 @@ fn emit_group_summary(gpu: &mut Gpu, groups: &GroupTable, metric: &[usize], phas
             t.emit(
                 obs::Event::new("group")
                     .str("phase", phase)
+                    .str("algo", &groups.groups[o.id].algorithm.to_string())
                     .u64("group", o.id as u64)
                     .u64("rows", o.rows)
                     .u64("metric_total", o.metric_total),

@@ -107,4 +107,34 @@ quickprop! {
             prop_assert!(g.lower <= m && m <= g.upper, "metric {m} in group {gi}");
         }
     }
+
+    #[test]
+    fn summarize_agrees_with_bucket_rows_and_group_of(
+        cfg in arb_device(),
+        use_pwarp in prop_oneof![Just(true), Just(false)],
+        metrics in collection::vec(0usize..1_000_000, 0..64),
+    ) {
+        // Occupancy telemetry must be *derived from* the one
+        // classification path (bucket_rows/group_of), never a parallel
+        // reimplementation that could drift from actual assignment.
+        for phase in [GroupPhase::Count, GroupPhase::Numeric] {
+            let t = build_groups(&cfg, 8, phase, 4, use_pwarp);
+            let buckets = t.bucket_rows(&metrics);
+            let occ = t.summarize(&metrics);
+            prop_assert_eq!(buckets.len(), occ.len());
+            for (gi, (rows, o)) in buckets.iter().zip(&occ).enumerate() {
+                prop_assert_eq!(rows.len() as u64, o.rows, "group {} rows", gi);
+                let total: u64 =
+                    rows.iter().map(|&r| metrics[r as usize] as u64).sum();
+                prop_assert_eq!(total, o.metric_total, "group {} total", gi);
+                prop_assert_eq!(o.metric_hist.count(), o.rows);
+                for &r in rows {
+                    prop_assert_eq!(t.group_of(metrics[r as usize]), gi);
+                }
+            }
+            // Every row is assigned exactly once.
+            let assigned: usize = buckets.iter().map(|b| b.len()).sum();
+            prop_assert_eq!(assigned, metrics.len());
+        }
+    }
 }

@@ -15,7 +15,7 @@
 //! change results — an evicted pattern just plans cold again — which
 //! `tests/cache_props.rs` asserts property-style.
 
-use nsparse_core::{pattern_fingerprint, Options, SymbolicPlan};
+use nsparse_core::{pattern_fingerprint, AlgorithmPolicy, Estimator, Options, SymbolicPlan};
 use sparse::{Csr, Scalar};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -28,8 +28,14 @@ pub struct PlanKey {
     fp_b: u64,
     shape: (usize, usize, usize),
     nnz: (usize, usize),
-    // (use_streams, use_pwarp, pwarp_width, use_mul_hash)
-    opts: (bool, bool, usize, bool),
+    // (use_streams, use_pwarp, pwarp_width, use_mul_hash). The
+    // estimator and algorithm policy are part of the fingerprint too:
+    // a sampled plan's table sizes and a policy's per-group algorithm
+    // choices both live inside the cached SymbolicPlan, so plans built
+    // under different planning modes must never be conflated (outputs
+    // would still be bitwise identical, but replayed cost/telemetry
+    // would silently belong to the wrong mode).
+    opts: (bool, bool, usize, bool, Estimator, AlgorithmPolicy),
 }
 
 impl PlanKey {
@@ -40,7 +46,14 @@ impl PlanKey {
             fp_b: pattern_fingerprint(b),
             shape: (a.rows(), a.cols(), b.cols()),
             nnz: (a.nnz(), b.nnz()),
-            opts: (opts.use_streams, opts.use_pwarp, opts.pwarp_width, opts.use_mul_hash),
+            opts: (
+                opts.use_streams,
+                opts.use_pwarp,
+                opts.pwarp_width,
+                opts.use_mul_hash,
+                opts.estimator,
+                opts.policy,
+            ),
         }
     }
 }
@@ -186,6 +199,12 @@ mod tests {
         // Different options must not share a plan.
         let no_pwarp = Options { use_pwarp: false, ..Options::default() };
         assert_ne!(PlanKey::new(&a, &a, &opts), PlanKey::new(&a, &a, &no_pwarp));
+        // Planning mode is part of the fingerprint: sampled-estimator
+        // and adaptive-policy plans never alias the default's entry.
+        let sampled = Options { estimator: Estimator::sampled(), ..Options::default() };
+        assert_ne!(PlanKey::new(&a, &a, &opts), PlanKey::new(&a, &a, &sampled));
+        let adaptive = Options { policy: AlgorithmPolicy::Adaptive, ..Options::default() };
+        assert_ne!(PlanKey::new(&a, &a, &opts), PlanKey::new(&a, &a, &adaptive));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::engine::{Engine, EngineConfig, EngineStats};
 use crate::job::{CacheOutcome, JobSpec, Route};
-use nsparse_core::{Backend, Executor, HostParallelExecutor};
+use nsparse_core::{Backend, Executor, HostParallelExecutor, Options};
 use sparse::{Csr, Scalar};
 use std::sync::Arc;
 use vgpu::{DeviceConfig, FaultPlan, Gpu};
@@ -52,6 +52,12 @@ pub struct DriverConfig {
     /// Build per-job span trees and a flight-recorder dump
     /// ([`DriverReport::flight_dump`], DESIGN.md §15).
     pub trace: bool,
+    /// Multiply options applied to every job (estimator mode, algorithm
+    /// policy, hash variant — DESIGN.md §16). Verification always
+    /// compares against standalone `multiply` under the *same* options,
+    /// so a sampled run still has to match its own exact-cost reference
+    /// bitwise.
+    pub opts: Options,
 }
 
 impl Default for DriverConfig {
@@ -70,6 +76,7 @@ impl Default for DriverConfig {
             faults: false,
             verify: true,
             trace: false,
+            opts: Options::default(),
         }
     }
 }
@@ -143,7 +150,7 @@ fn job_mix<T: Scalar>(cfg: &DriverConfig) -> Vec<JobSpec<T>> {
             // values make cache hits observable and bitwise-checkable.
             let scale = T::from_f64(1.0 + (r >> 40) as f64 / 1024.0);
             let a = Arc::new(base.scaled(scale));
-            let mut spec = JobSpec::new(a, Arc::clone(base));
+            let mut spec = JobSpec::new(a, Arc::clone(base)).with_opts(cfg.opts.clone());
             if i == cfg.jobs / 2 {
                 // One empty row window: the zero-row regression path.
                 spec = spec.with_rows(0..0);
@@ -301,6 +308,24 @@ mod tests {
         // The same pattern pool feeds both runs, so cold plans are
         // bounded by pool size regardless of workers.
         assert!(one.stats.cache.hits > 0);
+    }
+
+    #[test]
+    fn sampled_estimator_mix_verifies_bitwise_and_counts_plans() {
+        let cfg = DriverConfig {
+            jobs: 8,
+            workers: 2,
+            dim: 144,
+            seed: 11,
+            opts: Options { estimator: nsparse_core::Estimator::sampled(), ..Options::default() },
+            ..DriverConfig::default()
+        };
+        let rep = run_driver::<f64>(&cfg);
+        assert_eq!(rep.mismatches, 0, "sampled plans must not change the product");
+        assert_eq!(rep.failures, 0);
+        assert!(rep.stats.sampled_plans >= 1, "cold sampled plans must be counted");
+        assert_eq!(rep.stats.sampled_plans, rep.stats.symbolic_runs);
+        assert!(rep.stats.budget_drained);
     }
 
     #[test]

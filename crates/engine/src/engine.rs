@@ -117,6 +117,14 @@ pub struct EngineStats {
     /// Cold symbolic (setup + count) phases actually run — cache hits
     /// skip these, so `symbolic_runs + cache.hits` ≈ direct jobs.
     pub symbolic_runs: u64,
+    /// Cold plans built under a sampled estimator (subset of
+    /// `symbolic_runs`; cache hits replay the plan without
+    /// re-estimating, so they never count here).
+    pub sampled_plans: u64,
+    /// Rows re-planned with exact counts after a sampled table
+    /// under-estimate, summed over cold plans only — a hit replays the
+    /// already-corrected table sizes and can never replan again.
+    pub replanned_rows: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
     /// Per-job latency percentiles (worker pickup → completion).
@@ -150,6 +158,8 @@ impl EngineStats {
         r.counter_add("engine.fallback", self.fallback);
         r.counter_add("engine.failed", self.failed);
         r.counter_add("engine.symbolic_runs", self.symbolic_runs);
+        r.counter_add("engine.sampled_plans", self.sampled_plans);
+        r.counter_add("engine.replanned_rows", self.replanned_rows);
         r.counter_add("engine.cache.hit", self.cache.hits);
         r.counter_add("engine.cache.miss", self.cache.misses);
         r.counter_add("engine.cache.evict", self.cache.evictions);
@@ -174,6 +184,8 @@ struct Counters {
     fallback: u64,
     failed: u64,
     symbolic_runs: u64,
+    sampled_plans: u64,
+    replanned_rows: u64,
     latencies_us: Vec<u64>,
     queue_waits_us: Vec<u64>,
     latency_hist: obs::Log2Histogram,
@@ -356,20 +368,20 @@ impl<T: Scalar> Engine<T> {
 /// threads, which need stats at flight-recorder trigger time).
 fn stats_of<T: Scalar>(shared: &Shared<T>) -> EngineStats {
     let m = &shared.metrics;
-    let (jobs, admitted, queued, batched, fallback, failed, symbolic_runs, lat_h, qw_h) =
-        m.with(|c| {
-            (
-                c.jobs,
-                c.admitted,
-                c.queued,
-                c.batched,
-                c.fallback,
-                c.failed,
-                c.symbolic_runs,
-                c.latency_hist.clone(),
-                c.queue_wait_hist.clone(),
-            )
-        });
+    let (jobs, admitted, queued, batched, fallback, failed, counts, lat_h, qw_h) = m.with(|c| {
+        (
+            c.jobs,
+            c.admitted,
+            c.queued,
+            c.batched,
+            c.fallback,
+            c.failed,
+            (c.symbolic_runs, c.sampled_plans, c.replanned_rows),
+            c.latency_hist.clone(),
+            c.queue_wait_hist.clone(),
+        )
+    });
+    let (symbolic_runs, sampled_plans, replanned_rows) = counts;
     EngineStats {
         jobs,
         admitted,
@@ -378,6 +390,8 @@ fn stats_of<T: Scalar>(shared: &Shared<T>) -> EngineStats {
         fallback,
         failed,
         symbolic_runs,
+        sampled_plans,
+        replanned_rows,
         cache: shared.cache.stats(),
         latency: m.latency(),
         queue_wait: m.queue_wait(),
@@ -661,7 +675,25 @@ fn run_with_cache<T: Scalar, E: Executor<T>>(
     x_end(exec, tr, ss);
     let plan = plan?;
     let sym_us = exec.device_elapsed_us().zip(sym0).map(|(t1, t0)| t1 - t0);
-    shared.metrics.with(|c| c.symbolic_runs += 1);
+    // Replans only happen while planning cold: a hit replays the
+    // already-corrected table sizes, and `Execution::replans` merely
+    // echoes the plan's count — so both counters move on miss only.
+    let replans = plan.symbolic().replans;
+    let sampled = spec.opts.estimator.is_sampled();
+    if sampled {
+        x_emit(
+            exec,
+            tr,
+            obs::Event::new("estimate")
+                .str("estimator", &spec.opts.estimator.to_string())
+                .u64("replanned_rows", replans),
+        );
+    }
+    shared.metrics.with(|c| {
+        c.symbolic_runs += 1;
+        c.sampled_plans += u64::from(sampled);
+        c.replanned_rows += replans;
+    });
     let ns = x_begin(exec, tr, "numeric");
     let run = plan.execute_with(exec, a, b);
     x_end(exec, tr, ns);
@@ -885,6 +917,31 @@ mod tests {
         let reg = stats.to_registry();
         assert_eq!(reg.counter("engine.jobs"), 1);
         assert_eq!(reg.counter("engine.cache.miss"), 1);
+        assert_eq!(reg.counter("engine.sampled_plans"), 0);
+        assert_eq!(reg.counter("engine.replanned_rows"), 0);
         assert!(reg.hist("engine.job_latency_us").is_some());
+    }
+
+    #[test]
+    fn sampled_estimator_jobs_match_exact_bitwise_and_count() {
+        use nsparse_core::Estimator;
+        let a = rand_mat(260, 29);
+        let sampled = Options { estimator: Estimator::sampled(), ..Options::default() };
+        // One worker: job 2 must deterministically hit job 1's plan.
+        let mut eng = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let t1 =
+            eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_opts(sampled.clone()));
+        let t2 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_opts(sampled));
+        let o1 = t1.wait().unwrap();
+        let o2 = t2.wait().unwrap();
+        assert_eq!(o1.cache, CacheOutcome::Miss);
+        assert_eq!(o2.cache, CacheOutcome::Hit);
+        // The estimator only changes planning cost, never the product.
+        let want = reference(&a, &a);
+        assert_eq!(bits(&o1.matrix), bits(&want));
+        assert_eq!(bits(&o2.matrix), bits(&want));
+        let stats = eng.shutdown();
+        assert_eq!(stats.sampled_plans, 1, "one cold sampled plan, one hit");
+        assert!(stats.budget_drained);
     }
 }

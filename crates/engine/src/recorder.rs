@@ -303,6 +303,8 @@ mod tests {
             fallback: 0,
             failed: 0,
             symbolic_runs: 1,
+            sampled_plans: 0,
+            replanned_rows: 0,
             cache: Default::default(),
             latency: Default::default(),
             queue_wait: Default::default(),

@@ -41,8 +41,8 @@ pub use vgpu;
 pub mod prelude {
     pub use baselines::Algorithm;
     pub use nsparse_core::{
-        Backend, BatchedExecutor, Error, ErrorKind, Executor, HostParallelExecutor, Options,
-        Recovery, SimExecutor, SymbolicPlan,
+        AlgorithmChoice, AlgorithmPolicy, Backend, BatchedExecutor, Error, ErrorKind, Estimator,
+        Executor, HostParallelExecutor, Options, Recovery, SimExecutor, SpgemmPlan, SymbolicPlan,
     };
     pub use sparse::{Csr, Scalar};
     pub use vgpu::{DeviceConfig, FaultPlan, Gpu, Phase, SimTime, SpgemmReport};
