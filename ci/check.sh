@@ -124,6 +124,58 @@ cmp "$smoke/flight1.jsonl.chrome.json" "$smoke/flight2.jsonl.chrome.json"
 grep -q '"kind":"batch_retry"' "$smoke/flight1.jsonl"
 grep -q '"status":"complete"' "$smoke/flight1.jsonl"
 
+echo "== chaos soak (hostile load drains clean at any worker count) ==" >&2
+# DESIGN.md §17: a seeded hostile job mix — recoverable OOMs, transient
+# and persistent kernel faults, expired deadlines, self-cancelling jobs,
+# queue-overflow shedding — must conserve every outcome, drain the
+# shared budget, and verify each survivor bitwise against standalone
+# multiply. Stdout is byte-identical across repeated runs, and across
+# worker counts once the "N workers" header line is stripped.
+for seed in 5 23; do
+  for workers in 1 4; do
+    cargo run -q --release --offline -p bench --bin spgemm -- \
+      chaos --seed "$seed" --jobs 1000 --workers "$workers" --dim 64 \
+      --queue-depth 32 --shed-jobs 8 --retry-budget 2 \
+      > "$smoke/chaos-$seed-$workers.out"
+    grep -q "^conservation: ok$" "$smoke/chaos-$seed-$workers.out"
+    grep -q "^leak check  : ok (budget drained)$" "$smoke/chaos-$seed-$workers.out"
+    grep -q "^invariants  : ok (0 violations)$" "$smoke/chaos-$seed-$workers.out"
+  done
+  cargo run -q --release --offline -p bench --bin spgemm -- \
+    chaos --seed "$seed" --jobs 1000 --workers 4 --dim 64 \
+    --queue-depth 32 --shed-jobs 8 --retry-budget 2 \
+    > "$smoke/chaos-$seed-rerun.out"
+  cmp "$smoke/chaos-$seed-4.out" "$smoke/chaos-$seed-rerun.out"
+  cmp <(tail -n +2 "$smoke/chaos-$seed-1.out") \
+      <(tail -n +2 "$smoke/chaos-$seed-4.out")
+done
+
+echo "== chaos failover (breaker forced open, host absorbs everything) ==" >&2
+# With the circuit breaker pinned open, every job routes to the host
+# failover backend: injected device faults never fire (0 failed), the
+# host's zero simulated time satisfies even already-expired deadlines
+# (0 deadline-exceeded), and each product still verifies bitwise
+# against the standalone sim-backend multiply.
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  chaos --seed 5 --jobs 60 --workers 3 --dim 96 --force-open \
+  > "$smoke/chaos-open.out"
+grep -q "^backend     : host (breaker forced open)$" "$smoke/chaos-open.out"
+grep -q ", 0 failed, " "$smoke/chaos-open.out"
+grep -q ", 0 deadline-exceeded$" "$smoke/chaos-open.out"
+grep -q "^invariants  : ok (0 violations)$" "$smoke/chaos-open.out"
+
+echo "== chaos panic canary (worker panic contained, pool survives) ==" >&2
+# A panic injected into one job must be caught at the worker boundary:
+# the job fails, its reservation is released, the pool keeps draining,
+# and every invariant still holds. (The flight-recorder dump for the
+# panic is asserted in tests/engine.rs.)
+cargo run -q --release --offline -p bench --bin spgemm -- \
+  chaos --seed 7 --jobs 40 --workers 4 --dim 96 --panic-at 5 \
+  > "$smoke/chaos-panic.out" 2>/dev/null
+grep -q "^hostility   : 1 panics contained, " "$smoke/chaos-panic.out"
+grep -q "^leak check  : ok (budget drained)$" "$smoke/chaos-panic.out"
+grep -q "^invariants  : ok (0 violations)$" "$smoke/chaos-panic.out"
+
 echo "== perf observatory (baseline holds, slowdown canary trips) ==" >&2
 # The committed baseline must pass against a fresh sim-backend run, and
 # a deliberately slowed run (test-only multiplier) must fail exit 1 —

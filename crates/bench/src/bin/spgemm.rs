@@ -84,6 +84,7 @@ fn usage() -> ! {
          Both change planning cost only — the product stays bitwise identical\n\
        spgemm trace ...  (telemetry inspection; `spgemm trace --help`)\n\
        spgemm serve ...  (job-engine serving mode; `spgemm serve --help`)\n\
+       spgemm chaos ...  (deterministic chaos soak; `spgemm chaos --help`)\n\
          datasets: {}",
         matgen::standard_datasets()
             .iter()
@@ -500,6 +501,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("bench") {
         std::process::exit(bench::benchcli::run_bench(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(bench::chaoscli::run_chaos_cli(&argv[1..]));
     }
     let args = parse_args();
     if args.precision == "f64" {

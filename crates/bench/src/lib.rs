@@ -13,6 +13,7 @@
 
 pub mod baseline;
 pub mod benchcli;
+pub mod chaoscli;
 pub mod experiments;
 pub mod harness;
 pub mod report;

@@ -137,6 +137,11 @@ fn print_report<T: Scalar>(args: &ServeArgs, rep: &DriverReport<T>) -> i32 {
         if args.driver.faults { "on" } else { "off" }
     );
     println!(
+        "outcomes    : {} completed, {} failed, {} shed, {} cancelled, {} deadline-exceeded \
+         ({} panics contained)",
+        s.completed, s.failed, s.shed, s.cancelled, s.deadline_exceeded, s.panicked_jobs
+    );
+    println!(
         "admission   : {} direct, {} waited for budget, {} batched, {} oom-fallback",
         s.admitted, s.queued, s.batched, s.fallback
     );

@@ -36,7 +36,7 @@
 //! capacity is reported the same way without burning retries: no batch
 //! boundary can help it.
 
-use crate::exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, WallClock};
+use crate::exec::{Backend, BackendCaps, Execution, Executor, JobCtl, SymbolicOutput, WallClock};
 use crate::partition::weighted_ranges;
 use crate::pipeline::{CapacityDiagnostic, Error, Options, Recovery, Result};
 use crate::plan::SpgemmPlan;
@@ -54,6 +54,7 @@ pub struct BatchedExecutor<E> {
     max_retries: u32,
     last_batches: usize,
     last_retries: u32,
+    ctl: Option<JobCtl>,
 }
 
 impl<E> BatchedExecutor<E> {
@@ -68,7 +69,15 @@ impl<E> BatchedExecutor<E> {
             max_retries: Self::DEFAULT_MAX_RETRIES,
             last_batches: 0,
             last_retries: 0,
+            ctl: None,
         }
+    }
+
+    /// Attach cooperative job control (cancellation + deadline), polled
+    /// between batches and before each retry attempt. `None` disables
+    /// the checks (the default — standalone callers pay nothing).
+    pub fn set_ctl(&mut self, ctl: Option<JobCtl>) {
+        self.ctl = ctl;
     }
 
     /// Override the retry budget.
@@ -305,6 +314,19 @@ impl<E> BatchedExecutor<E> {
         }
     }
 
+    /// Poll the attached [`JobCtl`] (if any) against the inner
+    /// executor's simulated clock — the deterministic phase-boundary
+    /// check of DESIGN.md §17.
+    fn check_ctl<T: Scalar>(&self) -> Result<()>
+    where
+        E: Executor<T>,
+    {
+        match &self.ctl {
+            Some(ctl) => ctl.check(self.inner.device_elapsed_us().unwrap_or(0.0)),
+            None => Ok(()),
+        }
+    }
+
     fn run_batches<T: Scalar>(
         &mut self,
         a: &Csr<T>,
@@ -320,6 +342,7 @@ impl<E> BatchedExecutor<E> {
         let mut walls = Vec::with_capacity(batches.len());
         let mut replans = 0u64;
         for (i, range) in batches.iter().enumerate() {
+            self.check_ctl::<T>()?;
             self.emit::<T>(
                 obs::Event::new("batch")
                     .u64("index", i as u64)
@@ -423,6 +446,7 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
         let mut budget = capacity;
         let mut attempts = 0u32;
         loop {
+            self.check_ctl::<T>()?;
             attempts += 1;
             let diagnostic = |attempts, budget, detail: String| {
                 Error::CapacityExhausted(CapacityDiagnostic {

@@ -12,9 +12,11 @@
 //! *report*: simulated time and device telemetry from the sim backend,
 //! wall-clock phase times from the host backend.
 
-use crate::pipeline::{Options, Result};
+use crate::pipeline::{Error, Options, Result};
 use crate::plan::SpgemmPlan;
 use sparse::{Csr, Scalar};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use vgpu::{Phase, SpgemmReport};
 
@@ -202,6 +204,61 @@ pub trait Executor<T: Scalar> {
     /// attribute device time to a phase that spans several trait calls.
     fn device_elapsed_us(&self) -> Option<f64> {
         None
+    }
+}
+
+/// Cooperative job control checked at phase boundaries (DESIGN.md §17).
+///
+/// Long multiplies must yield to two external signals: a cancellation
+/// flag flipped by the submitter, and a deadline on the *simulated*
+/// clock. Neither preempts a kernel — both are polled between phases
+/// (and between batches inside [`crate::BatchedExecutor`]), which keeps
+/// the check deterministic: whether a job dies at a boundary depends
+/// only on its own accumulated device time, never on wall-clock racing.
+///
+/// `base_us` carries simulated time accumulated *before* the current
+/// executor attached (prior retry attempts, backoff waits), so the
+/// deadline compares against the job's whole simulated life. Backends
+/// without a simulated clock ([`Executor::device_elapsed_us`] = `None`)
+/// report 0 elapsed; deadlines are then only enforced against
+/// `base_us`, i.e. the host failover path does not expire mid-job —
+/// documented behaviour, not an accident.
+#[derive(Debug, Clone, Default)]
+pub struct JobCtl {
+    /// Set by the submitter to request cancellation; polled, never
+    /// preemptive.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Simulated-time deadline in µs from submission; `None` = no
+    /// deadline.
+    pub deadline_us: Option<u64>,
+    /// Simulated µs spent before the current executor attached
+    /// (earlier attempts + backoff).
+    pub base_us: f64,
+}
+
+impl JobCtl {
+    /// True if the submitter has requested cancellation.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst))
+    }
+
+    /// Poll both signals against `elapsed_us` simulated µs spent in the
+    /// current executor. Cancellation wins over the deadline so a
+    /// cancel-then-expire job classifies deterministically.
+    pub fn check(&self, elapsed_us: f64) -> Result<()> {
+        if self.cancelled() {
+            return Err(Error::Cancelled);
+        }
+        if let Some(deadline) = self.deadline_us {
+            let total = self.base_us + elapsed_us;
+            if total > deadline as f64 {
+                return Err(Error::DeadlineExceeded {
+                    deadline_us: deadline,
+                    elapsed_us: total as u64,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

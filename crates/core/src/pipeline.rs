@@ -91,9 +91,36 @@ pub enum Error {
     /// [`CapacityDiagnostic::attempts`] times the multiply does not fit
     /// the device. Carries the estimate-vs-capacity diagnostic.
     CapacityExhausted(CapacityDiagnostic),
+    /// The job's deadline elapsed before it finished (simulated
+    /// microseconds, DESIGN.md §17). The work already done is discarded
+    /// and every reservation released; retrying the same job with the
+    /// same deadline would expire again.
+    DeadlineExceeded {
+        /// The deadline the job was submitted with.
+        deadline_us: u64,
+        /// Simulated time the job had consumed when the expiry was
+        /// observed (phase boundaries only, so `>= deadline_us`).
+        elapsed_us: u64,
+    },
+    /// The job was cancelled cooperatively (ticket-side cancel observed
+    /// at a phase boundary). Not a failure of the work itself.
+    Cancelled,
+    /// The serving queue was full at submission: the job was shed
+    /// without running. Carries the observed depth and the bound so a
+    /// client can back off and resubmit.
+    Shed {
+        /// Jobs queued at the moment of rejection.
+        queued: usize,
+        /// The configured `max_queue_depth` bound.
+        limit: usize,
+    },
+    /// The job panicked inside a worker thread; the panic was contained
+    /// ([`std::panic::catch_unwind`]) and converted into this error so
+    /// the pool and the shared budget survive.
+    Panicked(String),
 }
 
-/// The four failure classes of the taxonomy (DESIGN.md §13).
+/// The failure classes of the taxonomy (DESIGN.md §13, §17).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
     /// Host-side planning failure.
@@ -104,6 +131,14 @@ pub enum ErrorKind {
     Kernel,
     /// Internal invariant violation.
     Invariant,
+    /// Deadline expiry (simulated clock).
+    Deadline,
+    /// Cooperative cancellation.
+    Cancelled,
+    /// Load-shed at submission (queue full).
+    Rejected,
+    /// A contained worker panic.
+    Panic,
 }
 
 /// What a caller can do about an [`Error`].
@@ -112,6 +147,16 @@ pub enum Recovery {
     /// Retrying with a smaller per-batch working set may succeed — the
     /// batched fallback executor acts on exactly this hint.
     RetrySmallerBatch,
+    /// A fresh attempt of the *same* work may succeed after a backoff
+    /// delay: device faults are transient at the serving layer (ECC
+    /// scrubs, driver resets), so the engine retries these under a
+    /// bounded per-job budget with deterministic exponential backoff.
+    /// Injected faults replay identically per attempt, so retries
+    /// exhaust deterministically — exactly the signal the circuit
+    /// breaker consumes (DESIGN.md §17).
+    RetryAfterBackoff,
+    /// The job never ran (queue full); resubmit when load drops.
+    Resubmit,
     /// No automatic recovery; surface the error.
     Fatal,
 }
@@ -151,15 +196,32 @@ impl Error {
             Error::DeviceOom(_) | Error::CapacityExhausted(_) => ErrorKind::DeviceOom,
             Error::Kernel(_) => ErrorKind::Kernel,
             Error::Invariant(_) => ErrorKind::Invariant,
+            Error::DeadlineExceeded { .. } => ErrorKind::Deadline,
+            Error::Cancelled => ErrorKind::Cancelled,
+            Error::Shed { .. } => ErrorKind::Rejected,
+            Error::Panicked(_) => ErrorKind::Panic,
         }
     }
 
-    /// The recovery hint of this error. Only a plain device OOM is
-    /// retryable; `CapacityExhausted` means the retry loop already ran.
+    /// The recovery hint of this error. Deliberately an exhaustive
+    /// match — adding an `Error` variant must force a classification
+    /// decision here, never fall through a wildcard (DESIGN.md §17).
     pub fn recovery(&self) -> Recovery {
         match self {
+            // A plain OOM may fit in smaller batches; CapacityExhausted
+            // means that retry loop already ran and gave up.
             Error::DeviceOom(_) => Recovery::RetrySmallerBatch,
-            _ => Recovery::Fatal,
+            // Device faults are transient at the serving layer; the
+            // engine retries them under a bounded backoff budget.
+            Error::Kernel(_) => Recovery::RetryAfterBackoff,
+            // Shed jobs never ran; the client may resubmit later.
+            Error::Shed { .. } => Recovery::Resubmit,
+            Error::Planning(_)
+            | Error::Invariant(_)
+            | Error::CapacityExhausted(_)
+            | Error::DeadlineExceeded { .. }
+            | Error::Cancelled
+            | Error::Panicked(_) => Recovery::Fatal,
         }
     }
 
@@ -177,6 +239,14 @@ impl std::fmt::Display for Error {
             Error::Kernel(e) => write!(f, "device: {e}"),
             Error::Invariant(msg) => write!(f, "internal invariant violated: {msg}"),
             Error::CapacityExhausted(d) => write!(f, "capacity exhausted: {d}"),
+            Error::DeadlineExceeded { deadline_us, elapsed_us } => {
+                write!(f, "deadline exceeded: {elapsed_us} us elapsed against a {deadline_us} us deadline")
+            }
+            Error::Cancelled => write!(f, "cancelled by the submitter"),
+            Error::Shed { queued, limit } => {
+                write!(f, "shed: queue full ({queued} jobs against a depth limit of {limit})")
+            }
+            Error::Panicked(msg) => write!(f, "worker panic (contained): {msg}"),
         }
     }
 }
@@ -344,6 +414,55 @@ mod tests {
         assert!(r.phase_time(Phase::Count) > SimTime::ZERO);
         assert!(r.phase_time(Phase::Calc) > SimTime::ZERO);
         assert!(r.phase_time(Phase::Malloc) > SimTime::ZERO);
+    }
+
+    /// Satellite of DESIGN.md §17: every `Error` variant must have an
+    /// explicit kind + recovery classification. The match below has no
+    /// wildcard arm, so adding a variant breaks this test (and the
+    /// `recovery()` impl, which is likewise exhaustive) at compile time.
+    #[test]
+    fn every_error_variant_is_classified() {
+        use sparse::SparseError;
+        let oom = || {
+            let mut g = Gpu::new(DeviceConfig::p100_with_memory(8));
+            g.malloc(1024, "probe").unwrap_err()
+        };
+        let samples: Vec<Error> = vec![
+            Error::Planning(SparseError::DimensionMismatch("x".into())),
+            oom().into(),
+            Error::Kernel(vgpu::GpuError::KernelFault("grouping".into())),
+            Error::Invariant("bad csr".into()),
+            Error::CapacityExhausted(CapacityDiagnostic {
+                estimate_upper: 2,
+                capacity: 1,
+                attempts: 5,
+                smallest_budget: 1,
+                detail: String::new(),
+            }),
+            Error::DeadlineExceeded { deadline_us: 10, elapsed_us: 25 },
+            Error::Cancelled,
+            Error::Shed { queued: 64, limit: 64 },
+            Error::Panicked("boom".into()),
+        ];
+        for e in &samples {
+            let (kind, recovery) = match e {
+                Error::Planning(_) => (ErrorKind::Planning, Recovery::Fatal),
+                Error::DeviceOom(_) => (ErrorKind::DeviceOom, Recovery::RetrySmallerBatch),
+                Error::Kernel(_) => (ErrorKind::Kernel, Recovery::RetryAfterBackoff),
+                Error::Invariant(_) => (ErrorKind::Invariant, Recovery::Fatal),
+                Error::CapacityExhausted(_) => (ErrorKind::DeviceOom, Recovery::Fatal),
+                Error::DeadlineExceeded { .. } => (ErrorKind::Deadline, Recovery::Fatal),
+                Error::Cancelled => (ErrorKind::Cancelled, Recovery::Fatal),
+                Error::Shed { .. } => (ErrorKind::Rejected, Recovery::Resubmit),
+                Error::Panicked(_) => (ErrorKind::Panic, Recovery::Fatal),
+            };
+            assert_eq!(e.kind(), kind, "{e}");
+            assert_eq!(e.recovery(), recovery, "{e}");
+            assert!(!e.to_string().is_empty());
+        }
+        // The sample list covers every variant exactly once (update it
+        // alongside the enum).
+        assert_eq!(samples.len(), 9);
     }
 
     #[test]

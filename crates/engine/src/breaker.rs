@@ -1,0 +1,394 @@
+//! Per-backend circuit breaker: fail over to the host when the device
+//! looks sick (DESIGN.md §17).
+//!
+//! The engine normally runs every job on its configured primary backend
+//! (the virtual device). Injected device faults replay identically on
+//! every retry, so a *persistently* faulting device burns each job's
+//! whole retry budget before failing it — the classic cascading-failure
+//! shape. The breaker watches terminal device faults
+//! ([`nsparse_core::ErrorKind::Kernel`]) and, after `threshold`
+//! consecutive ones, **opens**: subsequent jobs route to the degraded
+//! host backend ([`nsparse_core::Backend::Host`]), whose output is
+//! bitwise identical to the device's (DESIGN.md §12), so callers see
+//! slower jobs — never different bits.
+//!
+//! State machine (classic three-state):
+//!
+//! ```text
+//!            K consecutive device faults
+//!   Closed ────────────────────────────────▶ Open
+//!     ▲                                       │ `cooldown` jobs served
+//!     │ trial succeeds                        │ on the host
+//!     │                                       ▼
+//!     └──────────────────────────────────  HalfOpen
+//!                 ▲        │ trial job runs on the primary;
+//!                 └────────┘ a device fault re-opens
+//! ```
+//!
+//! The cooldown is counted in *jobs routed while open* rather than wall
+//! time — the engine has no global wall clock that is deterministic
+//! across worker counts. With more than one worker the interleaving of
+//! fault reports is still scheduling-dependent, so breaker-enabled runs
+//! trade byte-determinism for availability; the chaos harness therefore
+//! gates determinism with the breaker disabled and exercises failover
+//! separately via [`Breaker::force_open`] (deterministic: every job
+//! routes to the host).
+
+use nsparse_core::Backend;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: jobs run on the primary backend.
+    Closed,
+    /// Tripped: jobs run on the failover backend.
+    Open,
+    /// Probing: one trial job runs on the primary; the rest fail over.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// A state change, reported so workers can trace it through the
+/// flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// Where the breaker routed a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The backend the job must run on.
+    pub backend: Backend,
+    /// This job is the half-open trial: its outcome closes or re-opens
+    /// the breaker.
+    pub trial: bool,
+    /// The job was routed away from the primary.
+    pub failed_over: bool,
+    /// State change caused by taking this decision (Open → HalfOpen
+    /// when the cooldown elapses).
+    pub transition: Option<Transition>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_faults: u32,
+    cooldown_left: u32,
+    trial_in_flight: bool,
+    open_total: u64,
+}
+
+/// Consecutive-fault circuit breaker shared by all workers.
+#[derive(Debug)]
+pub struct Breaker {
+    /// Consecutive device faults that open the breaker; 0 disables it.
+    threshold: u32,
+    /// Jobs served on the failover backend before a half-open probe.
+    cooldown: u32,
+    /// Pinned open: every job fails over, no probing (deterministic —
+    /// used by the chaos harness's failover gate).
+    force_open: bool,
+    primary: Backend,
+    failover: Backend,
+    inner: Mutex<Inner>,
+}
+
+impl Breaker {
+    /// A breaker guarding `primary`, failing over to `failover`.
+    /// `threshold == 0` disables it (every job routes to the primary)
+    /// unless `force_open` pins it open.
+    pub fn new(
+        threshold: u32,
+        cooldown: u32,
+        force_open: bool,
+        primary: Backend,
+        failover: Backend,
+    ) -> Self {
+        let state = if force_open { BreakerState::Open } else { BreakerState::Closed };
+        Breaker {
+            threshold,
+            cooldown: cooldown.max(1),
+            force_open,
+            primary,
+            failover,
+            inner: Mutex::new(Inner {
+                state,
+                consecutive_faults: 0,
+                cooldown_left: 0,
+                trial_in_flight: false,
+                open_total: 0,
+            }),
+        }
+    }
+
+    /// Breaker routing is active (threshold set or pinned open).
+    pub fn enabled(&self) -> bool {
+        self.threshold > 0 || self.force_open
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Times the breaker has opened (pinned-open counts once at 0 —
+    /// it never *transitions*).
+    pub fn open_total(&self) -> u64 {
+        self.lock().open_total
+    }
+
+    /// Route one job. Must be paired with [`Breaker::on_primary_success`]
+    /// / [`Breaker::on_primary_fault`] when the decision ran on the
+    /// primary (other outcomes — cancelled, shed, planning errors — are
+    /// neutral and need no report).
+    pub fn route(&self) -> RouteDecision {
+        if !self.enabled() {
+            return RouteDecision {
+                backend: self.primary,
+                trial: false,
+                failed_over: false,
+                transition: None,
+            };
+        }
+        if self.force_open {
+            return RouteDecision {
+                backend: self.failover,
+                trial: false,
+                failed_over: true,
+                transition: None,
+            };
+        }
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => RouteDecision {
+                backend: self.primary,
+                trial: false,
+                failed_over: false,
+                transition: None,
+            },
+            BreakerState::Open => {
+                g.cooldown_left = g.cooldown_left.saturating_sub(1);
+                if g.cooldown_left == 0 {
+                    g.state = BreakerState::HalfOpen;
+                    g.trial_in_flight = true;
+                    RouteDecision {
+                        backend: self.primary,
+                        trial: true,
+                        failed_over: false,
+                        transition: Some(Transition {
+                            from: BreakerState::Open,
+                            to: BreakerState::HalfOpen,
+                        }),
+                    }
+                } else {
+                    RouteDecision {
+                        backend: self.failover,
+                        trial: false,
+                        failed_over: true,
+                        transition: None,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.trial_in_flight {
+                    // One probe at a time; everyone else stays safe.
+                    RouteDecision {
+                        backend: self.failover,
+                        trial: false,
+                        failed_over: true,
+                        transition: None,
+                    }
+                } else {
+                    g.trial_in_flight = true;
+                    RouteDecision {
+                        backend: self.primary,
+                        trial: true,
+                        failed_over: false,
+                        transition: None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// A job routed to the primary completed. Resets the fault streak;
+    /// a successful trial closes the breaker.
+    pub fn on_primary_success(&self, trial: bool) -> Option<Transition> {
+        if !self.enabled() || self.force_open {
+            return None;
+        }
+        let mut g = self.lock();
+        g.consecutive_faults = 0;
+        if trial {
+            g.trial_in_flight = false;
+            if g.state == BreakerState::HalfOpen {
+                g.state = BreakerState::Closed;
+                return Some(Transition { from: BreakerState::HalfOpen, to: BreakerState::Closed });
+            }
+        }
+        None
+    }
+
+    /// A job routed to the primary died with a terminal device fault.
+    /// Extends the streak; at `threshold` (or on a failed trial) the
+    /// breaker opens.
+    pub fn on_primary_fault(&self, trial: bool) -> Option<Transition> {
+        if !self.enabled() || self.force_open {
+            return None;
+        }
+        let mut g = self.lock();
+        g.consecutive_faults += 1;
+        if trial {
+            g.trial_in_flight = false;
+            if g.state == BreakerState::HalfOpen {
+                g.state = BreakerState::Open;
+                g.cooldown_left = self.cooldown;
+                g.open_total += 1;
+                return Some(Transition { from: BreakerState::HalfOpen, to: BreakerState::Open });
+            }
+        }
+        if g.state == BreakerState::Closed && g.consecutive_faults >= self.threshold {
+            g.state = BreakerState::Open;
+            g.cooldown_left = self.cooldown;
+            g.open_total += 1;
+            return Some(Transition { from: BreakerState::Closed, to: BreakerState::Open });
+        }
+        None
+    }
+
+    /// A job routed to the primary retired with a *non-device* outcome
+    /// (cancelled, deadline, planning error): says nothing about device
+    /// health, but a trial must still hand back the probe slot or the
+    /// half-open state would wedge with no trial ever reporting.
+    pub fn on_primary_neutral(&self, trial: bool) {
+        if !self.enabled() || self.force_open || !trial {
+            return;
+        }
+        self.lock().trial_in_flight = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u32) -> Breaker {
+        Breaker::new(threshold, cooldown, false, Backend::Sim, Backend::Host { threads: 2 })
+    }
+
+    #[test]
+    fn disabled_breaker_always_routes_primary() {
+        let b = breaker(0, 4);
+        assert!(!b.enabled());
+        for _ in 0..10 {
+            let d = b.route();
+            assert_eq!(d.backend, Backend::Sim);
+            assert!(!d.failed_over);
+        }
+        assert!(b.on_primary_fault(false).is_none());
+        assert_eq!(b.open_total(), 0);
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_faults() {
+        let b = breaker(3, 4);
+        assert!(b.on_primary_fault(false).is_none());
+        assert!(b.on_primary_fault(false).is_none());
+        let t = b.on_primary_fault(false).unwrap();
+        assert_eq!(t, Transition { from: BreakerState::Closed, to: BreakerState::Open });
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_total(), 1);
+        let d = b.route();
+        assert_eq!(d.backend, Backend::Host { threads: 2 });
+        assert!(d.failed_over);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = breaker(3, 4);
+        b.on_primary_fault(false);
+        b.on_primary_fault(false);
+        b.on_primary_success(false);
+        assert!(b.on_primary_fault(false).is_none(), "streak must restart after a success");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_trial_closes_on_success_and_reopens_on_fault() {
+        let b = breaker(1, 2);
+        b.on_primary_fault(false).unwrap();
+        // Cooldown: 2 routed jobs fail over, the second flips half-open.
+        let d1 = b.route();
+        assert!(d1.failed_over && !d1.trial);
+        let d2 = b.route();
+        assert!(d2.trial, "cooldown elapsed: this job is the probe");
+        assert_eq!(d2.backend, Backend::Sim);
+        assert_eq!(
+            d2.transition,
+            Some(Transition { from: BreakerState::Open, to: BreakerState::HalfOpen })
+        );
+        // While the trial is in flight, others still fail over.
+        assert!(b.route().failed_over);
+        // Failed trial re-opens...
+        let t = b.on_primary_fault(true).unwrap();
+        assert_eq!(t.to, BreakerState::Open);
+        assert_eq!(b.open_total(), 2);
+        // ...and the next cooldown-elapsed trial can close it.
+        b.route();
+        let d = b.route();
+        assert!(d.trial);
+        let t = b.on_primary_success(true).unwrap();
+        assert_eq!(t, Transition { from: BreakerState::HalfOpen, to: BreakerState::Closed });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.route().backend, Backend::Sim);
+    }
+
+    #[test]
+    fn neutral_trial_outcome_releases_the_probe_slot() {
+        let b = breaker(1, 1);
+        b.on_primary_fault(false).unwrap();
+        let d = b.route();
+        assert!(d.trial);
+        // The trial got cancelled — no verdict on the device, but the
+        // probe slot frees so a later job can try again.
+        b.on_primary_neutral(true);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        let d = b.route();
+        assert!(d.trial, "the probe slot must be available again");
+        b.on_primary_success(true).unwrap();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn forced_open_routes_everything_to_failover() {
+        let b = Breaker::new(0, 4, true, Backend::Sim, Backend::Host { threads: 3 });
+        assert!(b.enabled());
+        for _ in 0..5 {
+            let d = b.route();
+            assert_eq!(d.backend, Backend::Host { threads: 3 });
+            assert!(d.failed_over && !d.trial);
+        }
+        // Outcome reports are inert while pinned.
+        assert!(b.on_primary_fault(false).is_none());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_total(), 0);
+    }
+}

@@ -3,7 +3,10 @@
 //! Life of a job (DESIGN.md §14):
 //!
 //! 1. [`Engine::submit`] enqueues the spec and returns a [`JobTicket`];
-//!    submission never blocks on device capacity.
+//!    submission never blocks on device capacity. With a bounded queue
+//!    ([`EngineConfig::max_queue_depth`]) a submission over the limit is
+//!    **shed**: the ticket resolves immediately with a structured
+//!    [`Error::Shed`] rejection — never a panic, never a reservation.
 //! 2. A worker validates the spec at the trust boundary
 //!    ([`JobSpec::validate`]) and forecasts its device footprint with
 //!    [`estimate_memory`].
@@ -12,15 +15,32 @@
 //!    that would overcommit waits (the "queued" counter) until running
 //!    jobs release their reservations; a job whose forecast exceeds the
 //!    whole budget can never run in one piece and is routed through the
-//!    row-batched fallback under a full-budget reservation.
+//!    row-batched fallback under a full-budget reservation. The
+//!    reservation is held by an RAII guard, so *every* exit — success,
+//!    classified error, deadline, cancellation, even a worker panic —
+//!    releases it (the no-leak gate).
 //! 4. **Execution**: direct jobs consult the [`PlanCache`] — a hit
 //!    replays the cached symbolic plan (numeric phase only), a miss
 //!    plans cold and populates the cache. Admitted jobs that still hit
 //!    a recoverable device error ([`Recovery::RetrySmallerBatch`])
-//!    fall back to the batched route instead of failing.
+//!    fall back to the batched route instead of failing; transient
+//!    device faults ([`Recovery::RetryAfterBackoff`]) are retried under
+//!    a per-job budget with deterministic exponential backoff charged
+//!    to *simulated* time. A per-backend circuit breaker
+//!    ([`crate::breaker::Breaker`]) routes jobs away from a
+//!    persistently faulting device to the host backend, whose output is
+//!    bitwise identical.
 //! 5. The reservation is released (the budget must drain to zero by
 //!    shutdown — the no-leak gate), latency is recorded, and the
 //!    ticket is fulfilled.
+//!
+//! Hostile-load posture (DESIGN.md §17): deadlines and cancellation are
+//! *cooperative*, polled at phase boundaries on the simulated clock so
+//! outcomes are a pure function of the job spec, never of wall-clock
+//! racing; a panicking job is contained with [`std::panic::catch_unwind`]
+//! and surfaces as [`Error::Panicked`] with a flight-recorder dump while
+//! the pool keeps serving; every lock recovers from poisoning so one
+//! panicked worker cannot wedge [`Engine::shutdown`] or the leak gate.
 //!
 //! Every job runs on its own device state (a fresh virtual GPU per job
 //! on the sim backend), so results depend only on the job itself —
@@ -28,20 +48,24 @@
 //! engine output bitwise identical to standalone `multiply` at any
 //! worker count.
 
+use crate::breaker::{Breaker, Transition};
 use crate::cache::{CacheStats, PlanCache, PlanKey};
-use crate::job::{CacheOutcome, EffectiveA, JobOutput, JobSpec, Route};
+use crate::job::{CacheOutcome, CancelPoint, EffectiveA, JobOutput, JobSpec, Route};
 use crate::recorder::{FlightRecorder, PhaseSpan, TraceBuilder};
 use crate::Result;
 use nsparse_core::{
-    estimate_memory, Backend, BatchedExecutor, Error, Executor, HostParallelExecutor, Recovery,
-    SimExecutor, SymbolicPlan,
+    estimate_memory, Backend, BatchedExecutor, Error, ErrorKind, Executor, HostParallelExecutor,
+    JobCtl, Recovery, SimExecutor, SymbolicPlan,
 };
 use sparse::{Csr, Scalar};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vgpu::{DeviceConfig, Gpu, SharedBudget, SpgemmReport};
+use vgpu::fault::split_mix64;
+use vgpu::{DeviceConfig, FaultPlan, Gpu, SharedBudget, SpgemmReport};
 
 /// The per-job tracer threaded through the worker's routing path:
 /// `None` when tracing is off (the untraced path pays nothing).
@@ -66,6 +90,35 @@ pub struct EngineConfig {
     pub trace: bool,
     /// Flight-recorder ring capacity (recent job traces retained).
     pub flight_capacity: usize,
+    /// Bounded-queue depth; submissions past it are shed with a
+    /// structured [`Error::Shed`]. 0 = unbounded (the pre-hardening
+    /// behaviour).
+    pub max_queue_depth: usize,
+    /// Default retries for transient device faults
+    /// ([`Recovery::RetryAfterBackoff`]); jobs may override via
+    /// [`JobSpec::retry_budget`]. 0 = fail on the first fault.
+    pub retry_budget: u32,
+    /// Backoff base in simulated µs: attempt `k` waits
+    /// `base << (k-1) + jitter` with `jitter < base` (seeded, so waits
+    /// are byte-identical across runs and worker counts).
+    pub backoff_base_us: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Consecutive terminal device faults that open the circuit
+    /// breaker. 0 disables breaker routing entirely.
+    pub breaker_threshold: u32,
+    /// Jobs served on the failover backend before the breaker half-opens
+    /// and probes the primary again.
+    pub breaker_cooldown: u32,
+    /// Pin the breaker open: every job runs on the failover host
+    /// backend (deterministic — the chaos harness's failover gate).
+    pub breaker_force_open: bool,
+    /// Host threads of the failover backend the breaker routes to.
+    pub failover_threads: usize,
+    /// Start with the workers paused: jobs accumulate in the queue until
+    /// [`Engine::resume`]. Lets tests and the chaos harness make
+    /// shedding deterministic (fill the bounded queue, then release).
+    pub start_paused: bool,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +131,15 @@ impl Default for EngineConfig {
             cache_capacity: 64,
             trace: false,
             flight_capacity: 64,
+            max_queue_depth: 0,
+            retry_budget: 0,
+            backoff_base_us: 100,
+            backoff_seed: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: 4,
+            breaker_force_open: false,
+            failover_threads: 2,
+            start_paused: false,
         }
     }
 }
@@ -98,6 +160,11 @@ pub struct LatencySummary {
 }
 
 /// Snapshot of everything the engine counts.
+///
+/// Conservation invariant (checked by the chaos harness after every
+/// soak): `jobs == completed + failed + shed + cancelled +
+/// deadline_exceeded` — every submitted job retires into exactly one
+/// outcome class.
 #[derive(Debug, Clone)]
 pub struct EngineStats {
     /// Jobs submitted.
@@ -112,8 +179,24 @@ pub struct EngineStats {
     /// Admitted jobs that fell back to the batched route after a
     /// recoverable device error.
     pub fallback: u64,
-    /// Jobs that completed with an error.
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that completed with an error (excluding the dedicated
+    /// shed/cancelled/deadline classes below).
     pub failed: u64,
+    /// Submissions rejected at the bounded queue.
+    pub shed: u64,
+    /// Jobs cancelled cooperatively before completing.
+    pub cancelled: u64,
+    /// Jobs that blew their simulated-time deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs that panicked inside a worker and were contained (subset of
+    /// `failed`).
+    pub panicked_jobs: u64,
+    /// Transient-fault retry attempts consumed across all jobs.
+    pub backoff_retries: u64,
+    /// Times the circuit breaker opened (Closed/HalfOpen → Open).
+    pub breaker_open_total: u64,
     /// Cold symbolic (setup + count) phases actually run — cache hits
     /// skip these, so `symbolic_runs + cache.hits` ≈ direct jobs.
     pub symbolic_runs: u64,
@@ -156,7 +239,14 @@ impl EngineStats {
         r.counter_add("engine.queued", self.queued);
         r.counter_add("engine.batched", self.batched);
         r.counter_add("engine.fallback", self.fallback);
+        r.counter_add("engine.completed", self.completed);
         r.counter_add("engine.failed", self.failed);
+        r.counter_add("engine.shed", self.shed);
+        r.counter_add("engine.cancelled", self.cancelled);
+        r.counter_add("engine.deadline_exceeded", self.deadline_exceeded);
+        r.counter_add("engine.panicked_jobs", self.panicked_jobs);
+        r.counter_add("engine.backoff_retries", self.backoff_retries);
+        r.counter_add("engine.breaker_open_total", self.breaker_open_total);
         r.counter_add("engine.symbolic_runs", self.symbolic_runs);
         r.counter_add("engine.sampled_plans", self.sampled_plans);
         r.counter_add("engine.replanned_rows", self.replanned_rows);
@@ -173,16 +263,29 @@ impl EngineStats {
         r.counter_add("engine.queue_wait_us_total", self.queue_wait_hist.sum());
         r
     }
+
+    /// The outcome-conservation invariant: every submitted job retired
+    /// into exactly one class.
+    pub fn conserved(&self) -> bool {
+        self.jobs
+            == self.completed + self.failed + self.shed + self.cancelled + self.deadline_exceeded
+    }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Counters {
     jobs: u64,
     admitted: u64,
     queued: u64,
     batched: u64,
     fallback: u64,
+    completed: u64,
     failed: u64,
+    shed: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    panicked_jobs: u64,
+    backoff_retries: u64,
     symbolic_runs: u64,
     sampled_plans: u64,
     replanned_rows: u64,
@@ -214,16 +317,11 @@ fn summarize(mut us: Vec<u64>) -> LatencySummary {
 }
 
 impl Metrics {
+    /// Counter updates recover from lock poisoning: a panicked worker
+    /// mid-update leaves at worst one stale integer, never a wedged
+    /// stats snapshot (DESIGN.md §17).
     fn with<R>(&self, f: impl FnOnce(&mut Counters) -> R) -> R {
-        f(&mut self.0.lock().expect("metrics poisoned"))
-    }
-
-    fn latency(&self) -> LatencySummary {
-        summarize(self.with(|c| c.latencies_us.clone()))
-    }
-
-    fn queue_wait(&self) -> LatencySummary {
-        summarize(self.with(|c| c.queue_waits_us.clone()))
+        f(&mut self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
@@ -232,10 +330,18 @@ struct Slot<T> {
     done: Condvar,
 }
 
+impl<T> Slot<T> {
+    fn fulfill(&self, result: Result<JobOutput<T>>) {
+        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        self.done.notify_all();
+    }
+}
+
 /// Waitable handle to a submitted job.
 pub struct JobTicket<T> {
     id: u64,
     slot: Arc<Slot<T>>,
+    cancel: Arc<AtomicBool>,
 }
 
 impl<T> JobTicket<T> {
@@ -244,14 +350,23 @@ impl<T> JobTicket<T> {
         self.id
     }
 
+    /// Request cooperative cancellation. Workers poll the flag at phase
+    /// boundaries; a job cancelled before any work reserves nothing,
+    /// one cancelled mid-flight stops at the next boundary and releases
+    /// its reservation. Best-effort: a job past its last boundary
+    /// completes normally.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
     /// Block until the job completes and take its result.
     pub fn wait(self) -> Result<JobOutput<T>> {
-        let mut g = self.slot.result.lock().expect("job slot poisoned");
+        let mut g = self.slot.result.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(r) = g.take() {
                 return r;
             }
-            g = self.slot.done.wait(g).expect("job slot poisoned");
+            g = self.slot.done.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -260,12 +375,28 @@ struct Pending<T> {
     id: u64,
     spec: JobSpec<T>,
     slot: Arc<Slot<T>>,
+    cancel: Arc<AtomicBool>,
     submitted: Instant,
 }
 
+struct QueueState<T> {
+    q: VecDeque<Pending<T>>,
+    closed: bool,
+    paused: bool,
+}
+
 struct Queue<T> {
-    state: Mutex<(VecDeque<Pending<T>>, bool)>,
+    state: Mutex<QueueState<T>>,
     ready: Condvar,
+}
+
+impl<T> Queue<T> {
+    /// Queue locking recovers from poisoning so a panicked worker can
+    /// never wedge `shutdown()` or strand queued jobs — push/pop keep
+    /// the deque consistent at every instruction boundary.
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 struct Shared<T> {
@@ -275,6 +406,7 @@ struct Shared<T> {
     cache: PlanCache<T>,
     metrics: Metrics,
     recorder: Arc<FlightRecorder>,
+    breaker: Breaker,
 }
 
 /// The SpGEMM job engine. See the [crate docs](crate) for the model.
@@ -288,12 +420,27 @@ impl<T: Scalar> Engine<T> {
     /// Start the worker pool (at least one worker).
     pub fn new(cfg: EngineConfig) -> Self {
         let budget_bytes = cfg.budget_bytes.unwrap_or(cfg.device.device_mem_bytes).max(1);
+        let failover = Backend::Host { threads: cfg.failover_threads };
         let shared = Arc::new(Shared {
             budget: SharedBudget::new(budget_bytes),
             cache: PlanCache::new(cfg.cache_capacity),
             metrics: Metrics::default(),
-            queue: Queue { state: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() },
+            queue: Queue {
+                state: Mutex::new(QueueState {
+                    q: VecDeque::new(),
+                    closed: false,
+                    paused: cfg.start_paused,
+                }),
+                ready: Condvar::new(),
+            },
             recorder: Arc::new(FlightRecorder::new(cfg.flight_capacity)),
+            breaker: Breaker::new(
+                cfg.breaker_threshold,
+                cfg.breaker_cooldown,
+                cfg.breaker_force_open,
+                cfg.backend,
+                failover,
+            ),
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -309,18 +456,43 @@ impl<T: Scalar> Engine<T> {
     }
 
     /// Enqueue a job. Never blocks on device capacity — admission
-    /// happens worker-side against the shared budget.
+    /// happens worker-side against the shared budget. With a bounded
+    /// queue, a submission past [`EngineConfig::max_queue_depth`] is
+    /// shed: the returned ticket resolves immediately with
+    /// [`Error::Shed`].
     pub fn submit(&mut self, spec: JobSpec<T>) -> JobTicket<T> {
         let id = self.next_id;
         self.next_id += 1;
         self.shared.metrics.with(|c| c.jobs += 1);
         let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
+        let cancel = Arc::new(AtomicBool::new(false));
+        let limit = self.shared.cfg.max_queue_depth;
         {
-            let mut g = self.shared.queue.state.lock().expect("queue poisoned");
-            g.0.push_back(Pending { id, spec, slot: Arc::clone(&slot), submitted: Instant::now() });
+            let mut g = self.shared.queue.lock();
+            if limit > 0 && g.q.len() >= limit {
+                let queued = g.q.len();
+                drop(g);
+                self.shared.metrics.with(|c| c.shed += 1);
+                slot.fulfill(Err(Error::Shed { queued, limit }));
+                return JobTicket { id, slot, cancel };
+            }
+            g.q.push_back(Pending {
+                id,
+                spec,
+                slot: Arc::clone(&slot),
+                cancel: Arc::clone(&cancel),
+                submitted: Instant::now(),
+            });
         }
         self.shared.queue.ready.notify_one();
-        JobTicket { id, slot }
+        JobTicket { id, slot, cancel }
+    }
+
+    /// Release paused workers ([`EngineConfig::start_paused`]). A no-op
+    /// when already running.
+    pub fn resume(&self) {
+        self.shared.queue.lock().paused = false;
+        self.shared.queue.ready.notify_all();
     }
 
     /// The shared admission budget (for tests and leak gates).
@@ -348,8 +520,10 @@ impl<T: Scalar> Engine<T> {
 
     fn close_and_join(&mut self) {
         {
-            let mut g = self.shared.queue.state.lock().expect("queue poisoned");
-            g.1 = true;
+            let mut g = self.shared.queue.lock();
+            g.closed = true;
+            // Shutdown overrides a paused start: queued jobs drain.
+            g.paused = false;
         }
         self.shared.queue.ready.notify_all();
         for w in self.workers.drain(..) {
@@ -367,36 +541,29 @@ impl<T: Scalar> Engine<T> {
 /// Snapshot the counters (shared by [`Engine::stats`] and the worker
 /// threads, which need stats at flight-recorder trigger time).
 fn stats_of<T: Scalar>(shared: &Shared<T>) -> EngineStats {
-    let m = &shared.metrics;
-    let (jobs, admitted, queued, batched, fallback, failed, counts, lat_h, qw_h) = m.with(|c| {
-        (
-            c.jobs,
-            c.admitted,
-            c.queued,
-            c.batched,
-            c.fallback,
-            c.failed,
-            (c.symbolic_runs, c.sampled_plans, c.replanned_rows),
-            c.latency_hist.clone(),
-            c.queue_wait_hist.clone(),
-        )
-    });
-    let (symbolic_runs, sampled_plans, replanned_rows) = counts;
+    let c = shared.metrics.with(|c| c.clone());
     EngineStats {
-        jobs,
-        admitted,
-        queued,
-        batched,
-        fallback,
-        failed,
-        symbolic_runs,
-        sampled_plans,
-        replanned_rows,
+        jobs: c.jobs,
+        admitted: c.admitted,
+        queued: c.queued,
+        batched: c.batched,
+        fallback: c.fallback,
+        completed: c.completed,
+        failed: c.failed,
+        shed: c.shed,
+        cancelled: c.cancelled,
+        deadline_exceeded: c.deadline_exceeded,
+        panicked_jobs: c.panicked_jobs,
+        backoff_retries: c.backoff_retries,
+        breaker_open_total: shared.breaker.open_total(),
+        symbolic_runs: c.symbolic_runs,
+        sampled_plans: c.sampled_plans,
+        replanned_rows: c.replanned_rows,
         cache: shared.cache.stats(),
-        latency: m.latency(),
-        queue_wait: m.queue_wait(),
-        latency_hist: lat_h,
-        queue_wait_hist: qw_h,
+        latency: summarize(c.latencies_us),
+        queue_wait: summarize(c.queue_waits_us),
+        latency_hist: c.latency_hist,
+        queue_wait_hist: c.queue_wait_hist,
         budget_capacity: shared.budget.capacity(),
         budget_peak: shared.budget.peak_reserved(),
         budget_drained: shared.budget.drained(),
@@ -409,18 +576,30 @@ impl<T: Scalar> Drop for Engine<T> {
     }
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker_loop<T: Scalar>(shared: &Shared<T>) {
     loop {
         let job = {
-            let mut g = shared.queue.state.lock().expect("queue poisoned");
+            let mut g = shared.queue.lock();
             loop {
-                if let Some(job) = g.0.pop_front() {
-                    break job;
+                if !g.paused || g.closed {
+                    if let Some(job) = g.q.pop_front() {
+                        break job;
+                    }
+                    if g.closed {
+                        return;
+                    }
                 }
-                if g.1 {
-                    return;
-                }
-                g = shared.queue.ready.wait(g).expect("queue poisoned");
+                g = shared.queue.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
             }
         };
         let t0 = Instant::now();
@@ -434,7 +613,21 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
             let qs = tb.begin("queue_wait");
             tb.end(qs);
         }
-        let result = process_job(shared, &job.spec, &mut tracer);
+        // Deterministic self-cancellation (chaos harness): flip the flag
+        // at the same point the submitter's `JobTicket::cancel` targets.
+        if job.spec.cancel_at == Some(CancelPoint::Pickup) {
+            job.cancel.store(true, Ordering::SeqCst);
+        }
+        // Panic containment: a job that unwinds is converted into a
+        // structured failure. The RAII reservation guard inside
+        // `process_job` released any budget during the unwind, and every
+        // shared lock recovers from poisoning, so the pool survives.
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            process_job(shared, job.id, &job.spec, &job.cancel, &mut tracer)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(Error::Panicked(panic_message(payload.as_ref()))),
+        };
         let latency = t0.elapsed();
         let us = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
         shared.metrics.with(|c| {
@@ -442,8 +635,17 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
             c.latency_hist.record(us(latency));
             c.queue_waits_us.push(us(queue_wait));
             c.queue_wait_hist.record(us(queue_wait));
-            if result.is_err() {
-                c.failed += 1;
+            match &result {
+                Ok(_) => c.completed += 1,
+                Err(e) => match e.kind() {
+                    ErrorKind::Cancelled => c.cancelled += 1,
+                    ErrorKind::Deadline => c.deadline_exceeded += 1,
+                    ErrorKind::Panic => {
+                        c.failed += 1;
+                        c.panicked_jobs += 1;
+                    }
+                    _ => c.failed += 1,
+                },
             }
         });
         if let Some(tb) = tracer.take() {
@@ -451,7 +653,11 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
             shared.recorder.record(tb.finish(err.as_deref()));
         }
         if let Err(e) = &result {
-            if e.recovery() == Recovery::Fatal {
+            // Cancellations and blown deadlines are *expected* terminal
+            // outcomes under hostile load, not engine failures — they
+            // never trip the recorder.
+            let expected = matches!(e.kind(), ErrorKind::Cancelled | ErrorKind::Deadline);
+            if e.recovery() == Recovery::Fatal && !expected {
                 // Non-retryable failure: trip the flight recorder with
                 // the counter state as of this moment.
                 shared.recorder.trigger(
@@ -460,73 +666,236 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
                 );
             }
         }
-        let output = result.map(|(matrix, report, route, cache, batched_retries)| JobOutput {
-            matrix,
-            report,
-            route,
-            cache,
+        let output = result.map(|fin| JobOutput {
+            matrix: fin.matrix,
+            report: fin.report,
+            route: fin.route,
+            cache: fin.cache,
             latency,
             queue_wait,
-            batched_retries,
+            batched_retries: fin.batched_retries,
+            backend: fin.backend,
+            attempts: fin.attempts,
         });
-        *job.slot.result.lock().expect("job slot poisoned") = Some(output);
-        job.slot.done.notify_all();
+        job.slot.fulfill(output);
     }
 }
 
-type Finished<T> = (Csr<T>, SpgemmReport, Route, CacheOutcome, u32);
+struct Finished<T> {
+    matrix: Csr<T>,
+    report: SpgemmReport,
+    route: Route,
+    cache: CacheOutcome,
+    batched_retries: u32,
+    backend: Backend,
+    attempts: u32,
+}
+
+/// RAII admission reservation: drops — and therefore releases — on
+/// *every* exit path, including an unwinding panic, so the no-leak gate
+/// holds under hostile load by construction.
+struct Reservation<'a, T: Scalar> {
+    shared: &'a Shared<T>,
+    bytes: u64,
+}
+
+impl<'a, T: Scalar> Reservation<'a, T> {
+    fn new(shared: &'a Shared<T>, bytes: u64) -> Self {
+        reserve(shared, bytes);
+        Reservation { shared, bytes }
+    }
+
+    /// Swap the reservation for a different size (the direct → batched
+    /// fallback upgrades `est` to the full capacity). Releases first so
+    /// the upgrade cannot deadlock against other holders.
+    fn resize(&mut self, bytes: u64) {
+        self.shared.budget.release(self.bytes);
+        self.bytes = 0;
+        reserve(self.shared, bytes);
+        self.bytes = bytes;
+    }
+}
+
+impl<T: Scalar> Drop for Reservation<'_, T> {
+    fn drop(&mut self) {
+        self.shared.budget.release(self.bytes);
+    }
+}
+
+fn emit_breaker(tr: &mut Tracer, t: Transition) {
+    t_emit(
+        tr,
+        obs::Event::new("breaker").str("from", &t.from.to_string()).str("to", &t.to.to_string()),
+    );
+}
 
 fn process_job<T: Scalar>(
     shared: &Shared<T>,
+    job_id: u64,
     spec: &JobSpec<T>,
+    cancel: &Arc<AtomicBool>,
     tr: &mut Tracer,
 ) -> Result<Finished<T>> {
     spec.validate(&shared.cfg.backend)?;
+    // Pickup boundary: a job cancelled before any work reserves nothing.
+    JobCtl { cancel: Some(Arc::clone(cancel)), deadline_us: spec.deadline_us, base_us: 0.0 }
+        .check(0.0)?;
     let a: EffectiveA<'_, T> = spec.effective_a()?;
     let a = a.as_ref();
     let b = spec.b.as_ref();
     let est = estimate_memory(a, b)?.upper_bound();
     let capacity = shared.budget.capacity();
 
-    if est > capacity {
-        // Can never fit whole: the batched route owns the full budget
-        // while it runs (its internal batches stay under it).
-        shared.metrics.with(|c| c.batched += 1);
-        let adm = t_begin(tr, "admission");
-        t_emit(tr, obs::Event::new("reserve").u64("bytes", capacity).str("route", "batched"));
-        reserve(shared, capacity);
-        t_end(tr, adm);
-        let r = run_batched(shared, spec, a, b, capacity, tr);
-        shared.budget.release(capacity);
-        return r.map(|(m, rep, retries)| (m, rep, Route::Batched, CacheOutcome::Bypass, retries));
+    // Circuit-breaker routing: a sick primary device sends this job to
+    // the (bitwise-identical) host failover backend.
+    let decision = shared.breaker.route();
+    if let Some(t) = decision.transition {
+        emit_breaker(tr, t);
+    }
+    let backend = decision.backend;
+    if decision.failed_over {
+        t_emit(tr, obs::Event::new("failover").str("backend", &backend.to_string()));
     }
 
-    let adm = t_begin(tr, "admission");
-    t_emit(tr, obs::Event::new("reserve").u64("bytes", est).str("route", "direct"));
-    reserve(shared, est);
-    t_end(tr, adm);
-    shared.metrics.with(|c| c.admitted += 1);
-    let direct = run_direct(shared, spec, a, b, est, tr);
-    match direct {
-        Err(e) if e.recovery() == Recovery::RetrySmallerBatch => {
-            // The forecast was admitted but the device still ran out
-            // (fault injection, adversarial estimates): retry batched.
-            shared.budget.release(est);
-            shared.metrics.with(|c| c.fallback += 1);
-            t_emit(tr, obs::Event::new("fallback").str("cause", &e.to_string()));
-            let adm = t_begin(tr, "admission");
-            t_emit(tr, obs::Event::new("reserve").u64("bytes", capacity).str("route", "fallback"));
-            reserve(shared, capacity);
-            t_end(tr, adm);
-            let r = run_batched(shared, spec, a, b, capacity, tr);
-            shared.budget.release(capacity);
-            r.map(|(m, rep, retries)| (m, rep, Route::Batched, CacheOutcome::Bypass, retries))
+    // Admission. A forecast over the whole budget can never run in one
+    // piece: the batched route owns the full budget while it runs (its
+    // internal batches stay under it).
+    let mut on_batched = est > capacity;
+    let reserve_bytes = if on_batched { capacity } else { est };
+    shared.metrics.with(|c| {
+        if on_batched {
+            c.batched += 1;
+        } else {
+            c.admitted += 1;
         }
-        other => {
-            shared.budget.release(est);
-            other.map(|(m, rep, cache)| (m, rep, Route::Direct, cache, 0))
+    });
+    let adm = t_begin(tr, "admission");
+    t_emit(
+        tr,
+        obs::Event::new("reserve")
+            .u64("bytes", reserve_bytes)
+            .str("route", if on_batched { "batched" } else { "direct" }),
+    );
+    let mut reservation = Reservation::new(shared, reserve_bytes);
+    t_end(tr, adm);
+
+    // Deterministic chaos hooks, post-admission: both exercise the
+    // reservation-release paths (cooperative cancellation at the next
+    // boundary; panic containment through the RAII guard).
+    if spec.cancel_at == Some(CancelPoint::Admitted) {
+        cancel.store(true, Ordering::SeqCst);
+    }
+    if spec.chaos_panic {
+        panic!("chaos: injected worker panic (job {job_id})");
+    }
+
+    // Retry loop for transient device faults: deterministic exponential
+    // backoff charged to *simulated* time (no wall sleeping — byte
+    // identical across runs and worker counts).
+    let retry_budget = spec.retry_budget.unwrap_or(shared.cfg.retry_budget);
+    let mut base_us: f64 = 0.0;
+    let mut attempt: u32 = 0;
+    let mut fell_back = false;
+    let dev_result = loop {
+        attempt += 1;
+        let ctl =
+            JobCtl { cancel: Some(Arc::clone(cancel)), deadline_us: spec.deadline_us, base_us };
+        // Post-admission boundary: catches cancellation and deadlines
+        // that expired during accumulated backoff waits.
+        if let Err(e) = ctl.check(0.0) {
+            break Err(e);
+        }
+        // Injected faults describe the *primary* device; a failed-over
+        // job runs on healthy host hardware, so they do not apply. A
+        // transient fault is only installed on its first N attempts.
+        let faults = if decision.failed_over {
+            None
+        } else {
+            match spec.transient_attempts {
+                Some(n) if attempt > n => None,
+                _ => spec.faults.as_ref(),
+            }
+        };
+        let r = if on_batched {
+            run_batched(shared, spec, a, b, capacity, backend, faults, &ctl, tr)
+                .map(|(m, rep, retries)| (m, rep, Route::Batched, CacheOutcome::Bypass, retries))
+        } else {
+            match run_direct(shared, spec, a, b, est, backend, faults, &ctl, tr) {
+                Err(e) if e.recovery() == Recovery::RetrySmallerBatch => {
+                    // The forecast was admitted but the device still ran
+                    // out (fault injection, adversarial estimates):
+                    // retry batched under the full budget. Later
+                    // attempts stay batched.
+                    if !fell_back {
+                        fell_back = true;
+                        shared.metrics.with(|c| c.fallback += 1);
+                    }
+                    t_emit(tr, obs::Event::new("fallback").str("cause", &e.to_string()));
+                    let adm = t_begin(tr, "admission");
+                    t_emit(
+                        tr,
+                        obs::Event::new("reserve").u64("bytes", capacity).str("route", "fallback"),
+                    );
+                    reservation.resize(capacity);
+                    t_end(tr, adm);
+                    on_batched = true;
+                    run_batched(shared, spec, a, b, capacity, backend, faults, &ctl, tr).map(
+                        |(m, rep, retries)| (m, rep, Route::Batched, CacheOutcome::Bypass, retries),
+                    )
+                }
+                other => other.map(|(m, rep, cache)| (m, rep, Route::Direct, cache, 0)),
+            }
+        };
+        match r {
+            Err(e) if e.recovery() == Recovery::RetryAfterBackoff && attempt <= retry_budget => {
+                // Deterministic backoff: exponential in the attempt,
+                // seeded sub-`base` jitter, charged against the job's
+                // simulated elapsed time (so deadlines see it).
+                let base = shared.cfg.backoff_base_us.max(1);
+                let exp = base << (attempt - 1).min(16);
+                let jitter =
+                    split_mix64(shared.cfg.backoff_seed ^ job_id ^ u64::from(attempt)) % base;
+                let wait_us = exp + jitter;
+                base_us += wait_us as f64;
+                shared.metrics.with(|c| c.backoff_retries += 1);
+                t_emit(
+                    tr,
+                    obs::Event::new("backoff")
+                        .u64("attempt", u64::from(attempt))
+                        .u64("wait_us", wait_us),
+                );
+            }
+            other => break other,
+        }
+    };
+    drop(reservation);
+
+    // Breaker accounting: only jobs that actually ran on the primary
+    // move the state machine; terminal device faults extend the streak,
+    // successes reset it, everything else is neutral.
+    if shared.breaker.enabled() && !decision.failed_over {
+        let transition = match &dev_result {
+            Ok(_) => shared.breaker.on_primary_success(decision.trial),
+            Err(e) if e.kind() == ErrorKind::Kernel => {
+                shared.breaker.on_primary_fault(decision.trial)
+            }
+            Err(_) => {
+                shared.breaker.on_primary_neutral(decision.trial);
+                None
+            }
+        };
+        if let Some(t) = transition {
+            emit_breaker(tr, t);
         }
     }
+
+    let (matrix, report, route, cache, batched_retries) = dev_result?;
+    // Post-run deadline check against the job's whole simulated life
+    // (backoff waits + the successful attempt's device time). Cancel is
+    // deliberately absent: completed work is delivered.
+    JobCtl { cancel: None, deadline_us: spec.deadline_us, base_us }
+        .check(report.total_time.us())?;
+    Ok(Finished { matrix, report, route, cache, batched_retries, backend, attempts: attempt })
 }
 
 // ---- tracer helpers ----
@@ -595,15 +964,19 @@ fn reserve<T: Scalar>(shared: &Shared<T>, bytes: u64) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_direct<T: Scalar>(
     shared: &Shared<T>,
     spec: &JobSpec<T>,
     a: &Csr<T>,
     b: &Csr<T>,
     est: u64,
+    backend: Backend,
+    faults: Option<&FaultPlan>,
+    ctl: &JobCtl,
     tr: &mut Tracer,
 ) -> Result<(Csr<T>, SpgemmReport, CacheOutcome)> {
-    match shared.cfg.backend {
+    match backend {
         Backend::Sim => {
             // Fresh device per job, capped at the job's reservation, so
             // concurrent jobs cannot exceed the shared budget in
@@ -611,7 +984,7 @@ fn run_direct<T: Scalar>(
             let mut dev = shared.cfg.device.clone();
             dev.device_mem_bytes = est.max(1);
             let mut gpu = Gpu::new(dev);
-            if let Some(faults) = &spec.faults {
+            if let Some(faults) = faults {
                 gpu.set_fault_plan(faults.clone());
             }
             // Install the job's telemetry session into the device so
@@ -622,7 +995,7 @@ fn run_direct<T: Scalar>(
             }
             let out = {
                 let mut exec = SimExecutor::new(&mut gpu);
-                run_with_cache(shared, &mut exec, a, b, spec, tr)
+                run_with_cache(shared, &mut exec, a, b, spec, ctl, tr)
             };
             if let Some(tb) = tr.as_mut() {
                 tb.put_tel(gpu.take_telemetry());
@@ -639,7 +1012,7 @@ fn run_direct<T: Scalar>(
             if let Some(tb) = tr.as_mut() {
                 exec.set_telemetry(tb.take_tel());
             }
-            let out = run_with_cache(shared, &mut exec, a, b, spec, tr);
+            let out = run_with_cache(shared, &mut exec, a, b, spec, ctl, tr);
             if let Some(tb) = tr.as_mut() {
                 tb.put_tel(exec.take_telemetry());
             }
@@ -657,6 +1030,7 @@ fn run_with_cache<T: Scalar, E: Executor<T>>(
     a: &Csr<T>,
     b: &Csr<T>,
     spec: &JobSpec<T>,
+    ctl: &JobCtl,
     tr: &mut Tracer,
 ) -> Result<(Csr<T>, SpgemmReport, CacheOutcome)> {
     let key = PlanKey::new(a, b, &spec.opts);
@@ -675,6 +1049,9 @@ fn run_with_cache<T: Scalar, E: Executor<T>>(
     x_end(exec, tr, ss);
     let plan = plan?;
     let sym_us = exec.device_elapsed_us().zip(sym0).map(|(t1, t0)| t1 - t0);
+    // Symbolic/numeric phase boundary: the deterministic cooperative
+    // checkpoint for deadlines and cancellation (DESIGN.md §17).
+    ctl.check(exec.device_elapsed_us().unwrap_or(0.0))?;
     // Replans only happen while planning cold: a hit replays the
     // already-corrected table sizes, and `Execution::replans` merely
     // echoes the plan's count — so both counters move on miss only.
@@ -708,20 +1085,24 @@ fn run_with_cache<T: Scalar, E: Executor<T>>(
     Ok((run.matrix, run.report, CacheOutcome::Miss))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_batched<T: Scalar>(
     shared: &Shared<T>,
     spec: &JobSpec<T>,
     a: &Csr<T>,
     b: &Csr<T>,
     capacity: u64,
+    backend: Backend,
+    faults: Option<&FaultPlan>,
+    ctl: &JobCtl,
     tr: &mut Tracer,
 ) -> Result<(Csr<T>, SpgemmReport, u32)> {
     let mut dev = shared.cfg.device.clone();
     dev.device_mem_bytes = capacity.max(1);
-    match shared.cfg.backend {
+    match backend {
         Backend::Sim => {
             let mut gpu = Gpu::new(dev);
-            if let Some(faults) = &spec.faults {
+            if let Some(faults) = faults {
                 gpu.set_fault_plan(faults.clone());
             }
             if let Some(tb) = tr.as_mut() {
@@ -729,6 +1110,7 @@ fn run_batched<T: Scalar>(
             }
             let (run, retries) = {
                 let mut exec = BatchedExecutor::sim(&mut gpu);
+                exec.set_ctl(Some(ctl.clone()));
                 let bs = x_begin::<T, _>(&mut exec, tr, "batched");
                 let run = Executor::<T>::multiply(&mut exec, a, b, &spec.opts);
                 x_end::<T, _>(&mut exec, tr, bs);
@@ -746,6 +1128,7 @@ fn run_batched<T: Scalar>(
         }
         Backend::Host { threads } => {
             let mut exec = BatchedExecutor::host(threads, dev);
+            exec.set_ctl(Some(ctl.clone()));
             if let Some(tb) = tr.as_mut() {
                 exec.inner_mut().set_telemetry(tb.take_tel());
             }
@@ -807,6 +1190,8 @@ mod tests {
         }
         let stats = eng.shutdown();
         assert_eq!(stats.jobs, 6);
+        assert_eq!(stats.completed, 6);
+        assert!(stats.conserved());
         assert!(stats.budget_drained, "budget must drain");
         // Every direct job either hit the cache or planned cold; with
         // concurrent workers the same pattern may plan cold more than
@@ -883,6 +1268,7 @@ mod tests {
         assert_eq!(empty.matrix.nnz(), 0);
         let stats = eng.shutdown();
         assert_eq!(stats.failed, 2);
+        assert!(stats.conserved());
         assert!(stats.budget_drained);
     }
 
@@ -916,9 +1302,15 @@ mod tests {
         let stats = eng.shutdown();
         let reg = stats.to_registry();
         assert_eq!(reg.counter("engine.jobs"), 1);
+        assert_eq!(reg.counter("engine.completed"), 1);
         assert_eq!(reg.counter("engine.cache.miss"), 1);
         assert_eq!(reg.counter("engine.sampled_plans"), 0);
         assert_eq!(reg.counter("engine.replanned_rows"), 0);
+        assert_eq!(reg.counter("engine.shed"), 0);
+        assert_eq!(reg.counter("engine.cancelled"), 0);
+        assert_eq!(reg.counter("engine.deadline_exceeded"), 0);
+        assert_eq!(reg.counter("engine.panicked_jobs"), 0);
+        assert_eq!(reg.counter("engine.breaker_open_total"), 0);
         assert!(reg.hist("engine.job_latency_us").is_some());
     }
 
@@ -943,5 +1335,197 @@ mod tests {
         let stats = eng.shutdown();
         assert_eq!(stats.sampled_plans, 1, "one cold sampled plan, one hit");
         assert!(stats.budget_drained);
+    }
+
+    // ---- DESIGN.md §17: hostile-load hardening ----
+
+    #[test]
+    fn bounded_queue_sheds_deterministically_when_paused() {
+        let a = rand_mat(120, 7);
+        let mut eng = Engine::new(EngineConfig {
+            workers: 2,
+            max_queue_depth: 2,
+            start_paused: true,
+            ..EngineConfig::default()
+        });
+        // Paused workers: exactly the submissions past the depth shed.
+        let tickets: Vec<_> =
+            (0..5).map(|_| eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)))).collect();
+        eng.resume();
+        let mut shed = 0;
+        for (i, t) in tickets.into_iter().enumerate() {
+            match t.wait() {
+                Ok(out) => assert_eq!(bits(&out.matrix), bits(&reference(&a, &a))),
+                Err(e) => {
+                    shed += 1;
+                    assert!(i >= 2, "only overflow submissions may shed");
+                    assert_eq!(e.kind(), ErrorKind::Rejected);
+                    assert_eq!(e.recovery(), Recovery::Resubmit);
+                    assert!(e.to_string().contains("queue full"));
+                }
+            }
+        }
+        assert_eq!(shed, 3);
+        let stats = eng.shutdown();
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.completed, 2);
+        assert!(stats.conserved());
+        assert!(stats.budget_drained, "shed jobs must not leak budget");
+    }
+
+    #[test]
+    fn cooperative_cancellation_classifies_and_drains() {
+        let a = rand_mat(150, 11);
+        let mut eng = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let t1 = eng.submit(
+            JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_cancel_at(CancelPoint::Pickup),
+        );
+        let t2 = eng.submit(
+            JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_cancel_at(CancelPoint::Admitted),
+        );
+        let t3 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        assert_eq!(t1.wait().unwrap_err().kind(), ErrorKind::Cancelled);
+        assert_eq!(t2.wait().unwrap_err().kind(), ErrorKind::Cancelled);
+        assert_eq!(bits(&t3.wait().unwrap().matrix), bits(&reference(&a, &a)));
+        let stats = eng.shutdown();
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.conserved());
+        assert!(stats.budget_drained, "cancelled jobs must release their reservations");
+    }
+
+    #[test]
+    fn ticket_cancel_reaches_a_queued_job() {
+        let a = rand_mat(140, 23);
+        let mut eng =
+            Engine::new(EngineConfig { workers: 1, start_paused: true, ..EngineConfig::default() });
+        let t = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        t.cancel();
+        eng.resume();
+        assert_eq!(t.wait().unwrap_err().kind(), ErrorKind::Cancelled);
+        let stats = eng.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn deadlines_expire_on_the_simulated_clock() {
+        let a = rand_mat(200, 31);
+        let mut eng = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        // 1 µs of simulated time: any real multiply exceeds it, on the
+        // cold-plan path and the cache-hit path alike.
+        let t1 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_deadline_us(1));
+        let t2 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let t3 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_deadline_us(1));
+        let t4 = eng
+            .submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_deadline_us(1_000_000_000));
+        let e1 = t1.wait().unwrap_err();
+        assert_eq!(e1.kind(), ErrorKind::Deadline);
+        assert!(e1.to_string().contains("deadline exceeded"));
+        t2.wait().unwrap();
+        assert_eq!(t3.wait().unwrap_err().kind(), ErrorKind::Deadline, "hit path expires too");
+        t4.wait().unwrap();
+        let stats = eng.shutdown();
+        assert_eq!(stats.deadline_exceeded, 2);
+        assert_eq!(stats.completed, 2);
+        assert!(stats.conserved());
+        assert!(stats.budget_drained, "expired jobs must release their reservations");
+    }
+
+    #[test]
+    fn transient_faults_retry_with_deterministic_backoff() {
+        let a = rand_mat(180, 41);
+        let faults = FaultPlan::parse("seed=7;kernel-fail=grouping").unwrap();
+        let mut eng =
+            Engine::new(EngineConfig { workers: 1, retry_budget: 2, ..EngineConfig::default() });
+        // Transient: the fault is only installed on attempt 1.
+        let t = eng.submit(
+            JobSpec::new(Arc::clone(&a), Arc::clone(&a))
+                .with_faults(faults.clone())
+                .with_transient_attempts(1),
+        );
+        let out = t.wait().unwrap();
+        assert_eq!(out.attempts, 2, "attempt 1 faults, attempt 2 runs clean");
+        assert_eq!(bits(&out.matrix), bits(&reference(&a, &a)));
+        // Persistent: replays identically every attempt and exhausts
+        // the budget with a non-fatal kernel classification.
+        let t = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_faults(faults));
+        let err = t.wait().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Kernel);
+        assert_eq!(err.recovery(), Recovery::RetryAfterBackoff);
+        let stats = eng.shutdown();
+        assert_eq!(stats.backoff_retries, 1 + 2, "one transient retry + two exhausted retries");
+        assert_eq!(stats.failed, 1);
+        assert!(stats.conserved());
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_faults_and_fails_over() {
+        let a = rand_mat(160, 53);
+        let faults = FaultPlan::parse("seed=3;kernel-fail=grouping").unwrap();
+        let mut eng = Engine::new(EngineConfig {
+            workers: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: 100, // stay open for the rest of the test
+            ..EngineConfig::default()
+        });
+        for _ in 0..2 {
+            let t = eng
+                .submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_faults(faults.clone()));
+            assert_eq!(t.wait().unwrap_err().kind(), ErrorKind::Kernel);
+        }
+        // Breaker is open: clean jobs now run on the host failover,
+        // bitwise identical to the sim reference.
+        let t = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        let out = t.wait().unwrap();
+        assert!(matches!(out.backend, Backend::Host { .. }), "job must fail over");
+        assert_eq!(bits(&out.matrix), bits(&reference(&a, &a)));
+        let stats = eng.shutdown();
+        assert_eq!(stats.breaker_open_total, 1);
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn forced_open_breaker_runs_everything_on_host_bitwise() {
+        let a = rand_mat(170, 61);
+        let mut eng = Engine::new(EngineConfig {
+            workers: 2,
+            breaker_force_open: true,
+            ..EngineConfig::default()
+        });
+        let tickets: Vec<_> =
+            (0..4).map(|_| eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)))).collect();
+        let want = reference(&a, &a);
+        for t in tickets {
+            let out = t.wait().unwrap();
+            assert!(matches!(out.backend, Backend::Host { .. }));
+            assert_eq!(bits(&out.matrix), bits(&want));
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert!(stats.budget_drained);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_the_pool_survives() {
+        let a = rand_mat(130, 71);
+        let mut eng = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let flight = eng.flight();
+        let t1 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_chaos_panic());
+        let err = t1.wait().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Panic);
+        assert!(err.to_string().contains("chaos: injected worker panic"));
+        // The same worker keeps serving.
+        let t2 = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+        assert_eq!(bits(&t2.wait().unwrap().matrix), bits(&reference(&a, &a)));
+        let stats = eng.shutdown();
+        assert_eq!(stats.panicked_jobs, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.conserved());
+        assert!(stats.budget_drained, "the RAII guard must release the panicked reservation");
+        let trigger = flight.triggered().expect("a contained panic trips the recorder");
+        assert!(trigger.contains("worker panic"), "{trigger}");
     }
 }

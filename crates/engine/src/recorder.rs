@@ -26,7 +26,7 @@
 use crate::engine::EngineStats;
 use obs::{Event, EventLog, SpanId, Telemetry, TraceCtx, Value};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Handle for a phase span opened by [`TraceBuilder::begin`] (or the
 /// executor-side equivalent in the engine): the span plus the ambient
@@ -200,9 +200,16 @@ impl FlightRecorder {
         }
     }
 
+    /// Lock the ring, recovering from a panicked holder — the flight
+    /// recorder exists *for* failure forensics, so it must keep working
+    /// after a contained worker panic (DESIGN.md §17).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Record a finished job's trace.
     pub fn record(&self, trace: JobTrace) {
-        let mut g = self.inner.lock().expect("flight recorder poisoned");
+        let mut g = self.lock();
         if g.ring.len() == self.capacity {
             g.ring.pop_front();
         }
@@ -212,7 +219,7 @@ impl FlightRecorder {
     /// Trip the recorder (first trigger wins), snapshotting a dump with
     /// the counter state at this moment.
     pub fn trigger(&self, reason: &str, stats: &EngineStats) {
-        let mut g = self.inner.lock().expect("flight recorder poisoned");
+        let mut g = self.lock();
         if g.trigger.is_none() {
             g.trigger = Some(reason.to_string());
             g.captured = Some(render_dump(&g.ring, stats, Some(reason)));
@@ -221,7 +228,7 @@ impl FlightRecorder {
 
     /// Why the recorder tripped, if it did.
     pub fn triggered(&self) -> Option<String> {
-        self.inner.lock().expect("flight recorder poisoned").trigger.clone()
+        self.lock().trigger.clone()
     }
 
     /// The dump: the trigger-time snapshot when one was captured,
@@ -230,7 +237,7 @@ impl FlightRecorder {
     /// are byte-deterministic end to end), then every job's trace in
     /// job-id order.
     pub fn dump(&self, stats: &EngineStats) -> String {
-        let g = self.inner.lock().expect("flight recorder poisoned");
+        let g = self.lock();
         match &g.captured {
             Some(d) => d.clone(),
             None => render_dump(&g.ring, stats, g.trigger.as_deref()),
@@ -240,7 +247,7 @@ impl FlightRecorder {
     /// The ring's span events as a Chrome trace-event array (one `pid`
     /// per job; load at chrome://tracing or ui.perfetto.dev).
     pub fn chrome(&self) -> String {
-        let g = self.inner.lock().expect("flight recorder poisoned");
+        let g = self.lock();
         let mut traces: Vec<&JobTrace> = g.ring.iter().collect();
         traces.sort_by_key(|t| t.job);
         let mut parts = Vec::new();
@@ -276,6 +283,10 @@ fn render_dump(ring: &VecDeque<JobTrace>, stats: &EngineStats, trigger: Option<&
         .u64("batched", stats.batched)
         .u64("fallback", stats.fallback)
         .u64("failed", stats.failed)
+        .u64("shed", stats.shed)
+        .u64("cancelled", stats.cancelled)
+        .u64("deadline_exceeded", stats.deadline_exceeded)
+        .u64("panicked_jobs", stats.panicked_jobs)
         .u64("budget_capacity_bytes", stats.budget_capacity);
     if let Some(t) = trigger {
         header = header.str("trigger", t);
@@ -301,7 +312,14 @@ mod tests {
             queued: 0,
             batched: 1,
             fallback: 0,
+            completed: 2,
             failed: 0,
+            shed: 0,
+            cancelled: 0,
+            deadline_exceeded: 0,
+            panicked_jobs: 0,
+            backoff_retries: 0,
+            breaker_open_total: 0,
             symbolic_runs: 1,
             sampled_plans: 0,
             replanned_rows: 0,

@@ -11,9 +11,15 @@
 //! Accounting is deliberately panic-free under misuse: releasing more
 //! than is reserved saturates to zero and flips a sticky
 //! [`SharedBudget::poisoned`] flag instead of unwinding a worker
-//! thread, so a leak check at shutdown still reports the truth.
+//! thread, so a leak check at shutdown still reports the truth. The
+//! same principle applies to *lock* poisoning: a worker that panics
+//! while holding the budget mutex must not wedge every later release
+//! or the shutdown leak check, so every lock here recovers the guard
+//! from a [`PoisonError`] — the `BudgetState` invariants hold at every
+//! instruction boundary (plain integer updates), so the recovered
+//! state is always consistent (DESIGN.md §17).
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug, Default)]
 struct BudgetState {
@@ -41,33 +47,40 @@ impl SharedBudget {
         self.capacity
     }
 
+    /// Lock the state, recovering from a panicked holder: the integer
+    /// updates here are consistent at every instruction boundary, so
+    /// the data behind a poisoned mutex is never torn.
+    fn lock(&self) -> MutexGuard<'_, BudgetState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Bytes currently reserved.
     pub fn reserved(&self) -> u64 {
-        self.state.lock().expect("budget poisoned").reserved
+        self.lock().reserved
     }
 
     /// High-water mark of reserved bytes.
     pub fn peak_reserved(&self) -> u64 {
-        self.state.lock().expect("budget poisoned").peak
+        self.lock().peak
     }
 
     /// `true` once a release exceeded the outstanding reservation —
     /// an accounting bug a leak check must surface.
     pub fn poisoned(&self) -> bool {
-        self.state.lock().expect("budget poisoned").poisoned
+        self.lock().poisoned
     }
 
     /// `true` when every reservation has been released and the
     /// accounting never went inconsistent — the engine's no-leak gate.
     pub fn drained(&self) -> bool {
-        let s = self.state.lock().expect("budget poisoned");
+        let s = self.lock();
         s.reserved == 0 && !s.poisoned
     }
 
     /// Reserve `bytes` if they fit right now. Returns `false` (without
     /// blocking) when they do not.
     pub fn try_reserve(&self, bytes: u64) -> bool {
-        let mut s = self.state.lock().expect("budget poisoned");
+        let mut s = self.lock();
         if s.reserved.saturating_add(bytes) > self.capacity {
             return false;
         }
@@ -84,9 +97,9 @@ impl SharedBudget {
         if bytes > self.capacity {
             return false;
         }
-        let mut s = self.state.lock().expect("budget poisoned");
+        let mut s = self.lock();
         while s.reserved.saturating_add(bytes) > self.capacity {
-            s = self.freed.wait(s).expect("budget poisoned");
+            s = self.freed.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
         s.reserved += bytes;
         s.peak = s.peak.max(s.reserved);
@@ -97,7 +110,7 @@ impl SharedBudget {
     /// reservers. Over-release saturates and poisons the budget rather
     /// than panicking in a worker.
     pub fn release(&self, bytes: u64) {
-        let mut s = self.state.lock().expect("budget poisoned");
+        let mut s = self.lock();
         if bytes > s.reserved {
             s.reserved = 0;
             s.poisoned = true;

@@ -1,10 +1,16 @@
 //! Integration: the SpGEMM job engine must be a transparent wrapper —
 //! identical products to standalone `multiply` at any worker count, on
 //! both backends, under cache hits, batched routing and injected
-//! faults, with the shared admission budget drained at shutdown.
+//! faults, with the shared admission budget drained at shutdown — and,
+//! under hostile load (DESIGN.md §17), every shed, cancelled,
+//! deadline-expired or panicking job must release its budget while
+//! survivors stay bitwise identical.
 
-use engine::{run_driver, DriverConfig, Engine, EngineConfig, JobSpec, Route};
-use nsparse_core::{multiply, Backend, Options};
+use engine::{
+    run_chaos, run_driver, ChaosConfig, DriverConfig, Engine, EngineConfig, JobSpec, Route,
+};
+use nsparse_core::{multiply, Backend, ErrorKind, Options};
+use quickprop::prelude::*;
 use sparse::Csr;
 use std::sync::Arc;
 use vgpu::{DeviceConfig, Gpu};
@@ -173,4 +179,102 @@ fn tiny_budget_serializes_jobs_through_batched_route() {
     let stats = eng.shutdown();
     assert_eq!(stats.batched, 3);
     assert!(stats.budget_drained);
+}
+
+quickprop! {
+    #![config(cases = 8)]
+
+    /// DESIGN.md §17: hostile jobs — shed at the bounded queue,
+    /// cancelled cooperatively, expired on the simulated clock, killed
+    /// by injected faults — never leak admission budget, at any seed or
+    /// worker count, and every survivor's product is bitwise identical
+    /// to standalone `multiply` (verified inside the soak). The digest
+    /// covers every job's outcome and output bits, so its equality with
+    /// a single-worker run proves schedule independence.
+    #[test]
+    fn hostile_jobs_never_leak_budget(seed in 0u64..1_000, workers in 2usize..5) {
+        let cfg = ChaosConfig {
+            seed,
+            jobs: 24,
+            workers,
+            rows: 32,
+            max_queue_depth: 8,
+            shed_jobs: 3,
+            ..ChaosConfig::default()
+        };
+        let rep = run_chaos(&cfg);
+        prop_assert!(rep.ok(), "violations: {:?}", rep.violations);
+        prop_assert!(rep.budget_drained, "hostile jobs leaked budget");
+        prop_assert!(rep.conserved, "outcome conservation violated");
+        let single = run_chaos(&ChaosConfig { workers: 1, ..cfg });
+        prop_assert_eq!(rep.digest, single.digest, "digest depends on worker count");
+    }
+}
+
+#[test]
+fn chaos_soak_reaches_every_outcome_class_and_stays_deterministic() {
+    let cfg = ChaosConfig { seed: 99, jobs: 120, workers: 4, rows: 48, ..ChaosConfig::default() };
+    let r1 = run_chaos(&cfg);
+    assert!(r1.ok(), "violations: {:?}", r1.violations);
+    assert!(r1.completed > 0 && r1.failed > 0, "mix must complete and fail jobs");
+    assert!(r1.shed > 0 && r1.cancelled > 0 && r1.deadline_exceeded > 0);
+    assert!(r1.backoff_retries > 0, "persistent faults must consume retries");
+    let r2 = run_chaos(&cfg);
+    assert_eq!(r1.digest, r2.digest, "same config must reproduce byte-identically");
+    assert_eq!(r1.completed, r2.completed);
+    assert_eq!(r1.backoff_retries, r2.backoff_retries);
+}
+
+#[test]
+fn forced_open_breaker_failover_is_bitwise_identical_to_sim() {
+    let a = Arc::new(matgen::generators::random_uniform::<f64>(180, 6.0, 24, 17));
+    let want = reference(&a, &a);
+    let mut eng: Engine<f64> = Engine::new(EngineConfig {
+        workers: 2,
+        breaker_force_open: true,
+        ..EngineConfig::default()
+    });
+    let tickets: Vec<_> =
+        (0..4).map(|_| eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)))).collect();
+    for t in tickets {
+        let out = t.wait().unwrap();
+        assert!(matches!(out.backend, Backend::Host { .. }), "breaker must fail jobs over");
+        assert_eq!(bits(&out.matrix), bits(&want), "failover output must be bitwise identical");
+    }
+    let stats = eng.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert!(stats.budget_drained);
+}
+
+#[test]
+fn panic_canary_drains_budget_and_dumps_the_flight_recorder() {
+    let cfg = ChaosConfig {
+        seed: 5,
+        jobs: 12,
+        workers: 2,
+        rows: 32,
+        max_queue_depth: 0,
+        panic_at: Some(3),
+        ..ChaosConfig::default()
+    };
+    let rep = run_chaos(&cfg);
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert_eq!(rep.panicked_jobs, 1, "the canary panic must be contained and counted");
+    assert!(rep.budget_drained, "the panicked job's reservation must be released");
+
+    // The same containment path through a raw engine, checking the
+    // recorder trigger directly.
+    let a = Arc::new(matgen::generators::random_uniform::<f64>(64, 5.0, 16, 8));
+    let mut eng: Engine<f64> =
+        Engine::new(EngineConfig { workers: 1, trace: true, ..EngineConfig::default() });
+    let flight = eng.flight();
+    let t = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)).with_chaos_panic());
+    assert_eq!(t.wait().unwrap_err().kind(), ErrorKind::Panic);
+    let survivor = eng.submit(JobSpec::new(Arc::clone(&a), Arc::clone(&a)));
+    assert!(survivor.wait().is_ok(), "the pool must survive a contained panic");
+    let stats = eng.shutdown();
+    assert!(stats.budget_drained);
+    let trigger = flight.triggered().expect("a contained panic trips the recorder");
+    assert!(trigger.contains("panic"), "{trigger}");
+    assert!(flight.dump(&stats).contains("\"trigger\""));
 }

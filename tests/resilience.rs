@@ -210,10 +210,15 @@ fn exhausted_retries_return_capacity_diagnostic() {
     assert_eq!(err2.recovery(), Recovery::Fatal);
 }
 
-/// Kernel faults are not memory pressure: they classify as `Kernel`,
-/// are fatal (no batch size can fix a broken kernel), and leak nothing.
+/// Kernel faults are not memory pressure: they classify as `Kernel`
+/// and — since DESIGN.md §17 — as *transient* ([`Recovery::
+/// RetryAfterBackoff`]): no batch size can fix a faulting kernel, but a
+/// retry on the same device can outlive a transient launch failure, and
+/// the engine's retry/backoff loop plus circuit breaker own that
+/// policy. With no retry budget the fault is still terminal here — and
+/// it leaks nothing.
 #[test]
-fn kernel_fault_is_fatal_and_leak_free() {
+fn kernel_fault_classifies_transient_and_leak_free() {
     let a = rand_mat(100, 5, 17);
     let mut gpu = Gpu::new(DeviceConfig::p100());
     gpu.set_fault_plan(FaultPlan::new(3).kernel_fail("count_products"));
@@ -222,13 +227,14 @@ fn kernel_fault_is_fatal_and_leak_free() {
         exec.multiply(&a, &a, &Options::default()).unwrap_err()
     };
     assert_eq!(err.kind(), ErrorKind::Kernel);
-    assert_eq!(err.recovery(), Recovery::Fatal);
+    assert_eq!(err.recovery(), Recovery::RetryAfterBackoff);
     assert!(err.to_string().contains("count_products"));
     assert_no_leak(&gpu, "kernel fault");
 }
 
 /// Memcpy faults surface as structured kernel-class errors through the
-/// taxonomy's `From<GpuError>` conversion.
+/// taxonomy's `From<GpuError>` conversion, retryable like any other
+/// transient device fault.
 #[test]
 fn memcpy_fault_classifies_as_kernel_error() {
     let mut gpu = Gpu::new(DeviceConfig::p100());
@@ -237,7 +243,7 @@ fn memcpy_fault_classifies_as_kernel_error() {
     let ge = gpu.memcpy(1024, false).unwrap_err();
     let err: Error = ge.into();
     assert_eq!(err.kind(), ErrorKind::Kernel);
-    assert_eq!(err.recovery(), Recovery::Fatal);
+    assert_eq!(err.recovery(), Recovery::RetryAfterBackoff);
     assert!(err.to_string().contains("memcpy"));
     assert_no_leak(&gpu, "memcpy fault");
 }
