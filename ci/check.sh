@@ -60,6 +60,13 @@ echo "== resilience (seeded fault sweep, recovery + no-leak contract) ==" >&2
 # any failure reproduces from this exact command.
 NSPARSE_FAULT_SEED=2017 cargo test -q --offline --test resilience
 
+echo "== resilience, sanitized (shadow state clean on every path) ==" >&2
+# DESIGN.md §18: the same exhaustive OOM sweep with the device-memory
+# sanitizer shadowing every allocation — the batched fallback's
+# error/retry/unwind paths must produce zero sanitizer reports
+# (use-after-free, double-free, bounds, init) on top of zero leaks.
+NSPARSE_SANITIZE=1 NSPARSE_FAULT_SEED=2017 cargo test -q --offline --test resilience
+
 echo "== batched fallback (0.25x capacity, byte-identical output) ==" >&2
 cargo run -q --release --offline -p bench --bin spgemm -- \
   --dataset cit-Patents --tiny --precision f64 --output "$smoke/full.mtx" \
@@ -244,5 +251,70 @@ awk -F, '
     if (!length(m)) { print "no planning rows found"; bad = 1 }
     exit bad
   }' results/bench_estimator.csv
+
+echo "== invariant linter (zero findings, scanner self-test) ==" >&2
+# DESIGN.md §18: deny-by-default workspace invariants. The tree must
+# lint clean (inline lint:allow + the ci/lint-allow.txt ratchet are the
+# only escapes, and stale allowlist entries fail too), and the
+# self-test proves every rule still fires on its fixture — a scanner
+# that silently stops detecting a pattern is itself a CI failure.
+cargo run -q --release --offline -p xtask -- lint
+cargo run -q --release --offline -p xtask -- lint --self-test
+
+echo "== sanitized chaos soak (clean, byte-identical to unsanitized) ==" >&2
+# DESIGN.md §18: the device-memory sanitizer shadows every sim-backend
+# allocation during the hostile soak. The core pipeline must produce
+# zero reports at every seed and worker count, and because sanitizer
+# paths never advance simulated time, the sanitized stdout minus its
+# sanitizer line must be byte-identical to the unsanitized run. The
+# JSONL activity dump is gated at --workers 1, where the engine is
+# fully sequential and the dump is deterministic to the byte (at
+# higher worker counts, concurrent same-fingerprint jobs racing the
+# plan cache can legitimately plan cold twice, varying the shadowed
+# work — only the zero-report invariant holds there).
+for seed in 5 23; do
+  for workers in 1 4; do
+    cargo run -q --release --offline -p bench --bin spgemm -- \
+      chaos --seed "$seed" --jobs 200 --workers "$workers" --dim 64 \
+      --queue-depth 32 --shed-jobs 4 --retry-budget 2 --sanitize \
+      > "$smoke/chaos-san-$seed-$workers.out"
+    grep -q "^sanitizer   : ok (0 reports)$" "$smoke/chaos-san-$seed-$workers.out"
+    grep -q "^invariants  : ok (0 violations)$" "$smoke/chaos-san-$seed-$workers.out"
+    cargo run -q --release --offline -p bench --bin spgemm -- \
+      chaos --seed "$seed" --jobs 200 --workers "$workers" --dim 64 \
+      --queue-depth 32 --shed-jobs 4 --retry-budget 2 \
+      > "$smoke/chaos-plain-$seed-$workers.out"
+    cmp <(grep -v "^sanitizer   : " "$smoke/chaos-san-$seed-$workers.out") \
+        "$smoke/chaos-plain-$seed-$workers.out"
+  done
+  # Sanitized stdout is worker-count invariant modulo the header line,
+  # exactly like the unsanitized soak gate above.
+  cmp <(tail -n +2 "$smoke/chaos-san-$seed-1.out") \
+      <(tail -n +2 "$smoke/chaos-san-$seed-4.out")
+  # Same-flags rerun at one worker: the JSONL dump must be
+  # byte-identical across two runs.
+  for i in 1 2; do
+    cargo run -q --release --offline -p bench --bin spgemm -- \
+      chaos --seed "$seed" --jobs 200 --workers 1 --dim 64 \
+      --queue-depth 32 --shed-jobs 4 --retry-budget 2 \
+      --sanitize --san-jsonl "$smoke/san-$seed-run$i.jsonl" > /dev/null
+  done
+  cmp "$smoke/san-$seed-run1.jsonl" "$smoke/san-$seed-run2.jsonl"
+done
+
+echo "== sanitizer canary (injected corruption must fail the soak) ==" >&2
+# Trust-but-verify for the gate itself: NSPARSE_SAN_CANARY injects the
+# named corruption into the device after the real workload, and the
+# soak must exit non-zero with the corruption classified by kind.
+for canary in leak uaf; do
+  if NSPARSE_SAN_CANARY="$canary" cargo run -q --release --offline \
+    -p bench --bin spgemm -- \
+    chaos --seed 5 --jobs 20 --workers 2 --dim 64 --sanitize \
+    > "$smoke/chaos-canary-$canary.out"; then
+    echo "sanitizer gate failed to trip on injected $canary" >&2
+    exit 1
+  fi
+  grep -q "^sanitizer   : FAILED" "$smoke/chaos-canary-$canary.out"
+done
 
 echo "ci/check.sh: all checks passed" >&2

@@ -46,6 +46,7 @@ pub fn aggregation_prolongation<T: Scalar>(fine: usize, factor: usize) -> Csr<T>
     let rpt = (0..=fine).collect();
     let col = (0..fine).map(|i| (i / factor) as u32).collect();
     let val = vec![T::ONE; fine];
+    // lint:allow(unchecked-ctor) — aggregation builds one sorted in-bounds entry per row
     Csr::from_parts_unchecked(fine, coarse, rpt, col, val)
         .expect("prolongation rows each hold one in-bounds entry")
 }

@@ -66,6 +66,7 @@ pub fn column_stochastic<T: Scalar>(a: &Csr<T>) -> Csr<T> {
         }
         rpt.push(col.len());
     }
+    // lint:allow(unchecked-ctor) — shape-preserving rescale of a validated CSR
     Csr::from_parts_unchecked(with_loops.rows(), with_loops.cols(), rpt, col, val)
         .expect("normalization preserves the CSR shape")
 }

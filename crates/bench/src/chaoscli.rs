@@ -18,24 +18,32 @@ fn usage() -> ! {
     eprintln!(
         "usage: spgemm chaos [--seed S] [--jobs N] [--workers N] [--dim N] \
          [--queue-depth N] [--shed-jobs N] [--retry-budget N] \
-         [--force-open] [--panic-at JOB] [--no-verify]\n\
+         [--force-open] [--panic-at JOB] [--no-verify] \
+         [--sanitize] [--san-jsonl PATH]\n\
          Seeded chaos soak against the SpGEMM job engine: hostile job mixes\n\
          (device faults, expired deadlines, cancellations, queue overflow,\n\
          optional worker panic) with every invariant checked after the run.\n\
          Deterministic: same flags => byte-identical stdout, at any --workers.\n\
          --force-open pins the circuit breaker open so every job runs on the\n\
          host failover backend (bitwise-identical outputs, faults ignored);\n\
-         --panic-at J injects a contained worker panic into job J."
+         --panic-at J injects a contained worker panic into job J;\n\
+         --sanitize runs every sim job under the device-memory sanitizer\n\
+         (any violation fails its job and the soak);\n\
+         --san-jsonl PATH writes the sanitizer activity totals as JSONL\n\
+         (byte-deterministic at --workers 1)."
     );
     std::process::exit(2);
 }
 
-fn parse_chaos_args(argv: &[String]) -> ChaosConfig {
+fn parse_chaos_args(argv: &[String]) -> (ChaosConfig, Option<String>) {
     let mut cfg = ChaosConfig::default();
+    let mut san_jsonl = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
         match flag.as_str() {
+            "--sanitize" => cfg.sanitize = true,
+            "--san-jsonl" => san_jsonl = Some(value()),
             "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
             "--jobs" => cfg.jobs = value().parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
@@ -57,12 +65,16 @@ fn parse_chaos_args(argv: &[String]) -> ChaosConfig {
         eprintln!("--jobs and --workers must be > 0, --dim at least 2");
         usage();
     }
-    cfg
+    if san_jsonl.is_some() && !cfg.sanitize {
+        eprintln!("--san-jsonl requires --sanitize");
+        usage();
+    }
+    (cfg, san_jsonl)
 }
 
 /// Entry point for `spgemm chaos ...`; returns the process exit code.
 pub fn run_chaos_cli(argv: &[String]) -> i32 {
-    let cfg = parse_chaos_args(argv);
+    let (cfg, san_jsonl) = parse_chaos_args(argv);
     let rep = run_chaos(&cfg);
     // Every line below is deterministic for a given flag set: CI
     // compares whole stdouts across runs and worker counts.
@@ -89,6 +101,25 @@ pub fn run_chaos_cli(argv: &[String]) -> i32 {
     );
     if cfg.verify {
         println!("verify      : bitwise vs standalone multiply for every completed job");
+    }
+    if cfg.sanitize {
+        // Only the report count goes to stdout: it is scheduling-
+        // invariant, so stdout stays a pure function of the flags at
+        // any worker count. The activity totals (allocs, bytes
+        // checked) can vary when concurrent jobs race the plan cache
+        // (both plan cold), so they live in the --san-jsonl artifact,
+        // whose byte-determinism CI gates at --workers 1.
+        println!(
+            "sanitizer   : {} ({} reports)",
+            if rep.san.reports == 0 { "ok" } else { "FAILED" },
+            rep.san.reports
+        );
+        if let Some(path) = &san_jsonl {
+            if let Err(e) = std::fs::write(path, format!("{}\n", rep.san.to_json())) {
+                eprintln!("failed to write {path}: {e}");
+                return 2;
+            }
+        }
     }
     println!("digest      : {:016x}", rep.digest);
     if rep.violations.is_empty() {

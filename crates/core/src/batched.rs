@@ -41,7 +41,7 @@ use crate::partition::weighted_ranges;
 use crate::pipeline::{CapacityDiagnostic, Error, Options, Recovery, Result};
 use crate::plan::SpgemmPlan;
 use crate::sim::SimExecutor;
-use sparse::{ops, Csr, Scalar, DEVICE_INDEX_BYTES};
+use sparse::{ops, to_u64, Csr, Scalar, DEVICE_INDEX_BYTES};
 use std::ops::Range;
 use vgpu::{DeviceConfig, Gpu, Phase, SimTime, SpgemmReport};
 
@@ -145,7 +145,7 @@ impl BatchedExecutor<crate::HostParallelExecutor> {
 /// (DESIGN.md §13) rather than wrapped.
 fn row_weights<T: Scalar>(a: &Csr<T>, b: &Csr<T>, plan: &SpgemmPlan) -> Result<(u64, Vec<u64>)> {
     let ix = DEVICE_INDEX_BYTES;
-    let entry = ix + T::BYTES as u64;
+    let entry = ix + to_u64(T::BYTES);
     let overflow = || crate::pipeline::overflow_err("per-row byte weight");
     // Rows above the largest shared table need a per-row global table.
     // Derive the threshold exactly as `estimate_memory` does (fixed P100
@@ -171,14 +171,16 @@ fn row_weights<T: Scalar>(a: &Csr<T>, b: &Csr<T>, plan: &SpgemmPlan) -> Result<(
     let weights = (0..a.rows())
         .map(|r| {
             let p = nprod[r];
-            let input = entry * a.row_nnz(r) as u64 + ix; // A entries + rpt slot
+            let input = entry * to_u64(a.row_nnz(r)) + ix; // A entries + rpt slot
             let working = 3 * ix; // d_nprod + group_rows + rpt_c slots
                                   // C rpt slot + entries upper bound.
-            let output =
-                entry.checked_mul(p as u64).and_then(|o| o.checked_add(ix)).ok_or_else(overflow)?;
+            let output = entry
+                .checked_mul(to_u64(p))
+                .and_then(|o| o.checked_add(ix))
+                .ok_or_else(overflow)?;
             let table = if p > shared_max {
                 let size = crate::plan::global_table_size_checked(p).ok_or_else(overflow)?;
-                ix.checked_mul(size as u64).ok_or_else(overflow)?
+                ix.checked_mul(to_u64(size)).ok_or_else(overflow)?
             } else {
                 0
             };
@@ -219,8 +221,12 @@ fn plan_batches(
     // Balance with the weighted partitioner, then greedily subdivide any
     // range its `acc >= target` cut left over budget: cut before a row
     // would overflow, so every multi-row range fits by construction.
-    let proxy: Vec<usize> = weights.iter().map(|&w| w as usize).collect();
-    let coarse = weighted_ranges(&proxy, total.div_ceil(var_budget).max(1) as usize);
+    // Saturating narrowings: like the partitioner's saturating sums, a
+    // clamped proxy weight can only coarsen the balance, never wrap.
+    let proxy: Vec<usize> =
+        weights.iter().map(|&w| usize::try_from(w).unwrap_or(usize::MAX)).collect();
+    let parts = usize::try_from(total.div_ceil(var_budget).max(1)).unwrap_or(usize::MAX);
+    let coarse = weighted_ranges(&proxy, parts);
     let mut out = Vec::new();
     for range in coarse {
         let mut start = range.start;
@@ -345,9 +351,9 @@ impl<E> BatchedExecutor<E> {
             self.check_ctl::<T>()?;
             self.emit::<T>(
                 obs::Event::new("batch")
-                    .u64("index", i as u64)
-                    .u64("row_start", range.start as u64)
-                    .u64("row_end", range.end as u64),
+                    .u64("index", to_u64(i))
+                    .u64("row_start", to_u64(range.start))
+                    .u64("row_end", to_u64(range.end)),
             );
             let a_sub = a.slice_rows(range.clone());
             // The inner executor allocates and frees this batch's whole
@@ -362,8 +368,8 @@ impl<E> BatchedExecutor<E> {
             .map_err(|e| Error::invariant(format!("batch stitch failed: {e}")))?;
         self.emit::<T>(
             obs::Event::new("stitch")
-                .u64("batches", batches.len() as u64)
-                .u64("rows", matrix.rows() as u64),
+                .u64("batches", to_u64(batches.len()))
+                .u64("rows", to_u64(matrix.rows())),
         );
         let report = merge_reports::<T>(&reports, batches.len());
         let wall = merge_walls(&walls);
@@ -475,8 +481,8 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
             });
             self.emit::<T>(
                 obs::Event::new("batched_plan")
-                    .u64("attempt", attempts as u64)
-                    .u64("batches", batches.len() as u64)
+                    .u64("attempt", u64::from(attempts))
+                    .u64("batches", to_u64(batches.len()))
                     .u64("budget", budget)
                     .u64("estimate_upper", estimate_upper)
                     .u64("capacity", capacity),
@@ -502,7 +508,7 @@ impl<T: Scalar, E: Executor<T>> Executor<T> for BatchedExecutor<E> {
                     budget = (budget / 2).max(1);
                     self.emit::<T>(
                         obs::Event::new("batch_retry")
-                            .u64("attempt", attempts as u64)
+                            .u64("attempt", u64::from(attempts))
                             .u64("next_budget", budget)
                             .str("cause", &detail),
                     );

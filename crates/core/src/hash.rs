@@ -249,10 +249,9 @@ impl<T: Scalar> HashTable<T> {
     /// kernels, so the observer samples row occupancy and load factor
     /// here.
     pub fn take_probes(&mut self) -> u64 {
-        if self.observer.is_some() {
-            let occupied = self.occupied as u64;
-            let load = occupied * 1000 / (self.mask as u64 + 1);
-            let o = self.observer.as_deref_mut().expect("checked above");
+        let (occupied, mask) = (self.occupied as u64, self.mask as u64);
+        if let Some(o) = self.observer.as_deref_mut() {
+            let load = occupied * 1000 / (mask + 1);
             o.row_occupancy.record(occupied);
             o.load_permille.record(load);
         }

@@ -25,6 +25,9 @@
 //! rows in shared memory and counts the failed pass's probes, while this
 //! backend sizes their global tables up front.
 
+// lint:allow-file(wallclock) — the host backend measures real elapsed time by
+// design (WallClock is its deliverable); determinism lives in the output, not
+// the timings.
 use crate::exec::{Backend, BackendCaps, Execution, Executor, SymbolicOutput, WallClock};
 use crate::hash::HashTable;
 use crate::kernels::{tb_numeric_row, tb_symbolic_row};
@@ -37,7 +40,7 @@ use crate::rowalg::{
 };
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 use vgpu::{DeviceConfig, Phase, SimTime, SpgemmReport};
 
@@ -234,14 +237,19 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
                     }
                     probes.fetch_add(local, Ordering::Relaxed);
                     if !local_overflow.is_empty() {
-                        overflow.lock().unwrap().extend(local_overflow);
+                        // Poison recovery: the overflow list is append-only,
+                        // so a panicking sibling cannot leave it inconsistent.
+                        overflow
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .extend(local_overflow);
                     }
                 });
             }
         });
         drop(queue); // releases the borrows of `nnz_row`
         let mut total_probes = probes.into_inner();
-        let mut overflow = overflow.into_inner().unwrap();
+        let mut overflow = overflow.into_inner().unwrap_or_else(PoisonError::into_inner);
         let replans = overflow.len() as u64;
         if !overflow.is_empty() {
             if !plan.opts.estimator.is_sampled() {
@@ -350,6 +358,7 @@ impl<T: Scalar> Executor<T> for HostParallelExecutor {
         let calc = t0.elapsed();
         let calc_probes = probes.into_inner();
         let report = self.host_report::<T>(plan, symbolic, calc_probes, true);
+        // lint:allow(unchecked-ctor) — hot-path assembly; rows are sorted by kernel construction
         let c = Csr::from_parts_unchecked(plan.rows, plan.cols, symbolic.rpt.clone(), col_c, val_c)
             .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
         let wall = WallClock { total: calc, phases: vec![(Phase::Calc, calc)] };

@@ -134,6 +134,7 @@ pub fn multiply_masked<T: Scalar>(
         hash_probes: total_probes,
         telemetry: gpu.telemetry_summary(),
     };
+    // lint:allow(unchecked-ctor) — reuses the mask's already-validated pattern
     let c = Csr::from_parts_unchecked(m, b.cols(), mask.rpt().to_vec(), mask.col().to_vec(), val_c)
         .map_err(|e| Error::invariant(format!("masked product assembled malformed C: {e}")))?;
     Ok((c, report))

@@ -7,8 +7,9 @@
 //! *order* in which threads pull ranges cannot affect the result — the
 //! output is bitwise identical for any thread count (DESIGN.md §12).
 
+use sparse::to_u64;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Split `0..metric.len()` into at most `parts` contiguous, non-empty,
 /// ordered ranges covering the whole index space, each of roughly equal
@@ -25,13 +26,13 @@ pub fn weighted_ranges(metric: &[usize], parts: usize) -> Vec<Range<usize>> {
     // saturated total only makes the target coarser, and the ranges
     // still cover the index space exactly.
     let total: u64 =
-        metric.iter().fold(0u64, |acc, &w| acc.saturating_add((w as u64).saturating_add(1)));
-    let target = total.div_ceil(parts as u64).max(1);
+        metric.iter().fold(0u64, |acc, &w| acc.saturating_add(to_u64(w).saturating_add(1)));
+    let target = total.div_ceil(to_u64(parts)).max(1);
     let mut out = Vec::with_capacity(parts);
     let mut start = 0usize;
     let mut acc = 0u64;
     for (i, &w) in metric.iter().enumerate() {
-        acc = acc.saturating_add((w as u64).saturating_add(1));
+        acc = acc.saturating_add(to_u64(w).saturating_add(1));
         if acc >= target && out.len() + 1 < parts {
             out.push(start..i + 1);
             start = i + 1;
@@ -58,9 +59,12 @@ impl<J> JobQueue<J> {
         JobQueue { jobs: Mutex::new(jobs.into_iter()) }
     }
 
-    /// Take the next job, or `None` when drained.
+    /// Take the next job, or `None` when drained. A worker panicking
+    /// mid-`next` cannot leave the iterator inconsistent (advancing it
+    /// is atomic from the queue's perspective), so poisoning is safely
+    /// recovered rather than propagated.
     pub fn next(&self) -> Option<J> {
-        self.jobs.lock().expect("worker panicked holding the job queue").next()
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner).next()
     }
 }
 

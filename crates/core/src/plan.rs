@@ -17,7 +17,7 @@ use crate::groups::{build_groups, Assignment, GroupPhase, GroupTable};
 use crate::pipeline::{overflow_err, Options, Result};
 use crate::rowalg::AlgorithmChoice;
 use sparse::spgemm_ref::row_intermediate_products;
-use sparse::{Csr, Scalar};
+use sparse::{ix, to_u64, try_usize, Csr, Scalar};
 use std::ops::Range;
 use vgpu::device::DEFAULT_STREAM;
 use vgpu::{DeviceConfig, StreamId};
@@ -123,7 +123,7 @@ impl std::fmt::Display for Estimator {
 pub(crate) fn exact_row_products<T: Scalar>(a: &Csr<T>, b: &Csr<T>, row: usize) -> usize {
     let rpt_b = b.rpt();
     let (acols, _) = a.row(row);
-    acols.iter().map(|&k| rpt_b[k as usize + 1] - rpt_b[k as usize]).sum()
+    acols.iter().map(|&k| rpt_b[ix(k) + 1] - rpt_b[ix(k)]).sum()
 }
 
 /// The sampled estimator: rows with at most `sample` A-elements are
@@ -143,21 +143,23 @@ fn sampled_row_products<T: Scalar>(a: &Csr<T>, b: &Csr<T>, sample: usize) -> Res
         .into());
     }
     let rpt_b = b.rpt();
-    let blen = |k: u32| rpt_b[k as usize + 1] - rpt_b[k as usize];
+    let blen = |k: u32| rpt_b[ix(k) + 1] - rpt_b[ix(k)];
     let mut out = vec![0usize; a.rows()];
     for (r, np) in out.iter_mut().enumerate() {
         let (acols, _) = a.row(r);
         if acols.len() <= sample {
             *np = acols.iter().map(|&k| blen(k)).sum();
         } else {
-            let mut state = ESTIMATE_SEED ^ r as u64;
+            let mut state = ESTIMATE_SEED ^ to_u64(r);
             let mut sum: u128 = 0;
             for _ in 0..sample {
-                let idx = (splitmix64(&mut state) % acols.len() as u64) as usize;
+                // The draw is reduced modulo a usize length, so the
+                // narrowing cannot actually fail.
+                let idx = try_usize(splitmix64(&mut state) % to_u64(acols.len()))?;
                 sum += blen(acols[idx]) as u128;
             }
             let est = (sum * acols.len() as u128).div_ceil(sample as u128).saturating_mul(2);
-            *np = est.min(usize::MAX as u128) as usize;
+            *np = usize::try_from(est).unwrap_or(usize::MAX);
         }
     }
     Ok(out)
@@ -186,7 +188,7 @@ impl PhasePlan {
         for (gi, g) in groups.groups.iter().enumerate() {
             if g.assignment == Assignment::TbRowGlobal {
                 for &r in &rows_by_group[gi] {
-                    global_table_size_checked(metric[r as usize])
+                    global_table_size_checked(metric[ix(r)])
                         .ok_or_else(|| overflow_err("global hash-table size"))?;
                 }
             }
@@ -203,6 +205,7 @@ impl PhasePlan {
         let spec = &self.groups.groups[self.groups.group_of(self.metric[row])];
         match spec.assignment {
             Assignment::TbRowGlobal => {
+                // lint:allow(no-expect) — every group-0 row was checked in PhasePlan::new
                 global_table_size_checked(self.metric[row]).expect("validated at plan construction")
             }
             _ => spec.table_size,
@@ -259,7 +262,7 @@ impl SpgemmPlan {
         opts: &Options,
     ) -> Result<Self> {
         let nprod = opts.estimator.row_products(a, b)?;
-        let total_products: u64 = nprod.iter().map(|&x| x as u64).sum();
+        let total_products: u64 = nprod.iter().map(|&x| to_u64(x)).sum();
         let count_groups =
             build_groups(cfg, T::BYTES, GroupPhase::Count, opts.pwarp_width, opts.use_pwarp);
         let numeric_groups =
@@ -289,7 +292,7 @@ impl SpgemmPlan {
     /// symbolic pass counted real output rows, whatever the estimator),
     /// so numeric tables can never under-size.
     pub fn numeric_phase(&self, nnz_row: &[u32]) -> Result<PhasePlan> {
-        let metric: Vec<usize> = nnz_row.iter().map(|&n| n as usize).collect();
+        let metric: Vec<usize> = nnz_row.iter().map(|&n| ix(n)).collect();
         let mut phase = PhasePlan::new(self.numeric_groups.clone(), metric)?;
         crate::rowalg::select_numeric(self.opts.policy, &mut phase, self.nprod());
         Ok(phase)

@@ -26,7 +26,7 @@ use crate::rowalg::{
 };
 use sparse::{Csr, Scalar, DEVICE_INDEX_BYTES};
 use vgpu::device::DEFAULT_STREAM;
-use vgpu::{primitives, AllocId, Gpu, KernelDesc, Phase, SimTime, SpgemmReport};
+use vgpu::{primitives, AllocId, Gpu, KernelDesc, MemRange, Phase, SimTime, SpgemmReport};
 
 /// Frees a set of device allocations on drop-equivalent cleanup.
 pub(crate) struct OwnedAllocs {
@@ -131,13 +131,12 @@ impl<T: Scalar> Executor<T> for SimExecutor<'_> {
         let m = a.rows();
         let nnz_c = symbolic.output_nnz();
         gpu.set_phase(Phase::Malloc);
-        let c_buf = gpu.malloc(
-            DEVICE_INDEX_BYTES * (m as u64 + 1)
-                + (DEVICE_INDEX_BYTES + T::BYTES as u64) * nnz_c as u64,
-            "C",
-        )?;
+        let c_bytes = DEVICE_INDEX_BYTES * (m as u64 + 1)
+            + (DEVICE_INDEX_BYTES + T::BYTES as u64) * nnz_c as u64;
+        let c_buf = gpu.malloc(c_bytes, "C")?;
         gpu.set_phase(Phase::Calc);
-        let res = run_numeric(gpu, a, b, plan, &symbolic.nnz_row, &symbolic.rpt);
+        let d_c = MemRange { id: c_buf, offset: 0, len: c_bytes };
+        let res = run_numeric(gpu, a, b, plan, &symbolic.nnz_row, &symbolic.rpt, Some(d_c));
         gpu.set_phase(Phase::Other);
         gpu.free(c_buf);
         let (col_c, val_c, calc_probes) = res?;
@@ -150,6 +149,7 @@ impl<T: Scalar> Executor<T> for SimExecutor<'_> {
             nnz_c as u64,
             calc_probes,
         );
+        // lint:allow(unchecked-ctor) — hot-path assembly; rows are sorted by kernel construction
         let c = Csr::from_parts_unchecked(m, plan.cols, symbolic.rpt.clone(), col_c, val_c)
             .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
         Ok(Execution { matrix: c, report, wall: None, replans: symbolic.replans })
@@ -232,12 +232,17 @@ fn multiply_inner<T: Scalar>(
 
     // Device inputs; allocation time is outside the measured phases (the
     // paper's breakdown starts at its setup phase).
-    allocs.push(gpu.malloc(a.device_bytes(), "A")?);
-    allocs.push(gpu.malloc(b.device_bytes(), "B")?);
+    let d_a = allocs.push(gpu.malloc(a.device_bytes(), "A")?);
+    let d_b = allocs.push(gpu.malloc(b.device_bytes(), "B")?);
+    // The host uploads A and B before the measured pipeline starts;
+    // sanitizer annotations are zero-cost, so the clock is untouched.
+    gpu.san_note_h2d(d_a, 0, a.device_bytes());
+    gpu.san_note_h2d(d_b, 0, b.device_bytes());
 
     // ---------------- Setup: (1) count products, (2) group ----------------
     gpu.set_phase(Phase::Setup);
-    allocs.push(gpu.malloc(DEVICE_INDEX_BYTES * (m as u64 + 1), "d_nprod")?);
+    let nprod_bytes = DEVICE_INDEX_BYTES * (m as u64 + 1);
+    let d_nprod = allocs.push(gpu.malloc(nprod_bytes, "d_nprod")?);
     {
         // Kernel (1): 256 rows per block; Alg. 2 traffic per row under
         // the exact estimator, only the sampled prefix under sampled:K
@@ -252,7 +257,13 @@ fn multiply_inner<T: Scalar>(
             let a_elems: u64 = (start..end).map(|r| a.row_nnz(r).min(per_row_cap) as u64).sum();
             blocks.push(count_products_block_cost(gpu, a_elems, (end - start) as u64));
         }
-        gpu.launch(KernelDesc::new(kernel, DEFAULT_STREAM, 256, 0), blocks)?;
+        gpu.launch(
+            KernelDesc::new(kernel, DEFAULT_STREAM, 256, 0)
+                .reading(d_a, 0, a.device_bytes())
+                .reading(d_b, 0, b.device_bytes())
+                .writing(d_nprod, 0, nprod_bytes),
+            blocks,
+        )?;
         if plan.opts.estimator.is_sampled() {
             if let Some(t) = gpu.telemetry_mut() {
                 t.emit(
@@ -264,8 +275,16 @@ fn multiply_inner<T: Scalar>(
         }
     }
     // Group arrays (the algorithm's only sizable extra memory, §III-A).
-    allocs.push(gpu.malloc(DEVICE_INDEX_BYTES * m as u64, "group_rows")?);
-    grouping_kernel(gpu, m)?;
+    let grp_bytes = DEVICE_INDEX_BYTES * m as u64;
+    let d_grp = allocs.push(gpu.malloc(grp_bytes, "group_rows")?);
+    grouping_kernel(
+        gpu,
+        m,
+        Some((
+            MemRange { id: d_nprod, offset: 0, len: nprod_bytes },
+            MemRange { id: d_grp, offset: 0, len: grp_bytes },
+        )),
+    )?;
 
     // ---------------- Count: (3) symbolic hash per group ----------------
     gpu.set_phase(Phase::Count);
@@ -273,18 +292,19 @@ fn multiply_inner<T: Scalar>(
     // (4) scan row counts into the output row pointer.
     primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64 + 1, DEVICE_INDEX_BYTES as u32)?;
     let rpt_c = prefix_sum(&nnz_row);
-    let nnz_c = *rpt_c.last().unwrap();
+    let nnz_c = rpt_c.last().copied().unwrap_or(0);
 
     // ---------------- Malloc: (5) allocate the output ----------------
     gpu.set_phase(Phase::Malloc);
-    allocs.push(gpu.malloc(
-        DEVICE_INDEX_BYTES * (m as u64 + 1) + (DEVICE_INDEX_BYTES + T::BYTES as u64) * nnz_c as u64,
-        "C",
-    )?);
+    let c_bytes =
+        DEVICE_INDEX_BYTES * (m as u64 + 1) + (DEVICE_INDEX_BYTES + T::BYTES as u64) * nnz_c as u64;
+    let d_c = allocs.push(gpu.malloc(c_bytes, "C")?);
 
     // ---------------- Calc: (6) regroup, (7) numeric ----------------
     gpu.set_phase(Phase::Calc);
-    let (col_c, val_c, calc_probes) = run_numeric(gpu, a, b, plan, &nnz_row, &rpt_c)?;
+    let c_range = MemRange { id: d_c, offset: 0, len: c_bytes };
+    let (col_c, val_c, calc_probes) =
+        run_numeric(gpu, a, b, plan, &nnz_row, &rpt_c, Some(c_range))?;
     gpu.set_phase(Phase::Other);
     // Assemble the report from the profiler delta of this call.
     let report = report_from_delta(
@@ -296,6 +316,7 @@ fn multiply_inner<T: Scalar>(
         nnz_c as u64,
         count_probes + calc_probes,
     );
+    // lint:allow(unchecked-ctor) — hot-path assembly; rows are sorted by kernel construction
     let c = Csr::from_parts_unchecked(m, b.cols(), rpt_c, col_c, val_c)
         .map_err(|e| Error::invariant(format!("numeric phase assembled malformed C: {e}")))?;
     Ok(Execution { matrix: c, report, wall: None, replans })
@@ -448,6 +469,9 @@ pub(crate) fn run_count<T: Scalar>(
         // From here the table must be freed on *every* exit — an
         // injected memset/launch fault must not leak it.
         let memset_res = primitives::memset(gpu, DEFAULT_STREAM, table_bytes);
+        if memset_res.is_ok() {
+            gpu.san_note_memset(gt, 0, table_bytes);
+        }
         let mut blocks = Vec::with_capacity(count_overflow.len());
         let mut replan_rows: Vec<u32> = Vec::new();
         for (&r, &cap) in count_overflow.iter().zip(&caps) {
@@ -469,7 +493,9 @@ pub(crate) fn run_count<T: Scalar>(
                     DEFAULT_STREAM,
                     gpu.config().max_threads_per_block,
                     0,
-                ),
+                )
+                .reading(gt, 0, table_bytes)
+                .writing(gt, 0, table_bytes),
                 blocks,
             )
         });
@@ -500,6 +526,9 @@ pub(crate) fn run_count<T: Scalar>(
             let replan_bytes: u64 = exact_caps.iter().map(|&c| DEVICE_INDEX_BYTES * c as u64).sum();
             let gt = gpu.malloc(replan_bytes, "replan_global_tables")?;
             let memset_res = primitives::memset(gpu, DEFAULT_STREAM, replan_bytes);
+            if memset_res.is_ok() {
+                gpu.san_note_memset(gt, 0, replan_bytes);
+            }
             let mut blocks = Vec::with_capacity(replan_rows.len());
             for (&r, &cap) in replan_rows.iter().zip(&exact_caps) {
                 let s = tb_symbolic_row(a, b, r as usize, cap, &mut table);
@@ -515,7 +544,9 @@ pub(crate) fn run_count<T: Scalar>(
                         DEFAULT_STREAM,
                         gpu.config().max_threads_per_block,
                         0,
-                    ),
+                    )
+                    .reading(gt, 0, replan_bytes)
+                    .writing(gt, 0, replan_bytes),
                     blocks,
                 )
             });
@@ -541,16 +572,24 @@ pub(crate) fn run_numeric<T: Scalar>(
     plan: &SpgemmPlan,
     nnz_row: &[u32],
     rpt_c: &[usize],
+    d_c: Option<MemRange>,
 ) -> Result<(Vec<u32>, Vec<T>, u64)> {
     let m = a.rows();
-    let nnz_c = *rpt_c.last().unwrap();
+    let nnz_c = rpt_c.last().copied().unwrap_or(0);
     let mut table = HashTable::<T>::new(1024, plan.opts.use_mul_hash);
     table.observe_probes(gpu.telemetry_enabled());
     let mut scratch = RowAlgScratch::<T>::new();
     let mut total_probes = 0u64;
     let numeric: PhasePlan = plan.numeric_phase(nnz_row)?;
     emit_group_summary(gpu, &numeric.groups, &numeric.metric, "calc");
-    grouping_kernel(gpu, m)?;
+    grouping_kernel(gpu, m, None)?;
+    // Each numeric group kernel scatters into its rows' slice of C;
+    // annotating the whole output range per launch is coarse but sound
+    // (writes only mark initialization, they cannot false-positive).
+    let write_c = |desc: KernelDesc| match d_c {
+        Some(c) => desc.writing(c.id, c.offset, c.len),
+        None => desc,
+    };
 
     let mut col_c = vec![0u32; nnz_c];
     let mut val_c = vec![T::ZERO; nnz_c];
@@ -576,12 +615,12 @@ pub(crate) fn run_numeric<T: Scalar>(
                     blocks.push(esc_block_cost(gpu, spec.block_threads, &s, Some(T::BYTES)));
                 }
                 gpu.launch(
-                    KernelDesc::new(
+                    write_c(KernelDesc::new(
                         format!("numeric_esc_g{gi}"),
                         stream,
                         spec.block_threads,
                         spec.shared_bytes,
-                    ),
+                    )),
                     blocks,
                 )?;
             }
@@ -609,7 +648,13 @@ pub(crate) fn run_numeric<T: Scalar>(
                     blocks.push(merge_block_cost(gpu, &s, Some(T::BYTES)));
                 }
                 let launch_res = gpu.launch(
-                    KernelDesc::new(format!("numeric_merge_g{gi}"), stream, spec.block_threads, 0),
+                    write_c(KernelDesc::new(
+                        format!("numeric_merge_g{gi}"),
+                        stream,
+                        spec.block_threads,
+                        0,
+                    ))
+                    .writing(gt, 0, buf_bytes),
                     blocks,
                 );
                 gpu.free(gt);
@@ -632,12 +677,12 @@ pub(crate) fn run_numeric<T: Scalar>(
                     blocks.push(tb_block_cost(gpu, spec, &s, Some(T::BYTES)));
                 }
                 gpu.launch(
-                    KernelDesc::new(
+                    write_c(KernelDesc::new(
                         format!("numeric_tb_g{gi}"),
                         stream,
                         spec.block_threads,
                         spec.shared_bytes,
-                    ),
+                    )),
                     blocks,
                 )?;
             }
@@ -655,6 +700,9 @@ pub(crate) fn run_numeric<T: Scalar>(
                 // As in the count phase: free the table on every exit
                 // so injected faults cannot leak it.
                 let memset_res = primitives::memset(gpu, stream, table_bytes);
+                if memset_res.is_ok() {
+                    gpu.san_note_memset(gt, 0, table_bytes);
+                }
                 let mut blocks = Vec::with_capacity(rows.len());
                 for &r in rows {
                     let cap = numeric.table_size_for(r as usize);
@@ -673,12 +721,14 @@ pub(crate) fn run_numeric<T: Scalar>(
                 }
                 let launch_res = memset_res.and_then(|()| {
                     gpu.launch(
-                        KernelDesc::new(
+                        write_c(KernelDesc::new(
                             format!("numeric_global_g{gi}"),
                             stream,
                             spec.block_threads,
                             0,
-                        ),
+                        ))
+                        .reading(gt, 0, table_bytes)
+                        .writing(gt, 0, table_bytes),
                         blocks,
                     )
                 });
@@ -715,12 +765,12 @@ pub(crate) fn run_numeric<T: Scalar>(
                     blocks.push(pwarp_block_cost(gpu, spec, width, &stats, Some(T::BYTES)));
                 }
                 gpu.launch(
-                    KernelDesc::new(
+                    write_c(KernelDesc::new(
                         format!("numeric_pwarp_g{gi}"),
                         stream,
                         spec.block_threads,
                         spec.shared_bytes,
-                    ),
+                    )),
                     blocks,
                 )?;
             }
@@ -768,7 +818,13 @@ fn emit_group_summary(gpu: &mut Gpu, groups: &GroupTable, metric: &[usize], phas
 
 /// Device cost of one grouping pass: read the per-row metric, histogram,
 /// scan, scatter row indices (≈ two reads + one write of 4 B per row).
-pub(crate) fn grouping_kernel(gpu: &mut Gpu, m: usize) -> Result<()> {
+/// `san` optionally names the (metric, group-rows) device ranges so the
+/// sanitizer can check the pass when those buffers have device ids.
+pub(crate) fn grouping_kernel(
+    gpu: &mut Gpu,
+    m: usize,
+    san: Option<(MemRange, MemRange)>,
+) -> Result<()> {
     let n = gpu.config().num_sms * 4;
     let per_block_bytes = 12.0 * m as f64 / n as f64;
     let blocks = vec![
@@ -780,7 +836,12 @@ pub(crate) fn grouping_kernel(gpu: &mut Gpu, m: usize) -> Result<()> {
         };
         n
     ];
-    gpu.launch(KernelDesc::new("grouping", DEFAULT_STREAM, 256, 0), blocks)?;
+    let mut desc = KernelDesc::new("grouping", DEFAULT_STREAM, 256, 0);
+    if let Some((metric, out)) = san {
+        desc =
+            desc.reading(metric.id, metric.offset, metric.len).writing(out.id, out.offset, out.len);
+    }
+    gpu.launch(desc, blocks)?;
     primitives::exclusive_scan(gpu, DEFAULT_STREAM, m as u64, DEVICE_INDEX_BYTES as u32)?;
     Ok(())
 }

@@ -106,7 +106,10 @@ impl<T: Scalar> PlanCache<T> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner<T>> {
-        self.inner.lock().expect("plan cache poisoned")
+        // Poison recovery (DESIGN.md §14): cache mutations are
+        // single-assignment map/queue updates, so a panicking holder
+        // cannot leave the structure half-written.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Look up a plan, counting a hit (and refreshing recency) or a miss.

@@ -145,6 +145,7 @@ fn job_mix<T: Scalar>(cfg: &DriverConfig) -> Vec<JobSpec<T>> {
     (0..cfg.jobs)
         .map(|i| {
             let r = lcg(&mut s);
+            // lint:allow(slice-index) — index reduced modulo pool.len()
             let base = &pool[(r as usize) % pool.len()];
             // Re-scale values per job: repeated patterns with fresh
             // values make cache hits observable and bitwise-checkable.
@@ -164,11 +165,7 @@ fn job_mix<T: Scalar>(cfg: &DriverConfig) -> Vec<JobSpec<T>> {
                 // into the batched fallback, the second fails the
                 // fallback's first attempt so it exercises the
                 // budget-halving retry before succeeding.
-                let plan = FaultPlan::parse(&format!(
-                    "seed={};malloc-oom=1;malloc-oom=2",
-                    cfg.seed + i as u64
-                ))
-                .expect("static fault spec");
+                let plan = FaultPlan::new(cfg.seed + i as u64).malloc_oom(1).malloc_oom(2);
                 spec = spec.with_faults(plan);
             }
             spec
@@ -266,6 +263,7 @@ pub fn run_driver<T: Scalar>(cfg: &DriverConfig) -> DriverReport<T> {
     if cfg.verify {
         for (spec, rec) in specs.iter().zip(&records) {
             if let Ok(c) = &rec.output {
+                // lint:allow(no-expect) — harness oracle: a faultless standalone multiply failing is a harness bug
                 let want = reference(cfg, spec).expect("reference multiply cannot fail");
                 if !bitwise_eq(c, &want) {
                     mismatches += 1;

@@ -119,6 +119,12 @@ pub struct EngineConfig {
     /// [`Engine::resume`]. Lets tests and the chaos harness make
     /// shedding deterministic (fill the bounded queue, then release).
     pub start_paused: bool,
+    /// Run every sim-backend job under the vgpu device-memory sanitizer
+    /// (DESIGN.md §18): use-after-free, double-free, out-of-bounds,
+    /// uninitialized reads and leaks become structured reports, and any
+    /// report fails the job with an `Invariant` error. Clean jobs are
+    /// byte-identical to unsanitized runs. Off by default.
+    pub sanitize: bool,
 }
 
 impl Default for EngineConfig {
@@ -140,7 +146,53 @@ impl Default for EngineConfig {
             breaker_force_open: false,
             failover_threads: 2,
             start_paused: false,
+            sanitize: false,
         }
+    }
+}
+
+/// Aggregate device-sanitizer activity across all sim-backend jobs
+/// (all-zero when [`EngineConfig::sanitize`] is off). Sums are
+/// order-independent — no job-completion order can change them — and
+/// `reports` is scheduling-invariant outright. The *activity* fields
+/// (`allocs`..`bytes_checked`) count shadowed device work, which at
+/// multiple workers can vary when concurrent same-fingerprint jobs
+/// race the plan cache and both plan cold; byte-stable dumps are
+/// guaranteed at one worker (sequential, hence fully deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanTotals {
+    /// Violation reports recorded (0 on a clean fleet).
+    pub reports: u64,
+    /// Allocations shadowed.
+    pub allocs: u64,
+    /// Valid frees observed.
+    pub frees: u64,
+    /// Read ranges checked.
+    pub reads: u64,
+    /// Write ranges recorded.
+    pub writes: u64,
+    /// Total bytes across all checked ranges.
+    pub bytes_checked: u64,
+}
+
+impl SanTotals {
+    fn absorb(&mut self, reports: u64, st: vgpu::SanStats) {
+        self.reports += reports;
+        self.allocs += st.allocs;
+        self.frees += st.frees;
+        self.reads += st.reads;
+        self.writes += st.writes;
+        self.bytes_checked += st.bytes_checked;
+    }
+
+    /// One JSON object (the chaos CLI's `--san-jsonl` artifact, diffed
+    /// byte-for-byte across single-worker runs in CI).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"reports\":{},\"allocs\":{},\"frees\":{},\"reads\":{},\"writes\":{},\
+             \"bytes_checked\":{}}}",
+            self.reports, self.allocs, self.frees, self.reads, self.writes, self.bytes_checked
+        )
     }
 }
 
@@ -227,6 +279,9 @@ pub struct EngineStats {
     /// `true` iff every reservation was released and accounting stayed
     /// consistent — the no-leak invariant.
     pub budget_drained: bool,
+    /// Device-sanitizer totals (all-zero unless
+    /// [`EngineConfig::sanitize`] was set).
+    pub san: SanTotals,
 }
 
 impl EngineStats {
@@ -253,6 +308,9 @@ impl EngineStats {
         r.counter_add("engine.cache.hit", self.cache.hits);
         r.counter_add("engine.cache.miss", self.cache.misses);
         r.counter_add("engine.cache.evict", self.cache.evictions);
+        r.counter_add("engine.san.reports", self.san.reports);
+        r.counter_add("engine.san.allocs", self.san.allocs);
+        r.counter_add("engine.san.bytes_checked", self.san.bytes_checked);
         r.gauge_set("engine.budget.capacity_bytes", self.budget_capacity as f64);
         r.gauge_set("engine.budget.peak_bytes", self.budget_peak as f64);
         // Every completed job's sample, not three synthetic percentile
@@ -293,6 +351,7 @@ struct Counters {
     queue_waits_us: Vec<u64>,
     latency_hist: obs::Log2Histogram,
     queue_wait_hist: obs::Log2Histogram,
+    san: SanTotals,
 }
 
 #[derive(Debug, Default)]
@@ -301,11 +360,8 @@ struct Metrics(Mutex<Counters>);
 fn summarize(mut us: Vec<u64>) -> LatencySummary {
     us.sort_unstable();
     let pct = |q: f64| {
-        if us.is_empty() {
-            0
-        } else {
-            us[((q * us.len() as f64).ceil() as usize).clamp(1, us.len()) - 1]
-        }
+        let i = ((q * us.len() as f64).ceil() as usize).clamp(1, us.len());
+        us.get(i - 1).copied().unwrap_or(0)
     };
     LatencySummary {
         count: us.len() as u64,
@@ -449,7 +505,7 @@ impl<T: Scalar> Engine<T> {
                 std::thread::Builder::new()
                     .name(format!("spgemm-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn engine worker")
+                    .expect("spawn engine worker") // grandfathered in ci/lint-allow.txt
             })
             .collect();
         Engine { shared, workers, next_id: 0 }
@@ -481,6 +537,7 @@ impl<T: Scalar> Engine<T> {
                 spec,
                 slot: Arc::clone(&slot),
                 cancel: Arc::clone(&cancel),
+                // lint:allow(wallclock) — queue-wait observability only; never enters results
                 submitted: Instant::now(),
             });
         }
@@ -567,6 +624,7 @@ fn stats_of<T: Scalar>(shared: &Shared<T>) -> EngineStats {
         budget_capacity: shared.budget.capacity(),
         budget_peak: shared.budget.peak_reserved(),
         budget_drained: shared.budget.drained(),
+        san: c.san,
     }
 }
 
@@ -602,6 +660,7 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
                 g = shared.queue.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // lint:allow(wallclock) — queue-wait observability only; never enters results
         let t0 = Instant::now();
         let queue_wait = t0.duration_since(job.submitted);
         let mut tracer: Tracer = shared.cfg.trace.then(|| TraceBuilder::new(job.id));
@@ -644,7 +703,11 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
                         c.failed += 1;
                         c.panicked_jobs += 1;
                     }
-                    _ => c.failed += 1,
+                    ErrorKind::Planning
+                    | ErrorKind::DeviceOom
+                    | ErrorKind::Kernel
+                    | ErrorKind::Invariant
+                    | ErrorKind::Rejected => c.failed += 1,
                 },
             }
         });
@@ -786,6 +849,7 @@ fn process_job<T: Scalar>(
         cancel.store(true, Ordering::SeqCst);
     }
     if spec.chaos_panic {
+        // lint:allow(no-panic) — deliberate fault injection; the containment guard catches it
         panic!("chaos: injected worker panic (job {job_id})");
     }
 
@@ -955,6 +1019,73 @@ fn x_emit<T: Scalar, E: Executor<T>>(exec: &mut E, tr: &mut Tracer, event: obs::
     }
 }
 
+/// Deliberately violate the device-memory contract when the
+/// `NSPARSE_SAN_CANARY` environment variable names a violation class —
+/// CI's proof that a sanitized run actually rejects broken jobs. The
+/// canary runs after the job's real work, so the only divergence from a
+/// clean run is the violation itself.
+fn san_canary(gpu: &mut Gpu) {
+    let Ok(kind) = std::env::var("NSPARSE_SAN_CANARY") else { return };
+    match kind.as_str() {
+        // Allocate and never free: tripped by the job leak checkpoint.
+        "leak" => {
+            let _ = gpu.malloc(64, "san_canary_leak");
+        }
+        "double-free" => {
+            if let Ok(id) = gpu.malloc(64, "san_canary_double_free") {
+                gpu.free(id);
+                gpu.free(id);
+            }
+        }
+        // Read an allocation after freeing it.
+        "uaf" => {
+            if let Ok(id) = gpu.malloc(64, "san_canary_uaf") {
+                gpu.san_note_h2d(id, 0, 64);
+                gpu.free(id);
+                gpu.san_note_d2h(id, 0, 8);
+            }
+        }
+        // Write past the end of a 64 B allocation.
+        "oob" => {
+            if let Ok(id) = gpu.malloc(64, "san_canary_oob") {
+                gpu.san_note_h2d(id, 32, 64);
+                gpu.free(id);
+            }
+        }
+        // Read bytes no transfer or kernel ever wrote.
+        "uninit" => {
+            if let Ok(id) = gpu.malloc(64, "san_canary_uninit") {
+                gpu.san_note_d2h(id, 0, 64);
+                gpu.free(id);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Job-end sanitizer gate: run the CI canary (if armed), take the leak
+/// checkpoint, fold activity totals into the engine counters, and fail
+/// the job with an `Invariant` error when any violation was recorded.
+/// No-op when the sanitizer is off.
+fn san_finalize<T: Scalar>(shared: &Shared<T>, gpu: &mut Gpu) -> Result<()> {
+    if !gpu.sanitizer_enabled() {
+        return Ok(());
+    }
+    san_canary(gpu);
+    gpu.san_leak_check();
+    let reports = gpu.san_reports();
+    let n = reports.len() as u64;
+    let first = reports.first().map(|r| format!("{} at {} ({})", r.kind.label(), r.site, r.detail));
+    let stats = gpu.san_stats().unwrap_or_default();
+    shared.metrics.with(|c| c.san.absorb(n, stats));
+    match first {
+        Some(first) => {
+            Err(Error::invariant(format!("sanitizer recorded {n} violation(s); first: {first}")))
+        }
+        None => Ok(()),
+    }
+}
+
 /// Reserve `bytes`, counting the job as queued when it has to wait.
 fn reserve<T: Scalar>(shared: &Shared<T>, bytes: u64) {
     if !shared.budget.try_reserve(bytes) {
@@ -984,6 +1115,9 @@ fn run_direct<T: Scalar>(
             let mut dev = shared.cfg.device.clone();
             dev.device_mem_bytes = est.max(1);
             let mut gpu = Gpu::new(dev);
+            if shared.cfg.sanitize {
+                gpu.enable_sanitizer();
+            }
             if let Some(faults) = faults {
                 gpu.set_fault_plan(faults.clone());
             }
@@ -1001,6 +1135,7 @@ fn run_direct<T: Scalar>(
                 tb.put_tel(gpu.take_telemetry());
             }
             let out = out?;
+            san_finalize(shared, &mut gpu)?;
             let live = gpu.live_mem_bytes();
             if live != 0 {
                 return Err(Error::invariant(format!("job leaked {live} B of device memory")));
@@ -1102,6 +1237,9 @@ fn run_batched<T: Scalar>(
     match backend {
         Backend::Sim => {
             let mut gpu = Gpu::new(dev);
+            if shared.cfg.sanitize {
+                gpu.enable_sanitizer();
+            }
             if let Some(faults) = faults {
                 gpu.set_fault_plan(faults.clone());
             }
@@ -1120,6 +1258,7 @@ fn run_batched<T: Scalar>(
                 tb.put_tel(gpu.take_telemetry());
             }
             let run = run?;
+            san_finalize(shared, &mut gpu)?;
             let live = gpu.live_mem_bytes();
             if live != 0 {
                 return Err(Error::invariant(format!("job leaked {live} B of device memory")));

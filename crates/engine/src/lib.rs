@@ -70,7 +70,7 @@ pub use breaker::{Breaker, BreakerState};
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use driver::{run_driver, DriverConfig, DriverReport, JobRecord};
-pub use engine::{Engine, EngineConfig, EngineStats, JobTicket, LatencySummary};
+pub use engine::{Engine, EngineConfig, EngineStats, JobTicket, LatencySummary, SanTotals};
 pub use job::{CacheOutcome, CancelPoint, JobOutput, JobSpec, Route};
 pub use recorder::{FlightRecorder, JobTrace, TraceBuilder};
 

@@ -164,7 +164,8 @@ impl JobTrace {
         let mut out = String::new();
         for e in self.events.events() {
             let json = e.to_json();
-            out.push_str(&format!("{{\"job\":{},{}", self.job, &json[1..]));
+            let body = json.strip_prefix('{').unwrap_or(&json);
+            out.push_str(&format!("{{\"job\":{},{}", self.job, body));
             out.push('\n');
         }
         out
@@ -331,6 +332,7 @@ mod tests {
             budget_capacity: 1024,
             budget_peak: 512,
             budget_drained: true,
+            san: Default::default(),
         }
     }
 

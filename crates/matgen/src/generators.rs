@@ -96,6 +96,7 @@ fn assemble<T: Scalar>(
         }
         rpt[i + 1] = col.len();
     }
+    // lint:allow(unchecked-ctor) — generator emits rows sorted and bounds-checked by construction
     Csr::from_parts_unchecked(rows, cols, rpt, col, val)
         .expect("generator emits sorted, in-bounds rows")
 }

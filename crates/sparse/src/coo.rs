@@ -66,6 +66,7 @@ impl<T: Scalar> Coo<T> {
         let triplets: Vec<(usize, u32, T)> =
             self.entries.iter().map(|&(r, c, v)| (r as usize, c, v)).collect();
         Csr::from_triplets(self.rows, self.cols, &triplets)
+            // lint:allow(no-expect) — COO construction bounds-checks every entry
             .expect("COO invariants guarantee valid triplets")
     }
 

@@ -50,6 +50,7 @@ impl<T: Scalar> Csc<T> {
             self.row.clone(),
             self.val.clone(),
         )
+        // lint:allow(no-expect) — CSC construction validates the transposed arrays
         .expect("CSC arrays are a valid CSR of the transpose")
         .transpose()
     }

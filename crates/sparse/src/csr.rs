@@ -5,6 +5,7 @@
 //! and produce CSR, exactly as the paper requires ("All input and output
 //! matrices are stored in CSR format", §III).
 
+use crate::convert::{ix, to_u64, try_u32};
 use crate::scalar::{approx_eq, Scalar};
 use crate::{Result, SparseError};
 
@@ -14,6 +15,17 @@ use crate::{Result, SparseError};
 /// derives from this constant, so a future 64-bit-index refactor changes
 /// it in exactly one place.
 pub const DEVICE_INDEX_BYTES: u64 = 4;
+
+/// Convert a dimension or dense coordinate to a device column index.
+///
+/// # Panics
+/// When `n` exceeds the 4-byte device index: such a dimension is
+/// unrepresentable in this storage, so the infallible constructors
+/// reject it loudly rather than silently wrapping.
+fn dev_index(n: usize) -> u32 {
+    // lint:allow(no-panic) — unrepresentable dimension in infallible constructors
+    try_u32(n).unwrap_or_else(|e| panic!("{e}"))
+}
 
 /// A sparse matrix in CSR format.
 ///
@@ -44,7 +56,7 @@ impl<T: Scalar> Csr<T> {
             rows: n,
             cols: n,
             rpt: (0..=n).collect(),
-            col: (0..n as u32).collect(),
+            col: (0..dev_index(n)).collect(),
             val: vec![T::ONE; n],
         }
     }
@@ -58,7 +70,7 @@ impl<T: Scalar> Csr<T> {
             rows: n,
             cols: n,
             rpt: (0..=n).collect(),
-            col: (0..n as u32).collect(),
+            col: (0..dev_index(n)).collect(),
             val: diag.to_vec(),
         }
     }
@@ -121,7 +133,7 @@ impl<T: Scalar> Csr<T> {
             if r >= rows {
                 return Err(SparseError::RowOutOfBounds { row: r, rows });
             }
-            if c as usize >= cols {
+            if ix(c) >= cols {
                 return Err(SparseError::ColumnOutOfBounds { row: r, col: c, cols });
             }
         }
@@ -184,7 +196,7 @@ impl<T: Scalar> Csr<T> {
             assert_eq!(row.len(), cols, "ragged dense input");
             for (c, &v) in row.iter().enumerate() {
                 if v != T::ZERO {
-                    col.push(c as u32);
+                    col.push(dev_index(c));
                     val.push(v);
                 }
             }
@@ -208,10 +220,11 @@ impl<T: Scalar> Csr<T> {
                 self.rpt[0]
             )));
         }
-        if *self.rpt.last().unwrap() != self.col.len() || self.col.len() != self.val.len() {
+        let tail = self.rpt.last().copied().unwrap_or(0);
+        if tail != self.col.len() || self.col.len() != self.val.len() {
             return Err(SparseError::MalformedRowPointers(format!(
                 "rpt[rows] = {}, col.len() = {}, val.len() = {}",
-                self.rpt.last().unwrap(),
+                tail,
                 self.col.len(),
                 self.val.len()
             )));
@@ -230,7 +243,7 @@ impl<T: Scalar> Csr<T> {
                 }
             }
             if let Some(&c) = cols.last() {
-                if c as usize >= self.cols {
+                if ix(c) >= self.cols {
                     return Err(SparseError::ColumnOutOfBounds { row: r, col: c, cols: self.cols });
                 }
             }
@@ -291,8 +304,8 @@ impl<T: Scalar> Csr<T> {
     /// layout: `4 * (rows + 1)` for `rpt`, `4 * nnz` for `col`,
     /// `T::BYTES * nnz` for values.
     pub fn device_bytes(&self) -> u64 {
-        DEVICE_INDEX_BYTES * (self.rows as u64 + 1)
-            + (DEVICE_INDEX_BYTES + T::BYTES as u64) * self.nnz() as u64
+        DEVICE_INDEX_BYTES * (to_u64(self.rows) + 1)
+            + (DEVICE_INDEX_BYTES + to_u64(T::BYTES)) * to_u64(self.nnz())
     }
 
     /// The sub-matrix of rows `range` (same column space): row pointers
@@ -304,6 +317,7 @@ impl<T: Scalar> Csr<T> {
     /// [`Csr::try_slice_rows`] instead.
     pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Self {
         self.try_slice_rows(range.clone())
+            // lint:allow(no-panic) — panic documented above; fallible sibling exists
             .unwrap_or_else(|_| panic!("slice_rows {range:?} out of bounds for {} rows", self.rows))
     }
 
@@ -351,7 +365,7 @@ impl<T: Scalar> Csr<T> {
     pub fn transpose(&self) -> Self {
         let mut rpt = vec![0usize; self.cols + 1];
         for &c in &self.col {
-            rpt[c as usize + 1] += 1;
+            rpt[ix(c) + 1] += 1;
         }
         for i in 0..self.cols {
             rpt[i + 1] += rpt[i];
@@ -360,12 +374,13 @@ impl<T: Scalar> Csr<T> {
         let mut col = vec![0u32; self.nnz()];
         let mut val = vec![T::ZERO; self.nnz()];
         for r in 0..self.rows {
+            let r32 = dev_index(r);
             let (cs, vs) = self.row(r);
             for (&c, &v) in cs.iter().zip(vs) {
-                let s = slot[c as usize];
-                col[s] = r as u32;
+                let s = slot[ix(c)];
+                col[s] = r32;
                 val[s] = v;
-                slot[c as usize] += 1;
+                slot[ix(c)] += 1;
             }
         }
         Csr { rows: self.cols, cols: self.rows, rpt, col, val }
@@ -385,7 +400,7 @@ impl<T: Scalar> Csr<T> {
             let (cs, vs) = self.row(r);
             let mut acc = T::ZERO;
             for (&c, &v) in cs.iter().zip(vs) {
-                acc += v * x[c as usize];
+                acc += v * x[ix(c)];
             }
             *y_r = acc;
         }
@@ -445,7 +460,7 @@ impl<T: Scalar> Csr<T> {
         for (r, d_r) in d.iter_mut().enumerate() {
             let (cs, vs) = self.row(r);
             for (&c, &v) in cs.iter().zip(vs) {
-                d_r[c as usize] = v;
+                d_r[ix(c)] = v;
             }
         }
         d

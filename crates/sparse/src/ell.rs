@@ -105,6 +105,7 @@ impl<T: Scalar> Ell<T> {
                 }
             }
         }
+        // lint:allow(no-expect) — ELL construction bounds-checks every slot
         Csr::from_triplets(self.rows, self.cols, &triplets).expect("ELL slots are in range")
     }
 }

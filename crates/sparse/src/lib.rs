@@ -16,6 +16,7 @@
 //! on the host for indexing ergonomics, and [`Csr::device_bytes`] reports
 //! the 4-byte-int footprint the GPU simulation charges.
 
+pub mod convert;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -26,6 +27,7 @@ pub mod scalar;
 pub mod spgemm_ref;
 pub mod stats;
 
+pub use convert::{ix, to_u64, try_u32, try_usize};
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::{Csr, DEVICE_INDEX_BYTES};

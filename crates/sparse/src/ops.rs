@@ -6,6 +6,7 @@
 //! pattern utilities. All operate on sorted CSR and preserve its
 //! invariants.
 
+use crate::convert::{ix, try_u32};
 use crate::csr::Csr;
 use crate::scalar::Scalar;
 use crate::{Result, SparseError};
@@ -56,8 +57,12 @@ pub fn diagonal<T: Scalar>(a: &Csr<T>) -> Vec<T> {
     let mut d = vec![T::ZERO; n];
     for (r, slot) in d.iter_mut().enumerate() {
         let (cs, vs) = a.row(r);
-        if let Ok(p) = cs.binary_search(&(r as u32)) {
-            *slot = vs[p];
+        // A row index beyond the 4-byte device index cannot have a
+        // stored diagonal entry (columns are u32), so Err(_) → zero.
+        if let Ok(r32) = try_u32(r) {
+            if let Ok(p) = cs.binary_search(&r32) {
+                *slot = vs[p];
+            }
         }
     }
     d
@@ -90,7 +95,7 @@ pub fn scale_cols<T: Scalar>(a: &Csr<T>, s: &[T]) -> Result<Csr<T>> {
             a.cols()
         )));
     }
-    let vals: Vec<T> = a.col().iter().zip(a.val()).map(|(&c, &v)| v * s[c as usize]).collect();
+    let vals: Vec<T> = a.col().iter().zip(a.val()).map(|(&c, &v)| v * s[ix(c)]).collect();
     Csr::from_parts_unchecked(a.rows(), a.cols(), a.rpt().to_vec(), a.col().to_vec(), vals)
 }
 
@@ -107,7 +112,7 @@ pub fn permute_symmetric<T: Scalar>(a: &Csr<T>, perm: &[u32]) -> Result<Csr<T>> 
     }
     let mut seen = vec![false; perm.len()];
     for &p in perm {
-        let p = p as usize;
+        let p = ix(p);
         if p >= perm.len() || seen[p] {
             return Err(SparseError::Parse("perm is not a permutation".into()));
         }
@@ -117,7 +122,7 @@ pub fn permute_symmetric<T: Scalar>(a: &Csr<T>, perm: &[u32]) -> Result<Csr<T>> 
     for r in 0..a.rows() {
         let (cs, vs) = a.row(r);
         for (&c, &v) in cs.iter().zip(vs) {
-            triplets.push((perm[r] as usize, perm[c as usize], v));
+            triplets.push((ix(perm[r]), perm[ix(c)], v));
         }
     }
     Csr::from_triplets(a.rows(), a.cols(), &triplets)
@@ -132,6 +137,7 @@ pub fn pattern<T: Scalar>(a: &Csr<T>) -> Csr<T> {
         a.col().to_vec(),
         vec![T::ONE; a.nnz()],
     )
+    // lint:allow(no-expect) — shape-preserving rebuild of a validated CSR cannot fail
     .expect("pattern preserves the CSR shape")
 }
 
@@ -173,7 +179,7 @@ pub fn strip_diagonal<T: Scalar>(a: &Csr<T>) -> Csr<T> {
     for r in 0..a.rows() {
         let (cs, vs) = a.row(r);
         for (&c, &v) in cs.iter().zip(vs) {
-            if c as usize != r {
+            if ix(c) != r {
                 col.push(c);
                 val.push(v);
             }
@@ -181,6 +187,7 @@ pub fn strip_diagonal<T: Scalar>(a: &Csr<T>) -> Csr<T> {
         rpt[r + 1] = col.len();
     }
     Csr::from_parts_unchecked(a.rows(), a.cols(), rpt, col, val)
+        // lint:allow(no-expect) — row-filtering rebuild of a validated CSR cannot fail
         .expect("strip_diagonal preserves the CSR shape")
 }
 

@@ -17,6 +17,7 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::memory::{AllocId, DeviceMemory, OutOfDeviceMemory};
 use crate::occupancy::occupancy;
 use crate::profiler::{KernelRecord, Phase, Profiler};
+use crate::sanitize::{SanReport, SanStats, Sanitizer};
 use crate::sched::{schedule_region, PendingKernel};
 use crate::simtime::SimTime;
 use crate::{GpuError, Result};
@@ -27,6 +28,18 @@ pub struct StreamId(pub usize);
 
 /// The default stream (stream 0).
 pub const DEFAULT_STREAM: StreamId = StreamId(0);
+
+/// A byte range inside one device allocation, used to annotate kernel
+/// launches and transfers for the memory sanitizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRange {
+    /// Target allocation.
+    pub id: AllocId,
+    /// Byte offset of the range start within the allocation.
+    pub offset: u64,
+    /// Range length in bytes.
+    pub len: u64,
+}
 
 /// Static description of a kernel launch (grid size is implied by the
 /// number of block costs passed to [`Gpu::launch`]).
@@ -40,6 +53,11 @@ pub struct KernelDesc {
     pub block_threads: usize,
     /// Shared memory per block in bytes.
     pub shared_bytes: usize,
+    /// Device ranges the kernel reads (sanitizer annotations; empty
+    /// unless the call site opts in via [`KernelDesc::reading`]).
+    pub reads: Vec<MemRange>,
+    /// Device ranges the kernel writes ([`KernelDesc::writing`]).
+    pub writes: Vec<MemRange>,
 }
 
 impl KernelDesc {
@@ -50,7 +68,29 @@ impl KernelDesc {
         block_threads: usize,
         shared_bytes: usize,
     ) -> Self {
-        KernelDesc { name: name.into(), stream, block_threads, shared_bytes }
+        KernelDesc {
+            name: name.into(),
+            stream,
+            block_threads,
+            shared_bytes,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Annotate a device range this kernel reads. Checked by the
+    /// sanitizer at launch (liveness, bounds, initialization); ignored
+    /// when the sanitizer is off.
+    pub fn reading(mut self, id: AllocId, offset: u64, len: u64) -> Self {
+        self.reads.push(MemRange { id, offset, len });
+        self
+    }
+
+    /// Annotate a device range this kernel writes. Checked by the
+    /// sanitizer at launch (liveness, bounds) and marked initialized.
+    pub fn writing(mut self, id: AllocId, offset: u64, len: u64) -> Self {
+        self.writes.push(MemRange { id, offset, len });
+        self
     }
 }
 
@@ -72,6 +112,11 @@ pub struct Gpu {
     /// Fault-injection state; `None` (the default) makes every device
     /// call behave normally at the cost of one null check.
     faults: Option<Box<FaultState>>,
+    /// Device-memory sanitizer shadow state; `None` (the default)
+    /// disables all checking. Sanitizer paths never advance the device
+    /// clock, so a clean sanitized run is byte-identical to an
+    /// unsanitized one (DESIGN.md §18).
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Gpu {
@@ -95,7 +140,129 @@ impl Gpu {
             pending: Vec::new(),
             telemetry: None,
             faults: None,
+            sanitizer: None,
         }
+    }
+
+    /// Opt into device-memory sanitizing: every malloc/free/transfer and
+    /// every annotated kernel range is checked against a shadow of the
+    /// allocator (use-after-free, double-free, out-of-bounds, overlapping
+    /// copies, uninitialized reads, leaks). Violations are *recorded* as
+    /// [`SanReport`]s, not aborted on — read them back with
+    /// [`Gpu::san_reports`]. Idempotent; off by default.
+    pub fn enable_sanitizer(&mut self) {
+        if self.sanitizer.is_none() {
+            self.sanitizer = Some(Box::new(Sanitizer::new()));
+        }
+    }
+
+    /// Whether the memory sanitizer is on.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Sanitizer violations recorded so far (empty when off or clean).
+    pub fn san_reports(&self) -> &[SanReport] {
+        self.sanitizer.as_deref().map(Sanitizer::reports).unwrap_or(&[])
+    }
+
+    /// Sanitizer activity counters, when the sanitizer is on.
+    pub fn san_stats(&self) -> Option<SanStats> {
+        self.sanitizer.as_deref().map(Sanitizer::stats)
+    }
+
+    /// All sanitizer reports as deterministic JSON Lines.
+    pub fn san_jsonl(&self) -> String {
+        self.sanitizer.as_deref().map(Sanitizer::reports_jsonl).unwrap_or_default()
+    }
+
+    /// Detach the sanitizer (checking stops), returning its state.
+    pub fn take_sanitizer(&mut self) -> Option<Sanitizer> {
+        self.sanitizer.take().map(|b| *b)
+    }
+
+    /// Bump telemetry counters for reports recorded since `before`.
+    /// Costs nothing on the clean path (no new reports).
+    fn san_account(&mut self, before: usize) {
+        let labels: Vec<&'static str> = self
+            .sanitizer
+            .as_deref()
+            .and_then(|s| s.reports().get(before..))
+            .map(|new| new.iter().map(|r| r.kind.label()).collect())
+            .unwrap_or_default();
+        if labels.is_empty() {
+            return;
+        }
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            for label in labels {
+                t.registry.counter_add("san.reports", 1);
+                t.registry.counter_add(&format!("san.{label}"), 1);
+            }
+        }
+    }
+
+    /// Annotate a host→device transfer landing in `[offset, offset+len)`
+    /// of `id`: bounds-checked, then marked initialized. Zero simulated
+    /// time; no-op when the sanitizer is off. (The timed [`Gpu::memcpy`]
+    /// deliberately carries no allocation id — annotations ride along.)
+    pub fn san_note_h2d(&mut self, id: AllocId, offset: u64, len: u64) {
+        let t = self.now.us();
+        let before = self.san_reports().len();
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.note_write(id.0, offset, len, "memcpy_h2d", t);
+        }
+        self.san_account(before);
+    }
+
+    /// Annotate a device→host transfer reading `[offset, offset+len)`
+    /// of `id`: liveness, bounds and initialization are checked.
+    pub fn san_note_d2h(&mut self, id: AllocId, offset: u64, len: u64) {
+        let t = self.now.us();
+        let before = self.san_reports().len();
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.note_read(id.0, offset, len, "memcpy_d2h", t);
+        }
+        self.san_account(before);
+    }
+
+    /// Annotate a device-side memset of `[offset, offset+len)` of `id`:
+    /// bounds-checked, then marked initialized. Used by pipelines that
+    /// clear scratch tables before kernels read them.
+    pub fn san_note_memset(&mut self, id: AllocId, offset: u64, len: u64) {
+        let t = self.now.us();
+        let before = self.san_reports().len();
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.note_write(id.0, offset, len, "memset", t);
+        }
+        self.san_account(before);
+    }
+
+    /// Annotate a device→device copy; also flags overlapping
+    /// source/destination ranges within one allocation.
+    pub fn san_note_d2d(
+        &mut self,
+        src: AllocId,
+        src_off: u64,
+        dst: AllocId,
+        dst_off: u64,
+        len: u64,
+    ) {
+        let t = self.now.us();
+        let before = self.san_reports().len();
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.note_copy(src.0, src_off, dst.0, dst_off, len, t);
+        }
+        self.san_account(before);
+    }
+
+    /// Leak checkpoint: every allocation still live is reported. Returns
+    /// the number of leaks found (0 when the sanitizer is off).
+    pub fn san_leak_check(&mut self) -> usize {
+        let t = self.now.us();
+        let before = self.san_reports().len();
+        let leaks = self.sanitizer.as_deref_mut().map(|s| s.leak_check(t)).unwrap_or(0);
+        self.san_account(before);
+        leaks
     }
 
     /// Attach a fault-injection plan (replacing any previous one and
@@ -276,6 +443,9 @@ impl Gpu {
             }
         }
         let id = self.mem.malloc(bytes, tag).map_err(GpuError::OutOfMemory)?;
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.on_malloc(id.0, bytes, tag);
+        }
         let dt = self.cost.malloc_time(bytes);
         self.profiler.record_kernel(KernelRecord {
             name: format!("cudaMalloc({tag})"),
@@ -342,8 +512,21 @@ impl Gpu {
     }
 
     /// Free device memory (synchronizes, charges `cudaFree` latency).
+    /// With the sanitizer on, an invalid free (double-free / unknown id)
+    /// is recorded as a report and the call returns without touching the
+    /// real allocator — which would otherwise abort on the same
+    /// condition. Unsanitized behaviour is unchanged.
     pub fn free(&mut self, id: AllocId) {
         self.sync();
+        if self.sanitizer.is_some() {
+            let t = self.now.us();
+            let before = self.san_reports().len();
+            let valid = self.sanitizer.as_deref_mut().is_some_and(|s| s.on_free(id.0, t));
+            self.san_account(before);
+            if !valid {
+                return;
+            }
+        }
         let bytes = self.mem.free(id);
         self.now += self.cost.free_base;
         if let Some(t) = self.telemetry.as_deref_mut() {
@@ -370,6 +553,22 @@ impl Gpu {
                 "kernel '{}': {} threads / {} B shared exceeds device limits",
                 desc.name, desc.block_threads, desc.shared_bytes
             )));
+        }
+        // Sanitizer: validate annotated ranges at launch, against the
+        // allocator state the kernel was issued under. Reads first (a
+        // kernel's inputs must already be initialized), then writes.
+        if self.sanitizer.is_some() && !(desc.reads.is_empty() && desc.writes.is_empty()) {
+            let t = self.now.us();
+            let before = self.san_reports().len();
+            if let Some(s) = self.sanitizer.as_deref_mut() {
+                for r in &desc.reads {
+                    s.note_read(r.id.0, r.offset, r.len, &desc.name, t);
+                }
+                for w in &desc.writes {
+                    s.note_write(w.id.0, w.offset, w.len, &desc.name, t);
+                }
+            }
+            self.san_account(before);
         }
         // Host-side launch overhead advances the issue cursor.
         self.now += self.cost.launch_overhead;
@@ -638,6 +837,93 @@ mod tests {
         let plan = g.clear_fault_plan().unwrap();
         assert_eq!(plan.seed, 9);
         g.memcpy(1024, true).unwrap();
+    }
+
+    #[test]
+    fn sanitized_clean_run_is_byte_identical() {
+        let run = |sanitize: bool| {
+            let mut g = gpu();
+            if sanitize {
+                g.enable_sanitizer();
+            }
+            let a = g.malloc(4096, "a").unwrap();
+            g.memcpy(4096, true).unwrap();
+            g.san_note_h2d(a, 0, 4096);
+            g.launch(
+                KernelDesc::new("k", DEFAULT_STREAM, 256, 0)
+                    .reading(a, 0, 4096)
+                    .writing(a, 0, 4096),
+                vec![BlockCost::raw(1e6, 0.0)],
+            )
+            .unwrap();
+            g.memcpy(4096, false).unwrap();
+            g.san_note_d2h(a, 0, 4096);
+            g.free(a);
+            let t = g.finish();
+            (t, g.san_reports().len(), g.profiler().kernels().len())
+        };
+        let (t_off, r_off, k_off) = run(false);
+        let (t_on, r_on, k_on) = run(true);
+        assert_eq!(t_off, t_on, "sanitizer must not charge simulated time");
+        assert_eq!(k_off, k_on, "sanitizer must not add profiler records");
+        assert_eq!((r_off, r_on), (0, 0));
+    }
+
+    #[test]
+    fn sanitizer_intercepts_double_free_instead_of_aborting() {
+        let mut g = gpu();
+        g.enable_sanitizer();
+        let a = g.malloc(64, "x").unwrap();
+        g.free(a);
+        g.free(a); // would abort the process without the sanitizer
+        assert_eq!(g.san_reports().len(), 1);
+        assert_eq!(g.san_reports()[0].kind, crate::sanitize::SanKind::DoubleFree);
+        assert_eq!(g.live_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn launch_annotations_catch_uaf_and_uninit() {
+        let mut g = gpu();
+        g.enable_sanitizer();
+        let a = g.malloc(1024, "in").unwrap();
+        // Read before any write: uninit.
+        g.launch(
+            KernelDesc::new("consume", DEFAULT_STREAM, 256, 0).reading(a, 0, 1024),
+            vec![BlockCost::raw(1.0, 0.0)],
+        )
+        .unwrap();
+        g.san_note_h2d(a, 0, 1024);
+        g.free(a);
+        // Read after free: UAF.
+        g.launch(
+            KernelDesc::new("stale", DEFAULT_STREAM, 256, 0).reading(a, 0, 8),
+            vec![BlockCost::raw(1.0, 0.0)],
+        )
+        .unwrap();
+        g.finish();
+        let kinds: Vec<_> = g.san_reports().iter().map(|r| r.kind).collect();
+        use crate::sanitize::SanKind;
+        assert_eq!(kinds, vec![SanKind::UninitRead, SanKind::UseAfterFree]);
+        assert_eq!(g.san_reports()[1].site, "stale");
+    }
+
+    #[test]
+    fn leak_check_and_telemetry_counters() {
+        let mut g = gpu();
+        g.enable_telemetry();
+        g.enable_sanitizer();
+        let _a = g.malloc(128, "leaked").unwrap();
+        assert_eq!(g.san_leak_check(), 1);
+        let s = g.telemetry_summary().unwrap();
+        assert_eq!(s.counter("san.reports"), Some(1));
+        assert_eq!(s.counter("san.leak"), Some(1));
+        let jsonl = g.san_jsonl();
+        assert!(jsonl.contains("\"kind\":\"leak\""));
+        assert!(jsonl.contains("\"tag\":\"leaked\""));
+        // State survives detach for offline inspection.
+        let san = g.take_sanitizer().unwrap();
+        assert_eq!(san.reports().len(), 1);
+        assert!(!g.sanitizer_enabled());
     }
 
     #[test]

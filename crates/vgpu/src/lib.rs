@@ -38,17 +38,19 @@ pub mod occupancy;
 pub mod primitives;
 pub mod profiler;
 pub mod report;
+pub mod sanitize;
 pub mod sched;
 pub mod simtime;
 
 pub use budget::SharedBudget;
 pub use config::DeviceConfig;
 pub use cost::{BlockCost, BlockCostBuilder, CostModel};
-pub use device::{Gpu, KernelDesc, StreamId};
+pub use device::{Gpu, KernelDesc, MemRange, StreamId};
 pub use fault::{FaultPlan, FaultRule};
 pub use memory::{AllocId, DeviceMemory, MemEvent, OutOfDeviceMemory};
 pub use profiler::{KernelAgg, Phase, Profiler, StreamUtil};
 pub use report::SpgemmReport;
+pub use sanitize::{SanKind, SanReport, SanStats, Sanitizer};
 pub use simtime::SimTime;
 
 /// Errors surfaced by the virtual GPU.

@@ -164,6 +164,7 @@ impl DeviceMemory {
         let (bytes, tag) = self
             .allocs
             .remove(&id.0)
+            // lint:allow(no-panic) — panic documented above; the sanitizer intercepts first
             .unwrap_or_else(|| panic!("free of non-live allocation {}", id.0));
         self.live -= bytes;
         if let Some(t) = self.tracking.as_mut() {

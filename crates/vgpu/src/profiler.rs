@@ -124,8 +124,8 @@ impl Profiler {
         let mut by_stream: Vec<StreamUtil> = Vec::new();
         for k in &self.records {
             let pos = by_stream.iter().position(|u| u.stream == k.stream);
-            let u = match pos {
-                Some(p) => &mut by_stream[p],
+            let p = match pos {
+                Some(p) => p,
                 None => {
                     by_stream.push(StreamUtil {
                         stream: k.stream,
@@ -134,9 +134,10 @@ impl Profiler {
                         first_start: k.start,
                         last_end: k.end,
                     });
-                    by_stream.last_mut().expect("just pushed")
+                    by_stream.len() - 1
                 }
             };
+            let u = &mut by_stream[p];
             u.busy += k.end - k.start;
             u.kernels += 1;
             u.first_start = u.first_start.min(k.start);

@@ -88,6 +88,7 @@ pub fn schedule_region(
         // Latency-hiding efficiency from achievable occupancy, capped by
         // how many blocks the grid actually provides per SM.
         let occ = occupancy(cfg, k.block_threads, k.shared_bytes)
+            // lint:allow(no-expect) — Gpu::launch validated this exact config before queueing
             .expect("launch was validated before queueing");
         let warps_per_block = k.block_threads.div_ceil(cfg.warp_size);
         let grid_blocks_per_sm = k.blocks.len().div_ceil(cfg.num_sms).max(1);
@@ -105,6 +106,7 @@ pub fn schedule_region(
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
                 .map(|(i, &t)| (i, t))
+                // lint:allow(no-expect) — sm_free has cfg.num_sms entries, validated > 0
                 .expect("num_sms > 0");
             let b_start = sm_free[sm].max(t_launch.secs());
             let service = (b.slots + cost.block_overhead_slots) / slot_rate;

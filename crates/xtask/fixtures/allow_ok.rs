@@ -1,0 +1,11 @@
+// Positive fixture: every violation below carries a justified escape
+// hatch, so the scanner must report nothing (no annotations here).
+// lint:allow-file(wallclock)
+fn f(x: Option<u32>) -> u32 {
+    let t = Instant::now(); // file-scoped allow above
+    let _ = t;
+    // lint:allow(no-unwrap) — preceding-line placement
+    let a = x.unwrap();
+    let b = x.unwrap(); // lint:allow(no-unwrap) trailing placement
+    a + b
+}

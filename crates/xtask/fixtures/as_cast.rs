@@ -1,0 +1,7 @@
+// Negative fixture: integer `as` narrowing in size arithmetic trips
+// as-cast; float casts (telemetry) stay silent.
+fn bytes(rows: usize, per_row: u64) -> u64 {
+    let telemetry = rows as f64;
+    let _ = telemetry;
+    per_row * rows as u64 //~ ERROR as-cast
+}

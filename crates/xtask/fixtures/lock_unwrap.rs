@@ -1,0 +1,9 @@
+// Negative fixture: propagating lock poisoning with `.unwrap()` trips
+// lock-unwrap (not no-unwrap — the finer rule wins so its message can
+// point at the poison-recovering pattern). The PR-8 idiom is silent.
+fn f(m: &std::sync::Mutex<u32>, rw: &std::sync::RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap(); //~ ERROR lock-unwrap
+    let b = *rw.read().unwrap(); //~ ERROR lock-unwrap
+    let c = *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    a + b + c
+}

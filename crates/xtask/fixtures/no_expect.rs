@@ -1,0 +1,6 @@
+// Negative fixture: the no-expect rule must fire exactly once here.
+fn f(x: Option<u32>) -> u32 {
+    let doc = "calling .expect(msg) panics"; // .expect( in comments is fine
+    let _ = doc;
+    x.expect("boom") //~ ERROR no-expect
+}

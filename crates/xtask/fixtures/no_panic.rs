@@ -1,0 +1,14 @@
+// Negative fixture: each panicking macro trips no-panic once.
+fn f(n: u32) -> u32 {
+    if n == 0 {
+        panic!("zero"); //~ ERROR no-panic
+    }
+    if n == 1 {
+        todo!(); //~ ERROR no-panic
+    }
+    if n == 2 {
+        unimplemented!(); //~ ERROR no-panic
+    }
+    // `repanic!` is someone else's macro; word boundaries must hold.
+    repanic!(n)
+}

@@ -1,0 +1,11 @@
+// Negative fixture: the no-unwrap rule must fire exactly once here.
+// Strings, comments and `unwrap_or*` neighbours must stay silent.
+fn f(x: Option<u32>) -> u32 {
+    let msg = "never .unwrap() in strings";
+    let _ = msg;
+    // a comment mentioning .unwrap() is fine
+    let a = x.unwrap_or(3);
+    let b = x.unwrap_or_else(|| 4);
+    let c = x.unwrap(); //~ ERROR no-unwrap
+    a + b + c
+}

@@ -1,0 +1,11 @@
+// Negative fixture: `expr[..]` indexing trips slice-index; attribute
+// brackets, slice types, array literals and `vec![..]` stay silent.
+#[derive(Debug)]
+struct S;
+
+fn f(v: &[u8], i: usize) -> u8 {
+    let arr = [0u8; 4];
+    let w: Vec<[u8; 2]> = vec![[1, 2]];
+    let _ = (&arr, &w, S);
+    v[i] //~ ERROR slice-index
+}

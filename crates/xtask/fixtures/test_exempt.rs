@@ -1,0 +1,19 @@
+// Positive fixture: test code may unwrap/panic/index freely — the
+// scanner must report nothing for `#[cfg(test)]` bodies or `#[test]`
+// functions (no annotations here).
+fn library_code(x: u32) -> u32 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = vec![1, 2];
+        let x: Option<u32> = Some(v[0]);
+        assert_eq!(x.unwrap(), 1);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

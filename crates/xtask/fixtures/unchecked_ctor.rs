@@ -1,0 +1,6 @@
+// Negative fixture: calling the unchecked CSR constructor outside the
+// sparse crate trips unchecked-ctor (sparse's own sources are exempt
+// by path scope; the self-test runs every rule at full scope).
+fn assemble(m: usize, n: usize, rpt: Vec<u64>, col: Vec<u64>, val: Vec<f64>) -> Csr<f64> {
+    Csr::from_parts_unchecked(m, n, rpt, col, val) //~ ERROR unchecked-ctor
+}

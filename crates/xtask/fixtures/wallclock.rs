@@ -1,0 +1,8 @@
+// Negative fixture: wall-clock reads in deterministic code trip
+// wallclock once per site.
+fn f() -> u64 {
+    let t0 = Instant::now(); //~ ERROR wallclock
+    let t1 = SystemTime::now(); //~ ERROR wallclock
+    let _ = (t0, t1);
+    0
+}

@@ -1,0 +1,17 @@
+// Negative fixture: a bare `_ =>` arm in a match classifying the core
+// error taxonomy trips wildcard-error-match; wildcard arms over other
+// enums (the u32 match below) stay silent.
+fn classify(e: &Error) -> u32 {
+    match e.kind() {
+        ErrorKind::Planning => 1,
+        ErrorKind::Kernel => 2,
+        _ => 0, //~ ERROR wildcard-error-match
+    }
+}
+
+fn benign(n: u32) -> u32 {
+    match n {
+        1 => 10,
+        _ => 0,
+    }
+}

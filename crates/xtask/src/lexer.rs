@@ -1,0 +1,408 @@
+//! A small, line-preserving Rust scrubber: replaces comment bodies and
+//! string/char-literal contents with spaces so downstream rule matchers
+//! operate on code tokens only, while line/column positions stay exact.
+//!
+//! This is deliberately *not* a parser — no `syn`, no external deps
+//! (the PR-1 hermetic guarantee). The linter needs just enough lexical
+//! structure to avoid false positives inside comments and literals,
+//! plus three structural facts the scrubbed text makes cheap to
+//! recover: brace depth, `#[cfg(test)]` spans, and `lint:allow`
+//! escape-hatch directives (which live in the comments it strips).
+
+/// One scanned source file.
+pub struct Scrubbed {
+    /// Source with comment bodies and literal contents blanked to
+    /// spaces. Quotes are kept (as `"`) so literals still read as one
+    /// token; newlines are kept so line numbers match the input.
+    pub text: String,
+    /// 1-based lines granted `lint:allow(rule)` — each directive covers
+    /// its own line and the following source line, so both trailing and
+    /// preceding-line placement work.
+    pub line_allows: Vec<(usize, String)>,
+    /// Rules disabled for the whole file via `lint:allow-file(rule)`.
+    pub file_allows: Vec<String>,
+    /// 1-based lines inside `#[cfg(test)]` item bodies or `#[test]`
+    /// functions — exempt from every rule.
+    pub test_lines: Vec<bool>,
+}
+
+impl Scrubbed {
+    /// Whether `rule` is allowed (escape-hatched) on 1-based `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        if self.file_allows.iter().any(|r| r == rule) {
+            return true;
+        }
+        self.line_allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || l.checked_add(1) == Some(line)))
+    }
+
+    /// Whether 1-based `line` is test code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false)
+    }
+}
+
+/// Scrub `src`: strip comments and literal contents, collect allow
+/// directives, and mark `#[cfg(test)]` / `#[test]` spans.
+pub fn scrub(src: &str) -> Scrubbed {
+    let (text, comments) = strip(src);
+    let mut line_allows = Vec::new();
+    let mut file_allows = Vec::new();
+    for (line, body) in &comments {
+        collect_directives(body, *line, &mut line_allows, &mut file_allows);
+    }
+    let n_lines = text.lines().count();
+    let mut test_lines = vec![false; n_lines];
+    mark_test_spans(&text, &mut test_lines);
+    Scrubbed { text, line_allows, file_allows, test_lines }
+}
+
+/// Replace comments and literal contents with spaces; return the
+/// scrubbed text plus each comment's `(start_line, body)`.
+fn strip(src: &str) -> (String, Vec<(usize, String)>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            out.push('\n');
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            // Line comment: blank to end of line, keep the body.
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            comments.push((line, b[start..i].iter().collect()));
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            // Block comment; Rust block comments nest.
+            let (start, start_line) = (i, line);
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if b[i] == '\n' {
+                    line += 1;
+                    out.push('\n');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            comments.push((start_line, b[start..i].iter().collect()));
+        } else if c == 'r' && is_raw_string_start(&b, i) {
+            i = skip_raw_string(&b, i, &mut out, &mut line);
+        } else if c == 'b' && b.get(i + 1) == Some(&'r') && is_raw_string_start(&b, i + 1) {
+            out.push(' ');
+            i = skip_raw_string(&b, i + 1, &mut out, &mut line);
+        } else if c == 'b' && b.get(i + 1) == Some(&'"') {
+            out.push(' ');
+            i = skip_string(&b, i + 1, &mut out, &mut line);
+        } else if c == 'b' && b.get(i + 1) == Some(&'\'') {
+            out.push(' ');
+            i = skip_char_literal(&b, i + 1, &mut out);
+        } else if c == '"' {
+            i = skip_string(&b, i, &mut out, &mut line);
+        } else if c == '\'' {
+            if char_literal_len(&b, i).is_some() {
+                i = skip_char_literal(&b, i, &mut out);
+            } else {
+                // Lifetime: keep the tick and the identifier.
+                out.push('\'');
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    (out, comments)
+}
+
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"` (a raw string, not an `r#ident` raw identifier).
+    debug_assert_eq!(b[i], 'r');
+    let mut j = i + 1;
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"') && (j > i + 1 || b.get(i + 1) == Some(&'"'))
+}
+
+/// Blank a raw string starting at `b[i] == 'r'`; returns the index past
+/// the closing quote+hashes.
+fn skip_raw_string(b: &[char], i: usize, out: &mut String, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    out.push_str(&" ".repeat(1 + hashes));
+    out.push('"');
+    j += 1; // opening quote
+    while j < b.len() {
+        if b[j] == '"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes {
+            out.push('"');
+            out.push_str(&" ".repeat(hashes));
+            return j + 1 + hashes;
+        }
+        if b[j] == '\n' {
+            *line += 1;
+            out.push('\n');
+        } else {
+            out.push(' ');
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Blank a normal string starting at `b[i] == '"'`.
+fn skip_string(b: &[char], i: usize, out: &mut String, line: &mut usize) -> usize {
+    out.push('"');
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => {
+                out.push_str("  ");
+                j += 2;
+            }
+            '"' => {
+                out.push('"');
+                return j + 1;
+            }
+            '\n' => {
+                *line += 1;
+                out.push('\n');
+                j += 1;
+            }
+            _ => {
+                out.push(' ');
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Length (in chars, including quotes) of a char literal at `b[i]`, or
+/// `None` when `'` starts a lifetime instead.
+fn char_literal_len(b: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(b[i], '\'');
+    match b.get(i + 1)? {
+        '\\' => {
+            // Escape: scan to the closing quote (bounded — `\u{...}`
+            // is the longest form).
+            let mut j = i + 2;
+            let end = (i + 12).min(b.len());
+            while j < end {
+                if b[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        '\'' => None, // `''` is not a char literal
+        _ => (b.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+fn skip_char_literal(b: &[char], i: usize, out: &mut String) -> usize {
+    let len = char_literal_len(b, i).unwrap_or(1);
+    out.push('\'');
+    out.push_str(&" ".repeat(len.saturating_sub(2)));
+    out.push('\'');
+    i + len
+}
+
+/// Parse `lint:allow(a, b)` / `lint:allow-file(a)` out of one comment.
+fn collect_directives(
+    body: &str,
+    line: usize,
+    line_allows: &mut Vec<(usize, String)>,
+    file_allows: &mut Vec<String>,
+) {
+    for (marker, file_scope) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+        let mut rest = body;
+        while let Some(p) = rest.find(marker) {
+            let tail = &rest[p + marker.len()..];
+            if let Some(close) = tail.find(')') {
+                for rule in tail[..close].split(',') {
+                    let rule = rule.trim().to_string();
+                    if !rule.is_empty() {
+                        if file_scope {
+                            file_allows.push(rule);
+                        } else {
+                            line_allows.push((line, rule));
+                        }
+                    }
+                }
+            }
+            rest = &rest[p + marker.len()..];
+        }
+    }
+}
+
+/// Mark lines covered by `#[cfg(test)]` item bodies and `#[test]` fns.
+fn mark_test_spans(text: &str, test_lines: &mut [bool]) {
+    let b: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        if b[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '#' && b.get(i + 1) == Some(&'[') {
+            // Scan the attribute to its closing ']'.
+            let attr_start_line = line;
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr = String::from("#[");
+            while j < b.len() && depth > 0 {
+                match b[j] {
+                    '[' => depth += 1,
+                    ']' => depth -= 1,
+                    '\n' => line += 1,
+                    _ => {}
+                }
+                attr.push(b[j]);
+                j += 1;
+            }
+            let compact: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+            let is_test_attr = compact.starts_with("#[test]")
+                || compact.starts_with("#[test,")
+                || (compact.contains("cfg(") && compact.contains("test"));
+            if is_test_attr {
+                // Skip to the end of the annotated item: the matching
+                // close of its first brace block (or a terminating `;`
+                // for brace-less items).
+                let mut k = j;
+                let mut bdepth = 0usize;
+                let mut entered = false;
+                while k < b.len() {
+                    match b[k] {
+                        '{' => {
+                            bdepth += 1;
+                            entered = true;
+                        }
+                        '}' => {
+                            bdepth = bdepth.saturating_sub(1);
+                        }
+                        ';' if !entered => {
+                            k += 1;
+                            break;
+                        }
+                        '\n' => line += 1,
+                        _ => {}
+                    }
+                    k += 1;
+                    if entered && bdepth == 0 {
+                        break;
+                    }
+                }
+                for l in attr_start_line..=line {
+                    if let Some(slot) = test_lines.get_mut(l - 1) {
+                        *slot = true;
+                    }
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let s = scrub("let x = \"a.unwrap()\"; // .unwrap()\nlet y = 1;\n");
+        assert!(!s.text.contains("unwrap"));
+        assert_eq!(s.text.lines().count(), 2);
+        assert!(s.text.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn preserves_line_numbers_across_block_comments_and_raw_strings() {
+        let src = "a\n/* x\n y */b\nr#\"multi\nline\"#\nc\n";
+        let s = scrub(src);
+        assert_eq!(s.text.lines().count(), src.lines().count());
+        assert_eq!(s.text.lines().nth(5), Some("c"));
+        assert!(!s.text.contains("multi"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("/* outer /* inner */ still */ let k = 1;");
+        assert!(s.text.contains("let k = 1;"));
+        assert!(!s.text.contains("inner"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\n'; }");
+        assert!(s.text.contains("<'a>"));
+        assert!(!s.text.contains('"'), "char-quoted dquote must be blanked: {}", s.text);
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src = "// lint:allow(no-unwrap)\nx.unwrap();\ny.unwrap(); // lint:allow(no-expect)\n";
+        let s = scrub(src);
+        assert!(s.allowed("no-unwrap", 1));
+        assert!(s.allowed("no-unwrap", 2));
+        assert!(!s.allowed("no-unwrap", 3));
+        assert!(s.allowed("no-expect", 3));
+    }
+
+    #[test]
+    fn file_allow_covers_everything() {
+        let s = scrub("// lint:allow-file(wallclock)\nfn f() {}\n");
+        assert!(s.allowed("wallclock", 500));
+        assert!(!s.allowed("no-unwrap", 2));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn bare_test_attr_fn_is_marked() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn lib() {}\n";
+        let s = scrub(src);
+        assert!(s.is_test_line(3));
+        assert!(!s.is_test_line(5));
+    }
+}

@@ -1,0 +1,264 @@
+//! `xtask` — in-repo developer tooling. The one subcommand, `lint`,
+//! enforces the workspace invariants of DESIGN.md §18 with a hermetic
+//! token-level scanner (no syn, no external deps):
+//!
+//! ```text
+//! cargo run -p xtask -- lint              # scan the tree (CI gate)
+//! cargo run -p xtask -- lint --self-test  # prove every rule still fires
+//! cargo run -p xtask -- lint --rules      # print the rule catalog
+//! ```
+//!
+//! Violations are deny-by-default. Escape hatches, in order of
+//! preference: fix the code; a justified inline `// lint:allow(rule)`;
+//! a grandfathered entry in the ratchet allowlist `ci/lint-allow.txt`
+//! (which must shrink — stale entries fail the gate).
+
+mod lexer;
+mod rules;
+
+use rules::{check_file, Finding, RULES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("lint") => {
+            let rest: Vec<&str> = it.collect();
+            match rest.as_slice() {
+                [] => lint(),
+                ["--self-test"] => self_test(),
+                ["--rules"] => {
+                    print_rules();
+                    ExitCode::SUCCESS
+                }
+                other => usage(&format!("unknown lint arguments: {other:?}")),
+            }
+        }
+        Some(cmd) => usage(&format!("unknown subcommand '{cmd}'")),
+        None => usage("missing subcommand"),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("xtask: {msg}");
+    eprintln!("usage: cargo run -p xtask -- lint [--self-test | --rules]");
+    ExitCode::FAILURE
+}
+
+fn print_rules() {
+    println!("{:<22} {:<58} scope", "rule", "invariant");
+    for r in RULES {
+        println!("{:<22} {:<58} {}", r.id, r.summary, r.scope);
+    }
+}
+
+/// Repo root: two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&manifest).join("../..").canonicalize().unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// Library sources under scan: `crates/*/src/**/*.rs` plus the root
+/// `src/`. Test directories, benches and fixtures are out of scope by
+/// construction (rules govern library code; tests may unwrap freely).
+fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for e in entries.flatten() {
+            let src = e.path().join("src");
+            collect_rs(&src, &mut files);
+        }
+    }
+    collect_rs(&root.join("src"), &mut files);
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// The ratchet allowlist: `(rule, path) -> allowed count`.
+type Allowlist = BTreeMap<(String, String), usize>;
+
+fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("ci/lint-allow.txt");
+    let mut map = Allowlist::new();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => return Ok(map), // absent file = empty allowlist
+    };
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_whitespace();
+        let (Some(rule), Some(p), Some(n)) = (f.next(), f.next(), f.next()) else {
+            return Err(format!("ci/lint-allow.txt:{}: need `rule path count`", i + 1));
+        };
+        let n: usize =
+            n.parse().map_err(|_| format!("ci/lint-allow.txt:{}: bad count '{n}'", i + 1))?;
+        if map.insert((rule.to_string(), p.to_string()), n).is_some() {
+            return Err(format!("ci/lint-allow.txt:{}: duplicate entry", i + 1));
+        }
+    }
+    Ok(map)
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let allow = match load_allowlist(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0usize;
+    for file in source_files(&root) {
+        let rel = file.strip_prefix(&root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(&file) else { continue };
+        scanned += 1;
+        let scrubbed = lexer::scrub(&src);
+        findings.extend(check_file(&rel, &scrubbed, false));
+    }
+
+    // Apply the ratchet: per (rule, path), `allowed` findings are
+    // grandfathered; more fail as violations, fewer fail as stale
+    // allowlist entries (the ratchet only turns one way).
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &findings {
+        *counts.entry((f.rule.to_string(), f.path.clone())).or_insert(0) += 1;
+    }
+    let mut failures = 0usize;
+    let mut grandfathered = 0usize;
+    for f in &findings {
+        let key = (f.rule.to_string(), f.path.clone());
+        let found = counts[&key];
+        let allowed = allow.get(&key).copied().unwrap_or(0);
+        if found > allowed {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.excerpt);
+            if allowed > 0 {
+                println!(
+                    "    ({} findings exceed the {} grandfathered in ci/lint-allow.txt)",
+                    found, allowed
+                );
+            }
+            failures += 1;
+        } else {
+            grandfathered += 1;
+        }
+    }
+    let mut stale = 0usize;
+    for ((rule, path), allowed) in &allow {
+        let found = counts.get(&(rule.clone(), path.clone())).copied().unwrap_or(0);
+        if found < *allowed {
+            println!(
+                "ci/lint-allow.txt: stale entry `{rule} {path} {allowed}` — only {found} \
+                 findings remain; ratchet the count down"
+            );
+            stale += 1;
+        }
+    }
+
+    println!(
+        "xtask lint: {scanned} files, {failures} violations, {grandfathered} grandfathered, \
+         {stale} stale allowlist entries"
+    );
+    if failures + stale == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `--self-test`: every rule must still fire on its negative fixture,
+/// at exactly the annotated lines (`//~ ERROR <rule>`), and fire
+/// nowhere else. A scanner regression that silences a rule fails CI
+/// here rather than silently green-lighting the tree.
+fn self_test() -> ExitCode {
+    let root = repo_root();
+    let dir = root.join("crates/xtask/fixtures");
+    let mut fixtures: Vec<PathBuf> = Vec::new();
+    collect_rs(&dir, &mut fixtures);
+    fixtures.sort();
+    if fixtures.is_empty() {
+        eprintln!("xtask lint --self-test: no fixtures under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = 0usize;
+    let mut rules_covered: Vec<&str> = Vec::new();
+    for file in &fixtures {
+        let name = file.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        let Ok(src) = std::fs::read_to_string(file) else {
+            eprintln!("FAIL {name}: unreadable");
+            failed += 1;
+            continue;
+        };
+        let mut expected: Vec<(String, usize)> = Vec::new();
+        for (idx, line) in src.lines().enumerate() {
+            if let Some(p) = line.find("//~ ERROR ") {
+                let rule = line[p + "//~ ERROR ".len()..].trim().to_string();
+                expected.push((rule, idx + 1));
+            }
+        }
+        let scrubbed = lexer::scrub(&src);
+        let mut got: Vec<(String, usize)> = check_file(&name, &scrubbed, true)
+            .into_iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect();
+        expected.sort();
+        got.sort();
+        if got == expected {
+            for (r, _) in &expected {
+                if let Some(info) = RULES.iter().find(|i| i.id == *r) {
+                    rules_covered.push(info.id);
+                }
+            }
+            println!("ok   {name}: {} expected finding(s)", expected.len());
+        } else {
+            failed += 1;
+            println!("FAIL {name}");
+            for e in &expected {
+                if !got.contains(e) {
+                    println!("    missing: [{}] line {}", e.0, e.1);
+                }
+            }
+            for g in &got {
+                if !expected.contains(g) {
+                    println!("    unexpected: [{}] line {}", g.0, g.1);
+                }
+            }
+        }
+    }
+    // Coverage: every rule in the catalog needs at least one fixture
+    // that trips it, or the self-test cannot vouch for the scanner.
+    for r in RULES {
+        if !rules_covered.contains(&r.id) {
+            println!("FAIL coverage: no fixture trips rule [{}]", r.id);
+            failed += 1;
+        }
+    }
+    println!("xtask lint --self-test: {} fixtures, {failed} failures", fixtures.len());
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

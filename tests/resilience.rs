@@ -14,6 +14,11 @@
 //!
 //! `NSPARSE_FAULT_SEED` (set by `ci/check.sh`) seeds an extra derived
 //! fault plan so CI exercises a reproducible but changeable case.
+//! `NSPARSE_SANITIZE=1` (also a `ci/check.sh` gate) reruns the whole
+//! suite with the device-memory sanitizer shadowing every allocation
+//! (DESIGN.md §18): the OOM sweep's error/retry paths must then be
+//! free of use-after-free, double-free, bounds and init violations —
+//! `assert_no_leak` fails on any sanitizer report.
 
 use nsparse_repro::prelude::*;
 use sparse::spgemm_ref::spgemm_gustavson;
@@ -38,19 +43,31 @@ fn assert_bitwise_eq(x: &Csr<f64>, y: &Csr<f64>, what: &str) {
     assert_eq!(xb, yb, "{what}: values differ bitwise");
 }
 
+/// Construct the device under test, with the sanitizer attached when
+/// the `NSPARSE_SANITIZE` CI gate asks for it.
+fn test_gpu(cfg: DeviceConfig) -> Gpu {
+    let mut gpu = Gpu::new(cfg);
+    if std::env::var("NSPARSE_SANITIZE").is_ok() {
+        gpu.enable_sanitizer();
+    }
+    gpu
+}
+
 /// The device must be fully drained: no live bytes, no live allocation
 /// ids, and (when telemetry tracked a timeline) the last event at zero.
+/// Under `NSPARSE_SANITIZE` the shadow state must be clean too.
 fn assert_no_leak(gpu: &Gpu, what: &str) {
     assert_eq!(gpu.live_mem_bytes(), 0, "{what}: live bytes leaked");
     assert_eq!(gpu.memory().live_allocs(), 0, "{what}: allocation ids leaked");
     if let Some(last) = gpu.memory().timeline().last() {
         assert_eq!(last.live_after, 0, "{what}: timeline does not end at zero");
     }
+    assert!(gpu.san_reports().is_empty(), "{what}: sanitizer reports:\n{}", gpu.san_jsonl());
 }
 
 /// Reference result and the number of device mallocs a clean run makes.
 fn clean_run(a: &Csr<f64>) -> (Csr<f64>, u64) {
-    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let mut gpu = test_gpu(DeviceConfig::p100());
     gpu.enable_telemetry();
     let mut exec = SimExecutor::new(&mut gpu);
     let c = exec.multiply(a, a, &Options::default()).unwrap().matrix;
@@ -69,7 +86,7 @@ fn faulted_run(
     plan: FaultPlan,
     what: &str,
 ) -> Result<(), Error> {
-    let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(capacity));
+    let mut gpu = test_gpu(DeviceConfig::p100_with_memory(capacity));
     gpu.enable_telemetry();
     gpu.set_fault_plan(plan);
     let result = {
@@ -143,21 +160,21 @@ fn batched_fallback_is_bitwise_identical_under_4x_pressure() {
     let c_ref = spgemm_gustavson(&a, &a).unwrap();
     let est = nsparse_core::estimate_memory(&a, &a).unwrap().upper_bound();
 
-    let mut g_full = Gpu::new(DeviceConfig::p100());
+    let mut g_full = test_gpu(DeviceConfig::p100());
     let c_full = nsparse_core::multiply(&mut g_full, &a, &a, &Options::default()).unwrap().0;
     assert_bitwise_eq(&c_full, &c_ref, "unconstrained vs reference structure");
     let peak = g_full.peak_mem_bytes();
 
     // A cap below the real peak: the plain pipeline must report a
     // structured, retryable OOM (and leak nothing).
-    let mut g_oom = Gpu::new(DeviceConfig::p100_with_memory(peak * 3 / 4));
+    let mut g_oom = test_gpu(DeviceConfig::p100_with_memory(peak * 3 / 4));
     let err = nsparse_core::multiply(&mut g_oom, &a, &a, &Options::default()).unwrap_err();
     assert_eq!(err.kind(), ErrorKind::DeviceOom);
     assert_eq!(err.recovery(), Recovery::RetrySmallerBatch);
     assert_no_leak(&g_oom, "plain multiply OOM");
 
     for denom in [2u64, 4] {
-        let mut gpu = Gpu::new(DeviceConfig::p100_with_memory(est / denom));
+        let mut gpu = test_gpu(DeviceConfig::p100_with_memory(est / denom));
         gpu.enable_telemetry();
         let (run, batches) = {
             let mut exec = BatchedExecutor::sim(&mut gpu);
@@ -181,7 +198,7 @@ fn exhausted_retries_return_capacity_diagnostic() {
     for nth in 1..=40 {
         plan = plan.malloc_oom(nth);
     }
-    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let mut gpu = test_gpu(DeviceConfig::p100());
     gpu.set_fault_plan(plan);
     let err = {
         let mut exec = BatchedExecutor::sim(&mut gpu);
@@ -220,7 +237,7 @@ fn exhausted_retries_return_capacity_diagnostic() {
 #[test]
 fn kernel_fault_classifies_transient_and_leak_free() {
     let a = rand_mat(100, 5, 17);
-    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let mut gpu = test_gpu(DeviceConfig::p100());
     gpu.set_fault_plan(FaultPlan::new(3).kernel_fail("count_products"));
     let err = {
         let mut exec = BatchedExecutor::sim(&mut gpu);
@@ -237,7 +254,7 @@ fn kernel_fault_classifies_transient_and_leak_free() {
 /// transient device fault.
 #[test]
 fn memcpy_fault_classifies_as_kernel_error() {
-    let mut gpu = Gpu::new(DeviceConfig::p100());
+    let mut gpu = test_gpu(DeviceConfig::p100());
     gpu.set_fault_plan(FaultPlan::new(5).memcpy_fail(2));
     gpu.memcpy(1024, true).unwrap();
     let ge = gpu.memcpy(1024, false).unwrap_err();
